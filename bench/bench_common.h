@@ -1,0 +1,99 @@
+// Shared helpers for the figure-reproduction harnesses: default paper-scale
+// parameters, command-line overrides (key=value), and table printing.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "sim/experiment.h"
+#include "util/config.h"
+#include "util/format.h"
+
+namespace delta::bench {
+
+/// Paper-scale defaults; override with key=value args, e.g.
+///   queries=50000 updates=50000 objects=68 cache_frac=0.3 seed=1
+inline sim::SetupParams setup_from_config(const util::Config& cfg) {
+  sim::SetupParams p;
+  p.base_level = static_cast<int>(cfg.get_int("base_level", 5));
+  p.sky_seed = static_cast<std::uint64_t>(cfg.get_int("sky_seed", 2010));
+  p.total_rows = cfg.get_double("total_rows", 4.0e8);
+  p.object_target =
+      static_cast<std::size_t>(cfg.get_int("objects", 68));
+  p.trace_seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+  p.cache_fraction = cfg.get_double("cache_frac", 0.30);
+  p.benefit_window = cfg.get_int("benefit_window", 50'000);
+  p.benefit_alpha = cfg.get_double("benefit_alpha", 0.3);
+  p.trace.query_count = cfg.get_int("queries", 250'000);
+  p.trace.update_count = cfg.get_int("updates", 250'000);
+  // The 300 GB post-warm-up target scales with the query count so smaller
+  // smoke-test runs keep the paper's per-query magnitudes.
+  p.trace.postwarmup_query_gb = cfg.get_double("query_gb", 300.0) *
+                                static_cast<double>(p.trace.query_count) /
+                                250'000.0;
+  p.trace.mean_postwarmup_update_mb = cfg.get_double("update_mb", 2.1);
+  return p;
+}
+
+inline void print_header(const std::string& title,
+                         const sim::SetupParams& p, Bytes server,
+                         Bytes cache) {
+  std::cout << "=== " << title << " ===\n";
+  std::cout << "setup: objects=" << p.object_target
+            << " queries=" << p.trace.query_count
+            << " updates=" << p.trace.update_count
+            << " server=" << util::human_bytes(server)
+            << " cache=" << util::human_bytes(cache) << " ("
+            << p.cache_fraction * 100 << "% of server)"
+            << " seed=" << p.trace_seed << "\n\n";
+}
+
+inline std::string gb(Bytes b) { return util::gb_fixed(b, 2); }
+inline std::string gb(double bytes) {
+  return util::fixed(bytes / 1e9, 2);
+}
+
+/// VCover knobs exposed to every bench: vcover_seed, vcover_randomized,
+/// vcover_lazy, vcover_remember, vcover_lru, vcover_preship.
+inline sim::PolicyOverrides overrides_from_config(const util::Config& cfg) {
+  sim::PolicyOverrides o;
+  o.vcover.rng_seed =
+      static_cast<std::uint64_t>(cfg.get_int("vcover_seed", 0xD517A));
+  o.vcover.loading.randomized = cfg.get_bool("vcover_randomized", false);
+  o.vcover.loading.lazy = cfg.get_bool("vcover_lazy", true);
+  o.vcover.remember_shipped_queries = cfg.get_bool("vcover_remember", true);
+  o.vcover.use_lru = cfg.get_bool("vcover_lru", false);
+  o.vcover.preship = cfg.get_bool("vcover_preship", false);
+  o.soptimal.local_search = cfg.get_bool("soptimal_local", true);
+  return o;
+}
+
+/// VCover's LoadManager is randomized (Fig. 6); sweep benches report the
+/// mean over a few loading seeds so shape trends aren't hidden by
+/// single-coin-flip variance. Other policies are deterministic per trace.
+inline const std::vector<std::uint64_t>& vcover_seeds() {
+  static const std::vector<std::uint64_t> kSeeds{0xD517A, 1234567, 424242};
+  return kSeeds;
+}
+
+inline std::vector<sim::RunResult> run_vcover_seeds(
+    const workload::Trace& trace, Bytes cache, const sim::SetupParams& params,
+    std::int64_t stride = 5000) {
+  std::vector<sim::RunResult> runs;
+  for (const std::uint64_t seed : vcover_seeds()) {
+    sim::PolicyOverrides overrides;
+    overrides.vcover.rng_seed = seed;
+    runs.push_back(sim::run_one(sim::PolicyKind::kVCover, trace, cache,
+                                params, overrides, stride));
+  }
+  return runs;
+}
+
+inline double mean_postwarmup_gb(const std::vector<sim::RunResult>& runs) {
+  double total = 0.0;
+  for (const auto& r : runs) total += r.postwarmup_traffic.as_double();
+  return total / static_cast<double>(runs.size()) / 1e9;
+}
+
+}  // namespace delta::bench

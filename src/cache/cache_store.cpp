@@ -1,0 +1,78 @@
+#include "cache/cache_store.h"
+
+#include "util/check.h"
+
+namespace delta::cache {
+
+CacheStore::CacheStore(Bytes capacity) : capacity_(capacity) {
+  DELTA_CHECK(capacity.count() >= 0);
+}
+
+bool CacheStore::contains(ObjectId id) const {
+  return entries_.find(id) != entries_.end();
+}
+
+const CacheStore::Entry& CacheStore::checked(ObjectId id) const {
+  const auto it = entries_.find(id);
+  DELTA_CHECK_MSG(it != entries_.end(),
+                  "object " << id.value() << " not resident");
+  return it->second;
+}
+
+Bytes CacheStore::bytes_of(ObjectId id) const { return checked(id).size; }
+
+void CacheStore::load(ObjectId id, Bytes size) {
+  DELTA_CHECK(id.valid());
+  DELTA_CHECK(size.count() >= 0);
+  DELTA_CHECK_MSG(!contains(id), "object " << id.value() << " already cached");
+  DELTA_CHECK_MSG(used_ + size <= capacity_,
+                  "load would exceed cache capacity");
+  entries_.emplace(id, Entry{size, false});
+  used_ += size;
+}
+
+void CacheStore::evict(ObjectId id) {
+  const auto it = entries_.find(id);
+  DELTA_CHECK_MSG(it != entries_.end(),
+                  "evicting non-resident object " << id.value());
+  used_ -= it->second.size;
+  entries_.erase(it);
+  DELTA_CHECK(used_.count() >= 0);
+}
+
+void CacheStore::grow(ObjectId id, Bytes delta) {
+  DELTA_CHECK(delta.count() >= 0);
+  const auto it = entries_.find(id);
+  DELTA_CHECK_MSG(it != entries_.end(),
+                  "growing non-resident object " << id.value());
+  it->second.size += delta;
+  used_ += delta;
+}
+
+bool CacheStore::is_stale(ObjectId id) const { return checked(id).stale; }
+
+void CacheStore::mark_stale(ObjectId id) {
+  const auto it = entries_.find(id);
+  DELTA_CHECK(it != entries_.end());
+  it->second.stale = true;
+}
+
+void CacheStore::mark_fresh(ObjectId id) {
+  const auto it = entries_.find(id);
+  DELTA_CHECK(it != entries_.end());
+  it->second.stale = false;
+}
+
+std::vector<ObjectId> CacheStore::resident_objects() const {
+  std::vector<ObjectId> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) out.push_back(id);
+  return out;
+}
+
+void CacheStore::clear() {
+  entries_.clear();
+  used_ = Bytes{};
+}
+
+}  // namespace delta::cache

@@ -1,0 +1,63 @@
+// The middleware cache's object store: which data objects are resident,
+// their current sizes, staleness flags, and strict capacity accounting
+// (invariant 2 of DESIGN.md §7: cached bytes never exceed capacity, except
+// transiently through grow(), which the owning policy must rebalance).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.h"
+
+namespace delta::cache {
+
+class CacheStore {
+ public:
+  explicit CacheStore(Bytes capacity);
+
+  [[nodiscard]] Bytes capacity() const { return capacity_; }
+  [[nodiscard]] Bytes used() const { return used_; }
+  [[nodiscard]] std::size_t object_count() const { return entries_.size(); }
+
+  [[nodiscard]] bool contains(ObjectId id) const;
+  [[nodiscard]] Bytes bytes_of(ObjectId id) const;
+
+  /// Admits an object of the given size. The object must not be resident
+  /// and must fit: used() + size <= capacity(). Objects enter fresh.
+  void load(ObjectId id, Bytes size);
+
+  /// Removes a resident object.
+  void evict(ObjectId id);
+
+  /// Grows a resident object (a shipped update was applied). May push
+  /// used() past capacity(); the caller must evict until it fits again.
+  void grow(ObjectId id, Bytes delta);
+
+  [[nodiscard]] bool over_capacity() const { return used_ > capacity_; }
+
+  /// Staleness flag: set when the server reports an update for a resident
+  /// object, cleared when outstanding updates have been shipped/applied.
+  [[nodiscard]] bool is_stale(ObjectId id) const;
+  void mark_stale(ObjectId id);
+  void mark_fresh(ObjectId id);
+
+  /// Snapshot of resident object ids (unordered).
+  [[nodiscard]] std::vector<ObjectId> resident_objects() const;
+
+  /// Drops everything (cache-node restart in failure tests).
+  void clear();
+
+ private:
+  struct Entry {
+    Bytes size;
+    bool stale = false;
+  };
+
+  Bytes capacity_;
+  Bytes used_;
+  std::unordered_map<ObjectId, Entry> entries_;
+
+  [[nodiscard]] const Entry& checked(ObjectId id) const;
+};
+
+}  // namespace delta::cache

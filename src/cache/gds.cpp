@@ -1,0 +1,116 @@
+#include "cache/gds.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace delta::cache {
+
+namespace {
+
+double ratio(Bytes cost, Bytes size) {
+  if (size.count() <= 0) return 1.0;
+  return cost.as_double() / size.as_double();
+}
+
+}  // namespace
+
+GreedyDualSize::GreedyDualSize(const CacheStore* store) : store_(store) {
+  DELTA_CHECK(store != nullptr);
+}
+
+void GreedyDualSize::on_access(ObjectId id) {
+  const auto it = states_.find(id);
+  DELTA_CHECK_MSG(it != states_.end(),
+                  "GDS access to untracked object " << id.value());
+  it->second.credit = inflation_ + it->second.cost_ratio;
+}
+
+double GreedyDualSize::credit_of(ObjectId id) const {
+  const auto it = states_.find(id);
+  DELTA_CHECK(it != states_.end());
+  return it->second.credit;
+}
+
+BatchDecision GreedyDualSize::decide_batch(
+    const std::vector<LoadCandidate>& candidates) {
+  struct Item {
+    ObjectId id;
+    Bytes size;
+    double credit;
+    double cost_ratio;
+    bool is_candidate;
+  };
+  std::vector<Item> items;
+  items.reserve(states_.size() + candidates.size());
+
+  Bytes total = store_->used();
+  for (const LoadCandidate& c : candidates) {
+    DELTA_CHECK_MSG(!store_->contains(c.id),
+                    "load candidate " << c.id.value() << " already resident");
+    if (c.size > store_->capacity()) continue;  // can never fit
+    const double r = ratio(c.load_cost, c.size);
+    items.push_back({c.id, c.size, inflation_ + r, r, true});
+    total += c.size;
+  }
+  for (const auto& [id, state] : states_) {
+    items.push_back(
+        {id, store_->bytes_of(id), state.credit, state.cost_ratio, false});
+  }
+
+  // Lazy GDS: decide the whole batch at once by evicting in increasing
+  // credit order until the tentative set fits. A candidate "evicted" here is
+  // simply never loaded — exactly the inefficiency the lazy variant removes.
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.credit != b.credit) return a.credit < b.credit;
+    return a.id < b.id;  // deterministic tie-break
+  });
+
+  BatchDecision decision;
+  std::size_t cursor = 0;
+  std::vector<bool> dropped(items.size(), false);
+  while (total > store_->capacity() && cursor < items.size()) {
+    const Item& victim = items[cursor];
+    dropped[cursor] = true;
+    total -= victim.size;
+    inflation_ = std::max(inflation_, victim.credit);
+    if (!victim.is_candidate) {
+      decision.evict.push_back(victim.id);
+      states_.erase(victim.id);
+    }
+    ++cursor;
+  }
+  DELTA_CHECK(total <= store_->capacity());
+
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (dropped[i] || !items[i].is_candidate) continue;
+    decision.load.push_back(items[i].id);
+    states_[items[i].id] = State{items[i].credit, items[i].cost_ratio};
+  }
+  return decision;
+}
+
+std::vector<ObjectId> GreedyDualSize::shed_overflow() {
+  std::vector<ObjectId> victims;
+  Bytes used = store_->used();
+  while (used > store_->capacity()) {
+    DELTA_CHECK_MSG(!states_.empty(), "cannot shed: no resident objects");
+    auto victim = states_.begin();
+    for (auto it = states_.begin(); it != states_.end(); ++it) {
+      if (it->second.credit < victim->second.credit ||
+          (it->second.credit == victim->second.credit &&
+           it->first < victim->first)) {
+        victim = it;
+      }
+    }
+    used -= store_->bytes_of(victim->first);
+    inflation_ = std::max(inflation_, victim->second.credit);
+    victims.push_back(victim->first);
+    states_.erase(victim);
+  }
+  return victims;
+}
+
+void GreedyDualSize::forget(ObjectId id) { states_.erase(id); }
+
+}  // namespace delta::cache

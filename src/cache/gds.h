@@ -1,0 +1,45 @@
+// Greedy-Dual-Size (Cao & Irani 1997), the paper's object caching algorithm,
+// in the lazy batch form the LoadManager requires (§4, "Managing Loads").
+//
+// Each resident object carries a retention credit H = L + cost/size, where L
+// is the global inflation value. Hits refresh H; evictions set L to the
+// victim's H, aging everything else relatively. Because cost here is the
+// object's load cost (≈ its size), the cost/size ratio is near 1 and GDS
+// degrades gracefully toward recency-based aging for equal-sized objects
+// while still favoring objects that are expensive to re-load per byte.
+#pragma once
+
+#include <unordered_map>
+
+#include "cache/eviction_policy.h"
+
+namespace delta::cache {
+
+class GreedyDualSize final : public EvictionPolicy {
+ public:
+  /// The policy observes (and stays consistent with) `store`, but never
+  /// mutates it: callers apply returned decisions and keep both in sync.
+  explicit GreedyDualSize(const CacheStore* store);
+
+  void on_access(ObjectId id) override;
+  BatchDecision decide_batch(
+      const std::vector<LoadCandidate>& candidates) override;
+  std::vector<ObjectId> shed_overflow() override;
+  void forget(ObjectId id) override;
+  [[nodiscard]] const char* name() const override { return "gds-lazy"; }
+
+  [[nodiscard]] double inflation() const { return inflation_; }
+  [[nodiscard]] double credit_of(ObjectId id) const;
+
+ private:
+  struct State {
+    double credit = 0.0;
+    double cost_ratio = 1.0;  // load cost / size, cached for refreshes
+  };
+
+  const CacheStore* store_;
+  double inflation_ = 0.0;
+  std::unordered_map<ObjectId, State> states_;
+};
+
+}  // namespace delta::cache

@@ -1,0 +1,78 @@
+#include "cache/lru.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace delta::cache {
+
+LruPolicy::LruPolicy(const CacheStore* store) : store_(store) {
+  DELTA_CHECK(store != nullptr);
+}
+
+void LruPolicy::on_access(ObjectId id) {
+  const auto it = last_use_.find(id);
+  DELTA_CHECK_MSG(it != last_use_.end(),
+                  "LRU access to untracked object " << id.value());
+  it->second = ++clock_;
+}
+
+ObjectId LruPolicy::oldest() const {
+  DELTA_CHECK(!last_use_.empty());
+  auto victim = last_use_.begin();
+  for (auto it = last_use_.begin(); it != last_use_.end(); ++it) {
+    if (it->second < victim->second ||
+        (it->second == victim->second && it->first < victim->first)) {
+      victim = it;
+    }
+  }
+  return victim->first;
+}
+
+BatchDecision LruPolicy::decide_batch(
+    const std::vector<LoadCandidate>& candidates) {
+  BatchDecision decision;
+  Bytes total = store_->used();
+  std::vector<LoadCandidate> admitted;
+  for (const LoadCandidate& c : candidates) {
+    DELTA_CHECK(!store_->contains(c.id));
+    if (c.size > store_->capacity()) continue;
+    admitted.push_back(c);
+    total += c.size;
+  }
+  // Evict stale residents oldest-first until the batch fits; if the batch
+  // alone exceeds capacity, drop trailing candidates.
+  while (total > store_->capacity() && !last_use_.empty()) {
+    const ObjectId victim = oldest();
+    total -= store_->bytes_of(victim);
+    last_use_.erase(victim);
+    decision.evict.push_back(victim);
+  }
+  while (total > store_->capacity() && !admitted.empty()) {
+    total -= admitted.back().size;
+    admitted.pop_back();
+  }
+  DELTA_CHECK(total <= store_->capacity());
+  for (const LoadCandidate& c : admitted) {
+    decision.load.push_back(c.id);
+    last_use_[c.id] = ++clock_;
+  }
+  return decision;
+}
+
+std::vector<ObjectId> LruPolicy::shed_overflow() {
+  std::vector<ObjectId> victims;
+  Bytes used = store_->used();
+  while (used > store_->capacity()) {
+    DELTA_CHECK_MSG(!last_use_.empty(), "cannot shed: no resident objects");
+    const ObjectId victim = oldest();
+    used -= store_->bytes_of(victim);
+    last_use_.erase(victim);
+    victims.push_back(victim);
+  }
+  return victims;
+}
+
+void LruPolicy::forget(ObjectId id) { last_use_.erase(id); }
+
+}  // namespace delta::cache

@@ -1,0 +1,32 @@
+// LRU object caching: the cost-oblivious baseline for the loading ablation
+// (A3). Same batch interface as Greedy-Dual-Size so the LoadManager can be
+// instantiated with either.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "cache/eviction_policy.h"
+
+namespace delta::cache {
+
+class LruPolicy final : public EvictionPolicy {
+ public:
+  explicit LruPolicy(const CacheStore* store);
+
+  void on_access(ObjectId id) override;
+  BatchDecision decide_batch(
+      const std::vector<LoadCandidate>& candidates) override;
+  std::vector<ObjectId> shed_overflow() override;
+  void forget(ObjectId id) override;
+  [[nodiscard]] const char* name() const override { return "lru"; }
+
+ private:
+  const CacheStore* store_;
+  std::int64_t clock_ = 0;
+  std::unordered_map<ObjectId, std::int64_t> last_use_;
+
+  [[nodiscard]] ObjectId oldest() const;
+};
+
+}  // namespace delta::cache

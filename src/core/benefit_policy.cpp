@@ -1,0 +1,153 @@
+#include "core/benefit_policy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace delta::core {
+
+BenefitPolicy::BenefitPolicy(DeltaSystem* system,
+                             const BenefitOptions& options)
+    : system_(system), options_(options), store_(options.cache_capacity) {
+  DELTA_CHECK(system != nullptr);
+  DELTA_CHECK(options.window > 0);
+  DELTA_CHECK(options.alpha >= 0.0 && options.alpha <= 1.0);
+  const std::size_t n = system->object_count();
+  forecast_.assign(n, 0.0);
+  saved_window_.assign(n, 0.0);
+  would_window_.assign(n, 0.0);
+  update_window_.assign(n, 0.0);
+  // Benefit keeps per-object state server-side for every object, cached or
+  // not (§5), so it subscribes to all update metadata.
+  system_->set_subscription(MetadataSubscription::kAll);
+  system_->set_invalidation_handler(
+      [this](const workload::Update& u) { on_update(u); });
+}
+
+void BenefitPolicy::on_update(const workload::Update& u) {
+  const auto i = static_cast<std::size_t>(u.object.value());
+  update_window_[i] += u.cost.as_double();
+  if (store_.contains(u.object)) {
+    // Cached objects are kept current eagerly.
+    system_->ship_update(u);
+    store_.grow(u.object, u.cost);
+    evict_lowest_forecast_until_fits();
+  }
+  tick();
+}
+
+QueryOutcome BenefitPolicy::on_query(const workload::Query& q) {
+  QueryOutcome outcome;
+  bool all_cached = true;
+  double size_sum = 0.0;
+  for (const ObjectId o : q.objects) {
+    if (!store_.contains(o)) all_cached = false;
+    size_sum += system_->server_object_bytes(o).as_double();
+  }
+  if (size_sum <= 0.0) size_sum = 1.0;
+
+  if (all_cached) {
+    outcome.path = QueryOutcome::Path::kCacheFresh;  // eager updates: fresh
+    for (const ObjectId o : q.objects) {
+      const auto i = static_cast<std::size_t>(o.value());
+      const double share =
+          q.cost.as_double() *
+          system_->server_object_bytes(o).as_double() / size_sum;
+      saved_window_[i] += share;
+    }
+  } else {
+    outcome.path = QueryOutcome::Path::kShipped;
+    outcome.result_bytes = system_->ship_query(q);
+    for (const ObjectId o : q.objects) {
+      if (store_.contains(o)) continue;
+      const auto i = static_cast<std::size_t>(o.value());
+      const double share =
+          q.cost.as_double() *
+          system_->server_object_bytes(o).as_double() / size_sum;
+      would_window_[i] += share;
+    }
+  }
+  tick();
+  return outcome;
+}
+
+void BenefitPolicy::tick() {
+  if (++events_in_window_ >= options_.window) {
+    close_window();
+    events_in_window_ = 0;
+  }
+}
+
+void BenefitPolicy::evict_lowest_forecast_until_fits() {
+  while (store_.over_capacity()) {
+    const auto resident = store_.resident_objects();
+    DELTA_CHECK(!resident.empty());
+    ObjectId victim = resident.front();
+    double victim_mu = forecast_[static_cast<std::size_t>(victim.value())];
+    for (const ObjectId o : resident) {
+      const double mu = forecast_[static_cast<std::size_t>(o.value())];
+      if (mu < victim_mu || (mu == victim_mu && o < victim)) {
+        victim = o;
+        victim_mu = mu;
+      }
+    }
+    store_.evict(victim);
+    system_->notify_eviction(victim);
+    ++evictions_;
+  }
+}
+
+void BenefitPolicy::close_window() {
+  ++windows_closed_;
+  const std::size_t n = forecast_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const ObjectId o{static_cast<std::int64_t>(i)};
+    const bool cached = store_.contains(o);
+    double b = cached ? saved_window_[i]
+                      : would_window_[i] -
+                            system_->load_cost(o).as_double();
+    b -= update_window_[i];
+    forecast_[i] = (1.0 - options_.alpha) * forecast_[i] +
+                   options_.alpha * b;
+    saved_window_[i] = 0.0;
+    would_window_[i] = 0.0;
+    update_window_[i] = 0.0;
+  }
+
+  // Greedy re-fill: positive forecasts in decreasing order until full.
+  std::vector<std::size_t> ranked(n);
+  std::iota(ranked.begin(), ranked.end(), 0);
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return forecast_[a] > forecast_[b];
+                   });
+  std::unordered_set<ObjectId> selected;
+  Bytes budget = store_.capacity();
+  for (const std::size_t i : ranked) {
+    if (forecast_[i] <= 0.0) break;
+    const ObjectId o{static_cast<std::int64_t>(i)};
+    const Bytes size = system_->server_object_bytes(o);
+    if (size.count() <= 0 || size > budget) continue;
+    selected.insert(o);
+    budget -= size;
+  }
+  // Evict residents that fell out of the selection (no network traffic).
+  for (const ObjectId o : store_.resident_objects()) {
+    if (selected.count(o) == 0) {
+      store_.evict(o);
+      system_->notify_eviction(o);
+      ++evictions_;
+    }
+  }
+  // Load newcomers; already-resident selections stay ("don't have to be
+  // reloaded", §5).
+  for (const ObjectId o : selected) {
+    if (store_.contains(o)) continue;
+    system_->load_object(o);
+    store_.load(o, system_->server_object_bytes(o));
+    ++loads_;
+  }
+}
+
+}  // namespace delta::core

@@ -1,0 +1,152 @@
+#include "core/delta_system.h"
+
+#include "util/check.h"
+
+namespace delta::core {
+
+DeltaSystem::DeltaSystem(const workload::Trace* trace) : trace_(trace) {
+  DELTA_CHECK(trace != nullptr);
+  object_bytes_ = trace->initial_object_bytes;
+  registered_.assign(object_bytes_.size(), 0);
+
+  // The server endpoint answers requests with data-bearing replies; the
+  // cache endpoint receives them. Handlers close over `this` only.
+  transport_.register_endpoint("server", [this](const net::Message& m) {
+    net::Message reply;
+    reply.subject_id = m.subject_id;
+    switch (m.kind) {
+      case net::MessageKind::kQueryRequest: {
+        const auto& q =
+            trace_->queries[static_cast<std::size_t>(m.subject_id)];
+        reply.kind = net::MessageKind::kQueryResult;
+        reply.payload = q.cost;
+        transport_.send("cache", reply, net::Mechanism::kQueryShip);
+        break;
+      }
+      case net::MessageKind::kControl: {
+        // "ship update <id>" request.
+        const auto& u =
+            trace_->updates[static_cast<std::size_t>(m.subject_id)];
+        reply.kind = net::MessageKind::kUpdateShip;
+        reply.payload = u.cost;
+        transport_.send("cache", reply, net::Mechanism::kUpdateShip);
+        break;
+      }
+      case net::MessageKind::kLoadRequest: {
+        const auto idx = checked(ObjectId{m.subject_id});
+        reply.kind = net::MessageKind::kLoadData;
+        reply.payload = object_bytes_[idx] + kLoadOverheadBytes;
+        registered_[idx] = 1;
+        transport_.send("cache", reply, net::Mechanism::kObjectLoad);
+        break;
+      }
+      case net::MessageKind::kInvalidation: {
+        // Cache -> server: eviction notice (re-using the kind for the
+        // reverse coherence direction).
+        const auto idx = checked(ObjectId{m.subject_id});
+        registered_[idx] = 0;
+        break;
+      }
+      default:
+        DELTA_CHECK_MSG(false, "server received unexpected message kind");
+    }
+  });
+
+  transport_.register_endpoint("cache", [this](const net::Message& m) {
+    handle_cache_message(m);
+  });
+}
+
+std::size_t DeltaSystem::checked(ObjectId o) const {
+  DELTA_CHECK(o.valid());
+  const auto idx = static_cast<std::size_t>(o.value());
+  DELTA_CHECK(idx < object_bytes_.size());
+  return idx;
+}
+
+void DeltaSystem::handle_cache_message(const net::Message& m) {
+  // Data-bearing replies mutate nothing here: the calling policy applies
+  // their effects synchronously after the send() returns. Invalidations are
+  // forwarded to the policy's handler.
+  if (m.kind == net::MessageKind::kInvalidation) {
+    DELTA_CHECK(pending_invalidation_ != nullptr);
+    const workload::Update* u = pending_invalidation_;
+    pending_invalidation_ = nullptr;
+    if (invalidation_handler_) invalidation_handler_(*u);
+  }
+}
+
+void DeltaSystem::ingest_update(const workload::Update& u) {
+  const std::size_t idx = checked(u.object);
+  object_bytes_[idx] += u.cost;  // inserts grow the repository object
+  const bool notify =
+      subscription_ == MetadataSubscription::kAll ||
+      (subscription_ == MetadataSubscription::kRegisteredOnly &&
+       registered_[idx] != 0);
+  if (!notify) return;
+  net::Message msg;
+  msg.kind = net::MessageKind::kInvalidation;
+  msg.subject_id = u.id.value();
+  msg.sent_at = u.time;
+  pending_invalidation_ = &u;
+  transport_.send("cache", msg, net::Mechanism::kOverhead);
+}
+
+void DeltaSystem::set_subscription(MetadataSubscription subscription) {
+  subscription_ = subscription;
+}
+
+void DeltaSystem::set_invalidation_handler(
+    std::function<void(const workload::Update&)> handler) {
+  invalidation_handler_ = std::move(handler);
+}
+
+Bytes DeltaSystem::ship_query(const workload::Query& q) {
+  net::Message msg;
+  msg.kind = net::MessageKind::kQueryRequest;
+  msg.subject_id = q.id.value();
+  msg.sent_at = q.time;
+  transport_.send("server", msg, net::Mechanism::kOverhead);
+  return q.cost;  // the QueryResult reply carried ν(q) bytes
+}
+
+Bytes DeltaSystem::ship_update(const workload::Update& u) {
+  net::Message msg;
+  msg.kind = net::MessageKind::kControl;
+  msg.subject_id = u.id.value();
+  msg.sent_at = u.time;
+  transport_.send("server", msg, net::Mechanism::kOverhead);
+  return u.cost;
+}
+
+Bytes DeltaSystem::load_object(ObjectId o) {
+  const std::size_t idx = checked(o);
+  net::Message msg;
+  msg.kind = net::MessageKind::kLoadRequest;
+  msg.subject_id = o.value();
+  transport_.send("server", msg, net::Mechanism::kOverhead);
+  DELTA_CHECK(registered_[idx] == 1);
+  return object_bytes_[idx] + kLoadOverheadBytes;
+}
+
+void DeltaSystem::notify_eviction(ObjectId o) {
+  net::Message msg;
+  msg.kind = net::MessageKind::kInvalidation;
+  msg.subject_id = o.value();
+  transport_.send("server", msg, net::Mechanism::kOverhead);
+  DELTA_CHECK(registered_[checked(o)] == 0);
+}
+
+Bytes DeltaSystem::server_object_bytes(ObjectId o) const {
+  return object_bytes_[checked(o)];
+}
+
+Bytes DeltaSystem::load_cost(ObjectId o) const {
+  return server_object_bytes(o) + kLoadOverheadBytes;
+}
+
+bool DeltaSystem::is_registered(ObjectId o) const {
+  return registered_[checked(o)] != 0;
+}
+
+}  // namespace delta::core

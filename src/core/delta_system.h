@@ -1,0 +1,100 @@
+// DeltaSystem: the wired middleware — a repository (ServerNode) and a cache
+// endpoint joined by a message transport (Figure 1 of the paper).
+//
+// All data movement flows through real messages on the transport, so the
+// TrafficMeter sees exactly what the paper's cost model counts:
+//   query shipping  = QueryRequest (overhead) + QueryResult (ν(q))
+//   update shipping = control request (overhead) + UpdateShip (ν(u))
+//   object loading  = LoadRequest (overhead) + LoadData (l(o))
+// plus Invalidation notices (overhead) from the server's registration-based
+// cache-coherence protocol.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/link_model.h"
+#include "net/transport.h"
+#include "util/types.h"
+#include "workload/trace.h"
+
+namespace delta::core {
+
+/// Which update notices the cache endpoint subscribes to.
+enum class MetadataSubscription : std::uint8_t {
+  kNone,            // NoCache: the cache never hears about updates
+  kRegisteredOnly,  // VCover: invalidations only for loaded objects
+  kAll,             // Replica / Benefit: metadata notices for every update
+};
+
+class DeltaSystem {
+ public:
+  /// Builds the server from the trace's initial object sizes. The trace
+  /// outlives the system.
+  explicit DeltaSystem(const workload::Trace* trace);
+
+  DeltaSystem(const DeltaSystem&) = delete;
+  DeltaSystem& operator=(const DeltaSystem&) = delete;
+
+  // ---- repository-side driver (called by the simulator) ----
+
+  /// Applies an arriving update to the repository and, per the cache's
+  /// subscription, delivers an invalidation notice.
+  void ingest_update(const workload::Update& u);
+
+  // ---- cache-side client API (called by policies) ----
+
+  void set_subscription(MetadataSubscription subscription);
+
+  /// Invoked (synchronously) when an invalidation notice is delivered.
+  void set_invalidation_handler(
+      std::function<void(const workload::Update&)> handler);
+
+  /// Ships the query to the repository; the result (ν(q) bytes) comes back
+  /// as a QueryResult message. Returns the result size.
+  Bytes ship_query(const workload::Query& q);
+
+  /// Requests the update's content; it arrives as an UpdateShip message.
+  /// Returns the content size (ν(u)).
+  Bytes ship_update(const workload::Update& u);
+
+  /// Bulk-loads the object; returns the bytes transferred (current object
+  /// size plus bulk-copy framing). Registers the object for invalidations.
+  Bytes load_object(ObjectId o);
+
+  /// Tells the server the cache dropped the object (stops invalidations).
+  void notify_eviction(ObjectId o);
+
+  // ---- repository state (metadata the cache may query cheaply) ----
+
+  [[nodiscard]] Bytes server_object_bytes(ObjectId o) const;
+  [[nodiscard]] Bytes load_cost(ObjectId o) const;
+  [[nodiscard]] bool is_registered(ObjectId o) const;
+  [[nodiscard]] std::size_t object_count() const {
+    return object_bytes_.size();
+  }
+
+  [[nodiscard]] const net::TrafficMeter& meter() const {
+    return transport_.meter();
+  }
+  [[nodiscard]] const net::LinkModel& link() const { return link_; }
+
+  /// Bulk-copy framing added to every object load.
+  static constexpr Bytes kLoadOverheadBytes{256 * 1024};
+
+ private:
+  const workload::Trace* trace_;
+  net::LoopbackTransport transport_;
+  net::LinkModel link_;
+  std::vector<Bytes> object_bytes_;      // server-side current sizes
+  std::vector<std::uint8_t> registered_; // objects resident at the cache
+  MetadataSubscription subscription_ = MetadataSubscription::kNone;
+  std::function<void(const workload::Update&)> invalidation_handler_;
+  const workload::Update* pending_invalidation_ = nullptr;
+
+  [[nodiscard]] std::size_t checked(ObjectId o) const;
+  void handle_cache_message(const net::Message& m);
+};
+
+}  // namespace delta::core

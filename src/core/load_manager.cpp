@@ -1,0 +1,1 @@
+// LoadManager is header-only; this TU anchors the target.

@@ -1,0 +1,52 @@
+// The cache-policy strategy interface: how the middleware reacts to each
+// arriving query and update. Implementations: VCoverPolicy (the paper's
+// contribution), BenefitPolicy (§5 comparator), and the yardsticks
+// NoCachePolicy / ReplicaPolicy / SOptimalPolicy (§6.1).
+#pragma once
+
+#include <vector>
+
+#include "util/types.h"
+#include "workload/events.h"
+
+namespace delta::core {
+
+/// How a query was satisfied, with enough detail for the latency model.
+struct QueryOutcome {
+  enum class Path : std::uint8_t {
+    kCacheFresh,         // answered at cache, no update wait
+    kCacheAfterUpdates,  // answered at cache after shipping updates
+    kShipped,            // routed to the repository
+  };
+  Path path = Path::kShipped;
+  /// Largest single update shipped synchronously for this query (drives the
+  /// response-time proxy: updates ship in parallel).
+  Bytes max_update_bytes;
+  /// Total update bytes shipped by this query's cover decision.
+  Bytes updates_shipped_bytes;
+  /// Result bytes if the query was shipped (ν(q)); zero otherwise.
+  Bytes result_bytes;
+  /// Objects loaded in the background because of this query.
+  int objects_loaded = 0;
+  /// Updates shipped by this query's cover decision (empty for policies
+  /// that ship updates on arrival). Used by the currency-invariant tests.
+  std::vector<UpdateId> shipped_update_ids;
+};
+
+class CachePolicy {
+ public:
+  virtual ~CachePolicy() = default;
+
+  /// An update arrived at the repository (the simulator has already applied
+  /// it server-side). The policy reacts per its design: ship it, record it
+  /// as outstanding, or ignore it.
+  virtual void on_update(const workload::Update& u) = 0;
+
+  /// A query arrived at the cache; the policy must satisfy it within its
+  /// currency requirement and report how.
+  virtual QueryOutcome on_query(const workload::Query& q) = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+}  // namespace delta::core

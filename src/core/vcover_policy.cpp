@@ -1,0 +1,140 @@
+#include "core/vcover_policy.h"
+
+#include <algorithm>
+
+#include "cache/gds.h"
+#include "cache/lru.h"
+#include "util/check.h"
+
+namespace delta::core {
+
+VCoverPolicy::VCoverPolicy(DeltaSystem* system, const VCoverOptions& options)
+    : system_(system),
+      options_(options),
+      store_(options.cache_capacity),
+      update_manager_(options.remember_shipped_queries),
+      load_manager_(options.loading, util::Rng{options.rng_seed}) {
+  DELTA_CHECK(system != nullptr);
+  if (options_.use_lru) {
+    evictor_ = std::make_unique<cache::LruPolicy>(&store_);
+  } else {
+    evictor_ = std::make_unique<cache::GreedyDualSize>(&store_);
+  }
+  system_->set_subscription(MetadataSubscription::kRegisteredOnly);
+  system_->set_invalidation_handler(
+      [this](const workload::Update& u) { on_update(u); });
+}
+
+void VCoverPolicy::on_update(const workload::Update& u) {
+  // Invalidations arrive only for registered (resident) objects.
+  DELTA_CHECK_MSG(store_.contains(u.object),
+                  "invalidation for non-resident object");
+  if (options_.preship) {
+    const auto it = heat_.find(u.object);
+    if (it != heat_.end() &&
+        it->second >= options_.preship_heat_threshold) {
+      // Hot object: push the content proactively so the next
+      // currency-constrained query needn't wait.
+      system_->ship_update(u);
+      store_.grow(u.object, u.cost);
+      ++preshipped_;
+      shed_overflow();
+      return;
+    }
+  }
+  update_manager_.add_outstanding(u);
+  store_.mark_stale(u.object);
+}
+
+void VCoverPolicy::evict_object(ObjectId o) {
+  churn_log_.push_back({now_, o, store_.bytes_of(o), false});
+  store_.evict(o);
+  update_manager_.drop_object(o);
+  load_manager_.forget(o);
+  heat_.erase(o);
+  system_->notify_eviction(o);
+  ++evictions_;
+}
+
+void VCoverPolicy::shed_overflow() {
+  if (!store_.over_capacity()) return;
+  for (const ObjectId victim : evictor_->shed_overflow()) {
+    evict_object(victim);
+  }
+  DELTA_CHECK(!store_.over_capacity());
+}
+
+void VCoverPolicy::apply_batch(
+    const std::vector<cache::LoadCandidate>& batch, QueryOutcome& outcome) {
+  const cache::BatchDecision decision = evictor_->decide_batch(batch);
+  for (const ObjectId victim : decision.evict) {
+    evict_object(victim);
+  }
+  for (const ObjectId o : decision.load) {
+    const Bytes size = system_->server_object_bytes(o);
+    system_->load_object(o);  // LoadData message: size + framing
+    store_.load(o, size);     // enters fresh, with all updates folded in
+    churn_log_.push_back({now_, o, size, true});
+    load_manager_.forget(o);
+    ++loads_;
+    ++outcome.objects_loaded;
+  }
+}
+
+QueryOutcome VCoverPolicy::on_query(const workload::Query& q) {
+  now_ = q.time;
+  QueryOutcome outcome;
+  std::vector<ObjectId> missing;
+  for (const ObjectId o : q.objects) {
+    if (!store_.contains(o)) missing.push_back(o);
+  }
+
+  if (missing.empty()) {
+    // All objects cached: UpdateManager chooses between shipping the query
+    // and shipping its interacting updates (Fig. 4).
+    const UpdateManager::Decision decision = update_manager_.decide(q);
+    for (const workload::Update* u : decision.ship_updates) {
+      system_->ship_update(*u);
+      store_.grow(u->object, u->cost);
+      outcome.updates_shipped_bytes += u->cost;
+      outcome.max_update_bytes = std::max(outcome.max_update_bytes, u->cost);
+      outcome.shipped_update_ids.push_back(u->id);
+      if (!update_manager_.is_stale(u->object)) {
+        store_.mark_fresh(u->object);
+      }
+    }
+    if (decision.ship_query) {
+      outcome.path = QueryOutcome::Path::kShipped;
+      outcome.result_bytes = system_->ship_query(q);
+    } else {
+      outcome.path = decision.ship_updates.empty()
+                         ? QueryOutcome::Path::kCacheFresh
+                         : QueryOutcome::Path::kCacheAfterUpdates;
+      ++cache_answers_;
+      for (const ObjectId o : q.objects) {
+        evictor_->on_access(o);
+        if (options_.preship) {
+          double& h = heat_[o];
+          h = h * options_.preship_heat_decay + 1.0;
+        }
+      }
+    }
+    shed_overflow();  // shipped updates may have grown past capacity
+    return outcome;
+  }
+
+  // At least one object missing: ship the query, then decide loads in the
+  // background (Fig. 3 lines 6-8).
+  outcome.path = QueryOutcome::Path::kShipped;
+  outcome.result_bytes = system_->ship_query(q);
+  const LoadManager::Proposal proposal = load_manager_.consider(
+      q, std::move(missing),
+      [this](ObjectId o) { return system_->server_object_bytes(o); },
+      [this](ObjectId o) { return system_->load_cost(o); });
+  for (const auto& batch : proposal.batches) {
+    apply_batch(batch, outcome);
+  }
+  return outcome;
+}
+
+}  // namespace delta::core

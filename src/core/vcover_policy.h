@@ -1,0 +1,89 @@
+// VCoverPolicy: the paper's algorithm (Fig. 3) assembled from its two
+// modules. Queries whose objects are all cached go to the UpdateManager
+// (incremental vertex-cover decision between query shipping and update
+// shipping); queries touching missing objects are shipped and handed to the
+// LoadManager (randomized bypass-caching admission over lazy GDS).
+//
+// The optional preshipping extension (§4 Discussion) proactively ships
+// updates for "hot" cached objects on arrival, trading a little traffic for
+// lower response times on currency-constrained queries.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "cache/cache_store.h"
+#include "cache/eviction_policy.h"
+#include "core/delta_system.h"
+#include "core/load_manager.h"
+#include "core/policy.h"
+#include "core/update_manager.h"
+#include "util/rng.h"
+
+namespace delta::core {
+
+struct VCoverOptions {
+  Bytes cache_capacity;
+  LoadManager::Options loading;
+  /// Remainder-rule memory for shipped queries (ablation A4 turns it off).
+  bool remember_shipped_queries = true;
+  /// Object caching algorithm: Greedy-Dual-Size (paper) or LRU (ablation).
+  bool use_lru = false;
+  /// Preshipping extension (E1).
+  bool preship = false;
+  double preship_heat_threshold = 3.0;
+  double preship_heat_decay = 0.98;
+  std::uint64_t rng_seed = 0xD517A;
+};
+
+class VCoverPolicy final : public CachePolicy {
+ public:
+  VCoverPolicy(DeltaSystem* system, const VCoverOptions& options);
+
+  void on_update(const workload::Update& u) override;
+  QueryOutcome on_query(const workload::Query& q) override;
+  [[nodiscard]] const char* name() const override { return "VCover"; }
+
+  // ---- introspection for tests / ablation benches ----
+  [[nodiscard]] const cache::CacheStore& store() const { return store_; }
+  [[nodiscard]] const UpdateManager& update_manager() const {
+    return update_manager_;
+  }
+  [[nodiscard]] std::int64_t loads() const { return loads_; }
+  [[nodiscard]] std::int64_t evictions() const { return evictions_; }
+  [[nodiscard]] std::int64_t cache_answers() const { return cache_answers_; }
+  [[nodiscard]] std::int64_t preshipped() const { return preshipped_; }
+
+  /// Load/eviction timeline (diagnostics for the loading ablations).
+  struct ChurnEntry {
+    EventTime time = 0;
+    ObjectId object;
+    Bytes bytes;
+    bool is_load = false;
+  };
+  [[nodiscard]] const std::vector<ChurnEntry>& churn_log() const {
+    return churn_log_;
+  }
+
+ private:
+  DeltaSystem* system_;
+  VCoverOptions options_;
+  cache::CacheStore store_;
+  std::unique_ptr<cache::EvictionPolicy> evictor_;
+  UpdateManager update_manager_;
+  LoadManager load_manager_;
+  std::unordered_map<ObjectId, double> heat_;  // preship popularity signal
+  std::int64_t loads_ = 0;
+  std::int64_t evictions_ = 0;
+  std::int64_t cache_answers_ = 0;
+  std::int64_t preshipped_ = 0;
+  std::vector<ChurnEntry> churn_log_;
+  EventTime now_ = 0;
+
+  void evict_object(ObjectId o);
+  void shed_overflow();
+  void apply_batch(const std::vector<cache::LoadCandidate>& batch,
+                   QueryOutcome& outcome);
+};
+
+}  // namespace delta::core

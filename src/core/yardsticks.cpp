@@ -1,0 +1,260 @@
+#include "core/yardsticks.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace delta::core {
+
+// ---------------------------------------------------------------- NoCache
+
+NoCachePolicy::NoCachePolicy(DeltaSystem* system) : system_(system) {
+  DELTA_CHECK(system != nullptr);
+  system_->set_subscription(MetadataSubscription::kNone);
+}
+
+void NoCachePolicy::on_update(const workload::Update&) {
+  // Without a cache there is nothing to keep current.
+}
+
+QueryOutcome NoCachePolicy::on_query(const workload::Query& q) {
+  QueryOutcome outcome;
+  outcome.path = QueryOutcome::Path::kShipped;
+  outcome.result_bytes = system_->ship_query(q);
+  return outcome;
+}
+
+// ---------------------------------------------------------------- Replica
+
+ReplicaPolicy::ReplicaPolicy(DeltaSystem* system) : system_(system) {
+  DELTA_CHECK(system != nullptr);
+  system_->set_subscription(MetadataSubscription::kAll);
+  system_->set_invalidation_handler(
+      [this](const workload::Update& u) { on_update(u); });
+}
+
+void ReplicaPolicy::on_update(const workload::Update& u) {
+  // Full replica: every update is propagated as soon as it arrives.
+  system_->ship_update(u);
+}
+
+QueryOutcome ReplicaPolicy::on_query(const workload::Query&) {
+  QueryOutcome outcome;
+  outcome.path = QueryOutcome::Path::kCacheFresh;
+  return outcome;
+}
+
+// --------------------------------------------------------------- SOptimal
+
+namespace {
+
+struct HindsightStats {
+  std::vector<double> saved;       // proportional query savings
+  std::vector<double> update_cost; // total ν(u) per object
+  std::vector<Bytes> final_size;   // initial size + all update growth
+};
+
+HindsightStats hindsight(const DeltaSystem& system,
+                         const workload::Trace& trace) {
+  const std::size_t n = trace.initial_object_bytes.size();
+  HindsightStats s;
+  s.saved.assign(n, 0.0);
+  s.update_cost.assign(n, 0.0);
+  s.final_size = trace.initial_object_bytes;
+  (void)system;
+  for (const workload::Update& u : trace.updates) {
+    const auto i = static_cast<std::size_t>(u.object.value());
+    s.update_cost[i] += u.cost.as_double();
+    s.final_size[i] += u.cost;
+  }
+  for (const workload::Query& q : trace.queries) {
+    double size_sum = 0.0;
+    for (const ObjectId o : q.objects) {
+      size_sum +=
+          trace.initial_object_bytes[static_cast<std::size_t>(o.value())]
+              .as_double();
+    }
+    if (size_sum <= 0.0) continue;
+    for (const ObjectId o : q.objects) {
+      const auto i = static_cast<std::size_t>(o.value());
+      s.saved[i] += q.cost.as_double() *
+                    trace.initial_object_bytes[i].as_double() / size_sum;
+    }
+  }
+  return s;
+}
+
+/// Exact replay cost of a static set: shipped queries + updates on the set
+/// + up-front loads. Used by the local-search refinement (ablation A5).
+class StaticSetEvaluator {
+ public:
+  StaticSetEvaluator(const workload::Trace& trace,
+                     const std::vector<Bytes>& load_costs)
+      : trace_(&trace), load_costs_(&load_costs) {
+    const std::size_t n = trace.initial_object_bytes.size();
+    object_queries_.resize(n);
+    missing_.assign(trace.queries.size(), 0);
+    update_cost_.assign(n, 0.0);
+    for (std::size_t qi = 0; qi < trace.queries.size(); ++qi) {
+      for (const ObjectId o : trace.queries[qi].objects) {
+        object_queries_[static_cast<std::size_t>(o.value())].push_back(qi);
+      }
+      missing_[qi] =
+          static_cast<std::int32_t>(trace.queries[qi].objects.size());
+      cost_ += trace.queries[qi].cost.as_double();
+    }
+    for (const workload::Update& u : trace.updates) {
+      update_cost_[static_cast<std::size_t>(u.object.value())] +=
+          u.cost.as_double();
+    }
+    in_set_.assign(n, false);
+  }
+
+  [[nodiscard]] double cost() const { return cost_; }
+  [[nodiscard]] bool contains(std::size_t o) const { return in_set_[o]; }
+
+  void add(std::size_t o) {
+    DELTA_CHECK(!in_set_[o]);
+    in_set_[o] = true;
+    cost_ += (*load_costs_)[o].as_double() + update_cost_[o];
+    for (const std::size_t qi : object_queries_[o]) {
+      if (--missing_[qi] == 0) {
+        cost_ -= trace_->queries[qi].cost.as_double();
+      }
+    }
+  }
+
+  void remove(std::size_t o) {
+    DELTA_CHECK(in_set_[o]);
+    in_set_[o] = false;
+    cost_ -= (*load_costs_)[o].as_double() + update_cost_[o];
+    for (const std::size_t qi : object_queries_[o]) {
+      if (missing_[qi]++ == 0) {
+        cost_ += trace_->queries[qi].cost.as_double();
+      }
+    }
+  }
+
+ private:
+  const workload::Trace* trace_;
+  const std::vector<Bytes>* load_costs_;
+  std::vector<std::vector<std::size_t>> object_queries_;
+  std::vector<std::int32_t> missing_;
+  std::vector<double> update_cost_;
+  std::vector<bool> in_set_;
+  double cost_ = 0.0;
+};
+
+}  // namespace
+
+std::unordered_set<ObjectId> SOptimalPolicy::choose_set(
+    const DeltaSystem& system, const workload::Trace& trace,
+    const SOptimalOptions& options) {
+  const std::size_t n = trace.initial_object_bytes.size();
+  const HindsightStats stats = hindsight(system, trace);
+  std::vector<Bytes> load_costs(n);
+  std::vector<double> net(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    load_costs[i] =
+        trace.initial_object_bytes[i] + DeltaSystem::kLoadOverheadBytes;
+    net[i] = stats.saved[i] - stats.update_cost[i] -
+             load_costs[i].as_double();
+  }
+  std::vector<std::size_t> ranked(n);
+  std::iota(ranked.begin(), ranked.end(), 0);
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return net[a] > net[b];
+                   });
+
+  // Greedy fill by final sizes (the set must fit even after growth; the
+  // static yardstick never evicts).
+  std::unordered_set<ObjectId> chosen;
+  std::vector<bool> selected(n, false);
+  Bytes budget = options.cache_capacity;
+  for (const std::size_t i : ranked) {
+    if (net[i] <= 0.0) break;
+    if (trace.initial_object_bytes[i].count() <= 0) continue;
+    if (stats.final_size[i] > budget) continue;
+    selected[i] = true;
+    chosen.insert(ObjectId{static_cast<std::int64_t>(i)});
+    budget -= stats.final_size[i];
+  }
+  if (!options.local_search) return chosen;
+
+  // Ablation A5: add/drop hill-climbing against the exact replay cost.
+  StaticSetEvaluator eval{trace, load_costs};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (selected[i]) eval.add(i);
+  }
+  for (int pass = 0; pass < 30; ++pass) {
+    bool improved = false;
+    for (const std::size_t i : ranked) {
+      if (trace.initial_object_bytes[i].count() <= 0) continue;
+      const double before = eval.cost();
+      if (selected[i]) {
+        eval.remove(i);
+        if (eval.cost() + 1e-6 < before) {
+          selected[i] = false;
+          budget += stats.final_size[i];
+          improved = true;
+        } else {
+          eval.add(i);
+        }
+      } else if (stats.final_size[i] <= budget) {
+        eval.add(i);
+        if (eval.cost() + 1e-6 < before) {
+          selected[i] = true;
+          budget -= stats.final_size[i];
+          improved = true;
+        } else {
+          eval.remove(i);
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  chosen.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (selected[i]) chosen.insert(ObjectId{static_cast<std::int64_t>(i)});
+  }
+  return chosen;
+}
+
+SOptimalPolicy::SOptimalPolicy(DeltaSystem* system,
+                               const workload::Trace* trace,
+                               const SOptimalOptions& options)
+    : system_(system) {
+  DELTA_CHECK(system != nullptr);
+  DELTA_CHECK(trace != nullptr);
+  chosen_ = choose_set(*system, *trace, options);
+  system_->set_subscription(MetadataSubscription::kRegisteredOnly);
+  system_->set_invalidation_handler(
+      [this](const workload::Update& u) { on_update(u); });
+  // Load the static set up front — at event zero, inside the warm-up
+  // window, exactly as the paper implements it.
+  for (const ObjectId o : chosen_) {
+    system_->load_object(o);
+  }
+}
+
+void SOptimalPolicy::on_update(const workload::Update& u) {
+  DELTA_CHECK(chosen_.count(u.object) > 0);
+  system_->ship_update(u);  // keep the static set current
+}
+
+QueryOutcome SOptimalPolicy::on_query(const workload::Query& q) {
+  QueryOutcome outcome;
+  for (const ObjectId o : q.objects) {
+    if (chosen_.count(o) == 0) {
+      outcome.path = QueryOutcome::Path::kShipped;
+      outcome.result_bytes = system_->ship_query(q);
+      return outcome;
+    }
+  }
+  outcome.path = QueryOutcome::Path::kCacheFresh;
+  return outcome;
+}
+
+}  // namespace delta::core

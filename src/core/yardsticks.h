@@ -1,0 +1,78 @@
+// The three yardstick policies of §6.1:
+//   NoCache  — ship every query; an algorithm doing worse is useless.
+//   Replica  — full copy kept current by shipping every update (load costs
+//              and cache capacity ignored, as in the paper).
+//   SOptimal — the best *static* object set chosen with hindsight over the
+//              whole trace (Benefit's rule with one trace-sized window,
+//              offline); loads everything up front, never evicts. An online
+//              algorithm close to it is outstanding.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/delta_system.h"
+#include "core/policy.h"
+#include "workload/trace.h"
+
+namespace delta::core {
+
+class NoCachePolicy final : public CachePolicy {
+ public:
+  explicit NoCachePolicy(DeltaSystem* system);
+
+  void on_update(const workload::Update& u) override;
+  QueryOutcome on_query(const workload::Query& q) override;
+  [[nodiscard]] const char* name() const override { return "NoCache"; }
+
+ private:
+  DeltaSystem* system_;
+};
+
+class ReplicaPolicy final : public CachePolicy {
+ public:
+  explicit ReplicaPolicy(DeltaSystem* system);
+
+  void on_update(const workload::Update& u) override;
+  QueryOutcome on_query(const workload::Query& q) override;
+  [[nodiscard]] const char* name() const override { return "Replica"; }
+
+ private:
+  DeltaSystem* system_;
+};
+
+struct SOptimalOptions {
+  Bytes cache_capacity;
+  /// The default refines the hindsight ranking with add/drop passes against
+  /// the exact replay cost, keeping the yardstick genuinely strong ("an
+  /// online algorithm close to SOptimal is outstanding"). Ablation A5 turns
+  /// this off to get the paper's literal Benefit-one-window ranking.
+  bool local_search = true;
+};
+
+class SOptimalPolicy final : public CachePolicy {
+ public:
+  /// Inspects the whole trace up front (it is an offline yardstick) and
+  /// loads its chosen set immediately — before any event, i.e. within the
+  /// warm-up window.
+  SOptimalPolicy(DeltaSystem* system, const workload::Trace* trace,
+                 const SOptimalOptions& options);
+
+  void on_update(const workload::Update& u) override;
+  QueryOutcome on_query(const workload::Query& q) override;
+  [[nodiscard]] const char* name() const override { return "SOptimal"; }
+
+  [[nodiscard]] const std::unordered_set<ObjectId>& chosen() const {
+    return chosen_;
+  }
+
+ private:
+  DeltaSystem* system_;
+  std::unordered_set<ObjectId> chosen_;
+
+  static std::unordered_set<ObjectId> choose_set(
+      const DeltaSystem& system, const workload::Trace& trace,
+      const SOptimalOptions& options);
+};
+
+}  // namespace delta::core

@@ -1,0 +1,313 @@
+#include "flow/bipartite_cover.h"
+
+#include <algorithm>
+
+namespace delta::flow {
+
+BipartiteCoverSolver::BipartiteCoverSolver()
+    : source_(net_.add_node()),
+      sink_(net_.add_node()),
+      solver_(net_, source_, sink_) {
+  ensure_slot(sink_);
+  side_[static_cast<std::size_t>(source_)] = Side::kFree;
+  side_[static_cast<std::size_t>(sink_)] = Side::kFree;
+}
+
+void BipartiteCoverSolver::ensure_slot(NodeIndex v) {
+  const auto need = static_cast<std::size_t>(v) + 1;
+  if (side_.size() < need) {
+    side_.resize(need, Side::kFree);
+    generation_.resize(need, 0);
+    anchor_edge_.resize(need, kNoEdge);
+  }
+}
+
+void BipartiteCoverSolver::check_handle(NodeIndex v, std::uint32_t gen,
+                                        Side side) const {
+  DELTA_CHECK_MSG(v >= 0 && static_cast<std::size_t>(v) < side_.size(),
+                  "stale or invalid vertex handle");
+  DELTA_CHECK_MSG(side_[static_cast<std::size_t>(v)] == side,
+                  "vertex handle side mismatch");
+  DELTA_CHECK_MSG(generation_[static_cast<std::size_t>(v)] == gen,
+                  "vertex handle generation mismatch (node was removed)");
+}
+
+BipartiteCoverSolver::UpdateNode BipartiteCoverSolver::add_update(
+    Capacity weight) {
+  DELTA_CHECK(weight > 0);
+  const NodeIndex v = net_.add_node();
+  ensure_slot(v);
+  side_[static_cast<std::size_t>(v)] = Side::kUpdate;
+  anchor_edge_[static_cast<std::size_t>(v)] = net_.add_edge(source_, v, weight);
+  ++update_count_;
+  cover_fresh_ = false;
+  return UpdateNode{v, generation_[static_cast<std::size_t>(v)]};
+}
+
+BipartiteCoverSolver::QueryNode BipartiteCoverSolver::add_query(
+    Capacity weight) {
+  DELTA_CHECK(weight > 0);
+  const NodeIndex v = net_.add_node();
+  ensure_slot(v);
+  side_[static_cast<std::size_t>(v)] = Side::kQuery;
+  anchor_edge_[static_cast<std::size_t>(v)] = net_.add_edge(v, sink_, weight);
+  ++query_count_;
+  cover_fresh_ = false;
+  return QueryNode{v, generation_[static_cast<std::size_t>(v)]};
+}
+
+void BipartiteCoverSolver::connect(UpdateNode u, QueryNode q) {
+  check_handle(u.index, u.generation, Side::kUpdate);
+  check_handle(q.index, q.generation, Side::kQuery);
+  net_.add_edge(u.index, q.index, kInfiniteCapacity);
+  cover_fresh_ = false;
+}
+
+void BipartiteCoverSolver::add_weight(QueryNode q, Capacity delta) {
+  check_handle(q.index, q.generation, Side::kQuery);
+  DELTA_CHECK(delta > 0);
+  const EdgeId anchor = anchor_edge_[static_cast<std::size_t>(q.index)];
+  net_.set_capacity(anchor, net_.edge(anchor).cap + delta);
+  cover_fresh_ = false;
+}
+
+void BipartiteCoverSolver::add_weight(UpdateNode u, Capacity delta) {
+  check_handle(u.index, u.generation, Side::kUpdate);
+  DELTA_CHECK(delta > 0);
+  const EdgeId anchor = anchor_edge_[static_cast<std::size_t>(u.index)];
+  net_.set_capacity(anchor, net_.edge(anchor).cap + delta);
+  cover_fresh_ = false;
+}
+
+Capacity BipartiteCoverSolver::weight(QueryNode q) const {
+  check_handle(q.index, q.generation, Side::kQuery);
+  return net_.edge(anchor_edge_[static_cast<std::size_t>(q.index)]).cap;
+}
+
+Capacity BipartiteCoverSolver::weight(UpdateNode u) const {
+  check_handle(u.index, u.generation, Side::kUpdate);
+  return net_.edge(anchor_edge_[static_cast<std::size_t>(u.index)]).cap;
+}
+
+std::size_t BipartiteCoverSolver::degree(QueryNode q) const {
+  check_handle(q.index, q.generation, Side::kQuery);
+  std::size_t n = 0;
+  for (EdgeId e = net_.first_edge(q.index); e != kNoEdge;
+       e = net_.edge(e).next) {
+    // q's incident list holds its q->t anchor (cap > 0) plus the reverse
+    // (cap == 0) of every interaction edge u->q.
+    if (net_.edge(e).cap == 0) ++n;
+  }
+  return n;
+}
+
+std::size_t BipartiteCoverSolver::degree(UpdateNode u) const {
+  check_handle(u.index, u.generation, Side::kUpdate);
+  std::size_t n = 0;
+  for (EdgeId e = net_.first_edge(u.index); e != kNoEdge;
+       e = net_.edge(e).next) {
+    // u's incident list holds the reverse (cap == 0) of its s->u anchor plus
+    // every forward interaction edge u->q (cap > 0).
+    if (net_.edge(e).cap > 0) ++n;
+  }
+  return n;
+}
+
+bool BipartiteCoverSolver::alive(QueryNode q) const {
+  return q.index >= 0 && static_cast<std::size_t>(q.index) < side_.size() &&
+         side_[static_cast<std::size_t>(q.index)] == Side::kQuery &&
+         generation_[static_cast<std::size_t>(q.index)] == q.generation;
+}
+
+bool BipartiteCoverSolver::alive(UpdateNode u) const {
+  return u.index >= 0 && static_cast<std::size_t>(u.index) < side_.size() &&
+         side_[static_cast<std::size_t>(u.index)] == Side::kUpdate &&
+         generation_[static_cast<std::size_t>(u.index)] == u.generation;
+}
+
+void BipartiteCoverSolver::remove_update(UpdateNode u) {
+  check_handle(u.index, u.generation, Side::kUpdate);
+  const EdgeId anchor = anchor_edge_[static_cast<std::size_t>(u.index)];
+  // Cancel the flow routed through u: every unit entering via s->u leaves on
+  // some interaction edge u->q and then on q's anchor q->t. Walking the
+  // interaction edges and backing their flow out of the affected query
+  // anchors restores a feasible (smaller) flow with u flow-free.
+  Capacity cancelled = 0;
+  for (EdgeId e = net_.first_edge(u.index); e != kNoEdge;
+       e = net_.edge(e).next) {
+    const auto& ed = net_.edge(e);
+    if (ed.cap == 0) continue;  // the u->s reverse of the anchor
+    const Capacity phi = ed.flow;
+    if (phi <= 0) continue;
+    const NodeIndex q = ed.to;
+    net_.add_flow(e, -phi);
+    net_.add_flow(anchor_edge_[static_cast<std::size_t>(q)], -phi);
+    cancelled += phi;
+  }
+  DELTA_CHECK_MSG(net_.edge(anchor).flow == cancelled,
+                  "flow conservation broken at removed update vertex");
+  net_.add_flow(anchor, -cancelled);
+  net_.remove_node(u.index);
+  side_[static_cast<std::size_t>(u.index)] = Side::kFree;
+  ++generation_[static_cast<std::size_t>(u.index)];
+  anchor_edge_[static_cast<std::size_t>(u.index)] = kNoEdge;
+  --update_count_;
+  cover_fresh_ = false;
+}
+
+void BipartiteCoverSolver::remove_query(QueryNode q) {
+  check_handle(q.index, q.generation, Side::kQuery);
+  DELTA_CHECK_MSG(degree(q) == 0,
+                  "remove_query requires an isolated query vertex");
+  const EdgeId anchor = anchor_edge_[static_cast<std::size_t>(q.index)];
+  DELTA_CHECK_MSG(net_.edge(anchor).flow == 0,
+                  "isolated query vertex still carries flow");
+  net_.remove_node(q.index);
+  side_[static_cast<std::size_t>(q.index)] = Side::kFree;
+  ++generation_[static_cast<std::size_t>(q.index)];
+  anchor_edge_[static_cast<std::size_t>(q.index)] = kNoEdge;
+  --query_count_;
+  cover_fresh_ = false;
+}
+
+void BipartiteCoverSolver::remove_query_force(QueryNode q) {
+  check_handle(q.index, q.generation, Side::kQuery);
+  const EdgeId anchor = anchor_edge_[static_cast<std::size_t>(q.index)];
+  // Cancel flow along every s -> u -> q path through this vertex.
+  Capacity cancelled = 0;
+  for (EdgeId e = net_.first_edge(q.index); e != kNoEdge;
+       e = net_.edge(e).next) {
+    const auto& ed = net_.edge(e);
+    if (ed.cap > 0) continue;  // the q->t anchor itself
+    // Reverse of an interaction edge u->q; its flow is -flow(u->q).
+    const Capacity phi = -ed.flow;
+    if (phi <= 0) continue;
+    const NodeIndex u = ed.to;
+    net_.add_flow(e ^ 1, -phi);  // the forward u->q edge
+    net_.add_flow(anchor_edge_[static_cast<std::size_t>(u)], -phi);
+    cancelled += phi;
+  }
+  DELTA_CHECK_MSG(net_.edge(anchor).flow == cancelled,
+                  "flow conservation broken at removed query vertex");
+  net_.add_flow(anchor, -cancelled);
+  net_.remove_node(q.index);
+  side_[static_cast<std::size_t>(q.index)] = Side::kFree;
+  ++generation_[static_cast<std::size_t>(q.index)];
+  anchor_edge_[static_cast<std::size_t>(q.index)] = kNoEdge;
+  --query_count_;
+  cover_fresh_ = false;
+}
+
+std::vector<BipartiteCoverSolver::QueryNode> BipartiteCoverSolver::neighbors(
+    UpdateNode u) const {
+  check_handle(u.index, u.generation, Side::kUpdate);
+  std::vector<QueryNode> out;
+  for (EdgeId e = net_.first_edge(u.index); e != kNoEdge;
+       e = net_.edge(e).next) {
+    const auto& ed = net_.edge(e);
+    if (ed.cap == 0) continue;  // the u->s anchor reverse
+    out.push_back(
+        QueryNode{ed.to, generation_[static_cast<std::size_t>(ed.to)]});
+  }
+  return out;
+}
+
+std::vector<BipartiteCoverSolver::UpdateNode> BipartiteCoverSolver::neighbors(
+    QueryNode q) const {
+  check_handle(q.index, q.generation, Side::kQuery);
+  std::vector<UpdateNode> out;
+  for (EdgeId e = net_.first_edge(q.index); e != kNoEdge;
+       e = net_.edge(e).next) {
+    const auto& ed = net_.edge(e);
+    if (ed.cap > 0) continue;  // the q->t anchor
+    out.push_back(
+        UpdateNode{ed.to, generation_[static_cast<std::size_t>(ed.to)]});
+  }
+  return out;
+}
+
+BipartiteCoverSolver::Cover BipartiteCoverSolver::compute() {
+  solver_.run_to_max();
+  solver_.compute_reachability();
+  cover_fresh_ = true;
+
+  Cover cover;
+  // Update vertices hang off the source's adjacency list (forward anchors).
+  for (EdgeId e = net_.first_edge(source_); e != kNoEdge;
+       e = net_.edge(e).next) {
+    const auto& ed = net_.edge(e);
+    DELTA_DCHECK(ed.cap > 0);
+    const NodeIndex u = ed.to;
+    if (!solver_.reachable(u)) {
+      cover.updates.push_back(
+          UpdateNode{u, generation_[static_cast<std::size_t>(u)]});
+      cover.weight += ed.cap;
+    }
+  }
+  // Query vertices hang off the sink's adjacency list (anchor reverses).
+  for (EdgeId e = net_.first_edge(sink_); e != kNoEdge;
+       e = net_.edge(e).next) {
+    const auto& ed = net_.edge(e);
+    DELTA_DCHECK(ed.cap == 0);
+    const NodeIndex q = ed.to;
+    if (solver_.reachable(q)) {
+      const EdgeId anchor = anchor_edge_[static_cast<std::size_t>(q)];
+      cover.queries.push_back(
+          QueryNode{q, generation_[static_cast<std::size_t>(q)]});
+      cover.weight += net_.edge(anchor).cap;
+    }
+  }
+  DELTA_CHECK_MSG(cover.weight == current_flow(),
+                  "min-cut/max-flow duality violated: cover weight "
+                      << cover.weight << " vs flow " << current_flow());
+  return cover;
+}
+
+bool BipartiteCoverSolver::in_last_cover(UpdateNode u) const {
+  DELTA_CHECK_MSG(cover_fresh_, "cover queried after the graph changed");
+  check_handle(u.index, u.generation, Side::kUpdate);
+  return !solver_.reachable(u.index);
+}
+
+bool BipartiteCoverSolver::in_last_cover(QueryNode q) const {
+  DELTA_CHECK_MSG(cover_fresh_, "cover queried after the graph changed");
+  check_handle(q.index, q.generation, Side::kQuery);
+  return solver_.reachable(q.index);
+}
+
+std::size_t BipartiteCoverSolver::interaction_count() const {
+  return net_.active_edge_count() - update_count_ - query_count_;
+}
+
+Capacity BipartiteCoverSolver::current_flow() const {
+  return net_.outflow(source_);
+}
+
+bool BipartiteCoverSolver::last_cover_is_valid() const {
+  if (!cover_fresh_) return false;
+  Capacity weight = 0;
+  for (EdgeId e = net_.first_edge(source_); e != kNoEdge;
+       e = net_.edge(e).next) {
+    const NodeIndex u = net_.edge(e).to;
+    const bool u_in_cover = !solver_.reachable(u);
+    if (u_in_cover) weight += net_.edge(e).cap;
+    // Every interaction edge u->q must be covered.
+    for (EdgeId ie = net_.first_edge(u); ie != kNoEdge;
+         ie = net_.edge(ie).next) {
+      const auto& ied = net_.edge(ie);
+      if (ied.cap == 0) continue;
+      const bool q_in_cover = solver_.reachable(ied.to);
+      if (!u_in_cover && !q_in_cover) return false;
+    }
+  }
+  for (EdgeId e = net_.first_edge(sink_); e != kNoEdge;
+       e = net_.edge(e).next) {
+    const NodeIndex q = net_.edge(e).to;
+    if (solver_.reachable(q)) {
+      weight += net_.edge(anchor_edge_[static_cast<std::size_t>(q)]).cap;
+    }
+  }
+  return weight == net_.outflow(source_);
+}
+
+}  // namespace delta::flow

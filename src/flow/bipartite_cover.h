@@ -1,0 +1,151 @@
+// Incremental minimum-weight vertex cover on a bipartite graph, via max-flow
+// min-cut. This realizes Theorem 1 of the paper: for the internal interaction
+// graph over cached objects, the optimal ship-queries-vs-ship-updates choice
+// is the min-weight vertex cover, computable in polynomial time because the
+// graph is bipartite (query nodes on one side, update nodes on the other).
+//
+// Construction (Hochbaum): source s -> update u with capacity w(u);
+// update u -> query q with infinite capacity for each interaction;
+// query q -> sink t with capacity w(q). After computing max flow, with S the
+// set of nodes residual-reachable from s, the minimum-weight cover is
+//   { u : u not in S }  ∪  { q : q in S }
+// and its weight equals the max-flow value (LP duality).
+//
+// The solver is incremental in both directions:
+//  * additions (new queries, updates, interaction edges) leave the previous
+//    flow valid, so the next compute() only augments the difference;
+//  * removals (the remainder-subgraph rule, object eviction/loading) cancel
+//    the flow routed through the removed vertex before deleting it, leaving
+//    a smaller but still feasible flow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/edmonds_karp.h"
+#include "flow/network.h"
+
+namespace delta::flow {
+
+class BipartiteCoverSolver {
+ public:
+  /// Opaque handle to an update-side vertex.
+  struct UpdateNode {
+    NodeIndex index = kNoNode;
+    std::uint32_t generation = 0;
+    [[nodiscard]] bool valid() const { return index != kNoNode; }
+    friend bool operator==(UpdateNode, UpdateNode) = default;
+  };
+  /// Opaque handle to a query-side vertex.
+  struct QueryNode {
+    NodeIndex index = kNoNode;
+    std::uint32_t generation = 0;
+    [[nodiscard]] bool valid() const { return index != kNoNode; }
+    friend bool operator==(QueryNode, QueryNode) = default;
+  };
+
+  BipartiteCoverSolver();
+
+  // The internal max-flow engine points into the owned network; copying or
+  // moving would leave it dangling.
+  BipartiteCoverSolver(const BipartiteCoverSolver&) = delete;
+  BipartiteCoverSolver& operator=(const BipartiteCoverSolver&) = delete;
+
+  /// Adds an update vertex with weight w(u) (its network shipping cost).
+  UpdateNode add_update(Capacity weight);
+
+  /// Adds a query vertex with weight w(q) (its network shipping cost).
+  QueryNode add_query(Capacity weight);
+
+  /// Adds an interaction edge (u, q): answering q at the cache requires u.
+  void connect(UpdateNode u, QueryNode q);
+
+  /// Raises a vertex's weight in place (exact when merging two same-side
+  /// vertices with identical neighborhoods: the min cover treats them as
+  /// one vertex carrying their combined weight).
+  void add_weight(QueryNode q, Capacity delta);
+  void add_weight(UpdateNode u, Capacity delta);
+
+  /// Current weight of a vertex.
+  [[nodiscard]] Capacity weight(QueryNode q) const;
+  [[nodiscard]] Capacity weight(UpdateNode u) const;
+
+  /// Removes an update vertex, cancelling any flow routed through it. Its
+  /// incident interaction edges disappear; affected queries stay.
+  void remove_update(UpdateNode u);
+
+  /// Removes a query vertex. The vertex must be isolated (all its
+  /// interactions gone — e.g. its updates were shipped or its objects
+  /// evicted); this is exactly the state in which the remainder rule
+  /// discards query nodes.
+  void remove_query(QueryNode q);
+
+  /// Removes a query vertex even when it still has interaction edges,
+  /// cancelling any flow routed through it (the "forget shipped queries"
+  /// ablation — disabling the remainder rule's memory).
+  void remove_query_force(QueryNode q);
+
+  /// Query vertices currently adjacent to u (needed to prune queries that
+  /// become isolated when u is shipped and removed).
+  [[nodiscard]] std::vector<QueryNode> neighbors(UpdateNode u) const;
+
+  /// Update vertices currently adjacent to q (for neighborhood-signature
+  /// maintenance when merging query vertices).
+  [[nodiscard]] std::vector<UpdateNode> neighbors(QueryNode q) const;
+
+  /// Number of interaction edges currently incident to q.
+  [[nodiscard]] std::size_t degree(QueryNode q) const;
+  [[nodiscard]] std::size_t degree(UpdateNode u) const;
+
+  /// Non-throwing liveness checks (a handle goes dead when its vertex is
+  /// removed, even if the slot is later reused).
+  [[nodiscard]] bool alive(QueryNode q) const;
+  [[nodiscard]] bool alive(UpdateNode u) const;
+
+  struct Cover {
+    std::vector<UpdateNode> updates;
+    std::vector<QueryNode> queries;
+    Capacity weight = 0;
+  };
+
+  /// Computes the minimum-weight vertex cover of the current graph,
+  /// augmenting incrementally from the previous flow.
+  Cover compute();
+
+  /// True when the given vertex was selected by the most recent compute().
+  /// (Convenience for membership checks without scanning the Cover lists.)
+  [[nodiscard]] bool in_last_cover(UpdateNode u) const;
+  [[nodiscard]] bool in_last_cover(QueryNode q) const;
+
+  [[nodiscard]] std::size_t update_count() const { return update_count_; }
+  [[nodiscard]] std::size_t query_count() const { return query_count_; }
+  [[nodiscard]] std::size_t interaction_count() const;
+  [[nodiscard]] Capacity current_flow() const;
+  [[nodiscard]] std::int64_t bfs_count() const { return solver_.bfs_count(); }
+
+  /// Validates that the last computed cover touches every interaction edge
+  /// and that its weight equals the max-flow value. O(V+E); test hook.
+  [[nodiscard]] bool last_cover_is_valid() const;
+
+  /// Direct access to the underlying network (benchmarks, tests).
+  [[nodiscard]] const FlowNetwork& network() const { return net_; }
+
+ private:
+  FlowNetwork net_;
+  NodeIndex source_;
+  NodeIndex sink_;
+  EdmondsKarp solver_;
+
+  enum class Side : std::uint8_t { kFree, kUpdate, kQuery };
+  std::vector<Side> side_;                // indexed by NodeIndex
+  std::vector<std::uint32_t> generation_; // bumped on node removal
+  std::vector<EdgeId> anchor_edge_;       // s->u or q->t edge
+  std::size_t update_count_ = 0;
+  std::size_t query_count_ = 0;
+  bool cover_fresh_ = false;
+
+  void ensure_slot(NodeIndex v);
+  void check_handle(NodeIndex v, std::uint32_t gen, Side side) const;
+};
+
+}  // namespace delta::flow

@@ -1,0 +1,92 @@
+#include "flow/dinic.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace delta::flow {
+
+namespace {
+
+class DinicSolver {
+ public:
+  DinicSolver(FlowNetwork& net, NodeIndex source, NodeIndex sink)
+      : net_(net),
+        source_(source),
+        sink_(sink),
+        level_(net.node_bound(), -1),
+        current_arc_(net.node_bound(), kNoEdge) {}
+
+  Capacity run() {
+    while (build_levels()) {
+      for (std::size_t v = 0; v < current_arc_.size(); ++v) {
+        current_arc_[v] =
+            net_.is_active(static_cast<NodeIndex>(v))
+                ? net_.first_edge(static_cast<NodeIndex>(v))
+                : kNoEdge;
+      }
+      while (push_blocking(source_, kInfiniteCapacity) > 0) {
+      }
+    }
+    return net_.outflow(source_);
+  }
+
+ private:
+  FlowNetwork& net_;
+  NodeIndex source_;
+  NodeIndex sink_;
+  std::vector<int> level_;
+  std::vector<EdgeId> current_arc_;
+  std::vector<NodeIndex> queue_;
+
+  bool build_levels() {
+    std::fill(level_.begin(), level_.end(), -1);
+    queue_.clear();
+    queue_.push_back(source_);
+    level_[static_cast<std::size_t>(source_)] = 0;
+    for (std::size_t qi = 0; qi < queue_.size(); ++qi) {
+      const NodeIndex v = queue_[qi];
+      for (EdgeId e = net_.first_edge(v); e != kNoEdge;
+           e = net_.edge(e).next) {
+        if (net_.residual(e) <= 0) continue;
+        const NodeIndex w = net_.edge(e).to;
+        if (level_[static_cast<std::size_t>(w)] != -1) continue;
+        level_[static_cast<std::size_t>(w)] =
+            level_[static_cast<std::size_t>(v)] + 1;
+        queue_.push_back(w);
+      }
+    }
+    return level_[static_cast<std::size_t>(sink_)] != -1;
+  }
+
+  Capacity push_blocking(NodeIndex v, Capacity limit) {
+    if (v == sink_) return limit;
+    auto& arc = current_arc_[static_cast<std::size_t>(v)];
+    while (arc != kNoEdge) {
+      const auto& ed = net_.edge(arc);
+      const NodeIndex w = ed.to;
+      if (net_.residual(arc) > 0 &&
+          level_[static_cast<std::size_t>(w)] ==
+              level_[static_cast<std::size_t>(v)] + 1) {
+        const Capacity pushed =
+            push_blocking(w, std::min(limit, net_.residual(arc)));
+        if (pushed > 0) {
+          net_.add_flow(arc, pushed);
+          return pushed;
+        }
+      }
+      arc = ed.next;
+    }
+    return 0;
+  }
+};
+
+}  // namespace
+
+Capacity max_flow_dinic(FlowNetwork& net, NodeIndex source, NodeIndex sink) {
+  DELTA_CHECK(net.is_active(source));
+  DELTA_CHECK(net.is_active(sink));
+  DELTA_CHECK(source != sink);
+  return DinicSolver{net, source, sink}.run();
+}
+
+}  // namespace delta::flow

@@ -1,0 +1,15 @@
+// Dinic's max-flow algorithm (level graph + blocking flow). Not used on the
+// middleware hot path — the incremental Edmonds–Karp is — but kept as an
+// independently-implemented oracle for correctness tests and as the
+// comparison point in the flow micro benchmark (ablation A6).
+#pragma once
+
+#include "flow/network.h"
+
+namespace delta::flow {
+
+/// Augments the network's current flow to a maximum flow using Dinic's
+/// algorithm and returns the final total flow out of `source`.
+Capacity max_flow_dinic(FlowNetwork& net, NodeIndex source, NodeIndex sink);
+
+}  // namespace delta::flow

@@ -1,0 +1,102 @@
+#include "flow/edmonds_karp.h"
+
+#include <algorithm>
+
+namespace delta::flow {
+
+EdmondsKarp::EdmondsKarp(FlowNetwork& net, NodeIndex source, NodeIndex sink)
+    : net_(&net), source_(source), sink_(sink) {
+  DELTA_CHECK(net.is_active(source));
+  DELTA_CHECK(net.is_active(sink));
+  DELTA_CHECK(source != sink);
+}
+
+void EdmondsKarp::ensure_scratch() {
+  const std::size_t bound = net_->node_bound();
+  if (visit_epoch_.size() < bound) {
+    visit_epoch_.resize(bound, 0);
+    parent_edge_.resize(bound, kNoEdge);
+  }
+}
+
+bool EdmondsKarp::bfs_to_sink() {
+  ensure_scratch();
+  ++epoch_;
+  ++bfs_count_;
+  queue_.clear();
+  queue_.push_back(source_);
+  visit_epoch_[static_cast<std::size_t>(source_)] = epoch_;
+  for (std::size_t qi = 0; qi < queue_.size(); ++qi) {
+    const NodeIndex v = queue_[qi];
+    for (EdgeId e = net_->first_edge(v); e != kNoEdge;
+         e = net_->edge(e).next) {
+      if (net_->residual(e) <= 0) continue;
+      const NodeIndex w = net_->edge(e).to;
+      auto& stamp = visit_epoch_[static_cast<std::size_t>(w)];
+      if (stamp == epoch_) continue;
+      stamp = epoch_;
+      parent_edge_[static_cast<std::size_t>(w)] = e;
+      if (w == sink_) return true;
+      queue_.push_back(w);
+    }
+  }
+  return false;
+}
+
+Capacity EdmondsKarp::run_to_max() {
+  Capacity added = 0;
+  while (bfs_to_sink()) {
+    // Bottleneck along the parent chain.
+    Capacity bottleneck = kInfiniteCapacity;
+    for (NodeIndex v = sink_; v != source_;) {
+      const EdgeId e = parent_edge_[static_cast<std::size_t>(v)];
+      bottleneck = std::min(bottleneck, net_->residual(e));
+      v = net_->edge(e).from;
+    }
+    DELTA_CHECK(bottleneck > 0);
+    for (NodeIndex v = sink_; v != source_;) {
+      const EdgeId e = parent_edge_[static_cast<std::size_t>(v)];
+      net_->add_flow(e, bottleneck);
+      v = net_->edge(e).from;
+    }
+    added += bottleneck;
+  }
+  return added;
+}
+
+Capacity EdmondsKarp::total_flow() const { return net_->outflow(source_); }
+
+void EdmondsKarp::compute_reachability() {
+  ensure_scratch();
+  ++epoch_;
+  queue_.clear();
+  queue_.push_back(source_);
+  visit_epoch_[static_cast<std::size_t>(source_)] = epoch_;
+  for (std::size_t qi = 0; qi < queue_.size(); ++qi) {
+    const NodeIndex v = queue_[qi];
+    for (EdgeId e = net_->first_edge(v); e != kNoEdge;
+         e = net_->edge(e).next) {
+      if (net_->residual(e) <= 0) continue;
+      const NodeIndex w = net_->edge(e).to;
+      auto& stamp = visit_epoch_[static_cast<std::size_t>(w)];
+      if (stamp == epoch_) continue;
+      stamp = epoch_;
+      queue_.push_back(w);
+    }
+  }
+}
+
+bool EdmondsKarp::reachable(NodeIndex v) const {
+  DELTA_DCHECK(v >= 0 &&
+               static_cast<std::size_t>(v) < visit_epoch_.size());
+  return visit_epoch_[static_cast<std::size_t>(v)] == epoch_;
+}
+
+Capacity max_flow_edmonds_karp(FlowNetwork& net, NodeIndex source,
+                               NodeIndex sink) {
+  EdmondsKarp ek{net, source, sink};
+  ek.run_to_max();
+  return ek.total_flow();
+}
+
+}  // namespace delta::flow

@@ -1,0 +1,164 @@
+#include "flow/network.h"
+
+namespace delta::flow {
+
+NodeIndex FlowNetwork::add_node() {
+  NodeIndex v;
+  if (!free_nodes_.empty()) {
+    v = free_nodes_.back();
+    free_nodes_.pop_back();
+    active_[static_cast<std::size_t>(v)] = 1;
+    head_[static_cast<std::size_t>(v)] = kNoEdge;
+  } else {
+    v = static_cast<NodeIndex>(active_.size());
+    active_.push_back(1);
+    head_.push_back(kNoEdge);
+  }
+  ++active_count_;
+  return v;
+}
+
+void FlowNetwork::remove_node(NodeIndex v) {
+  DELTA_CHECK(is_active(v));
+  // Remove incident edges; each must be flow-free by contract.
+  EdgeId e = head_[static_cast<std::size_t>(v)];
+  while (e != kNoEdge) {
+    const EdgeId next = edges_[static_cast<std::size_t>(e)].next;
+    // remove_edge expects the pair's forward (even) id.
+    remove_edge(e & ~1);
+    e = next;
+    // `next` may have been the pair of the removed edge; re-validate.
+    while (e != kNoEdge && edges_[static_cast<std::size_t>(e)].from == kNoNode) {
+      // The removed pair unlinked it; restart from the head.
+      e = head_[static_cast<std::size_t>(v)];
+    }
+  }
+  active_[static_cast<std::size_t>(v)] = 0;
+  head_[static_cast<std::size_t>(v)] = kNoEdge;
+  free_nodes_.push_back(v);
+  --active_count_;
+}
+
+EdgeId FlowNetwork::add_edge(NodeIndex from, NodeIndex to, Capacity cap) {
+  DELTA_CHECK(is_active(from));
+  DELTA_CHECK(is_active(to));
+  DELTA_CHECK(from != to);
+  DELTA_CHECK(cap >= 0);
+  EdgeId fwd;
+  if (!free_edge_pairs_.empty()) {
+    fwd = free_edge_pairs_.back();
+    free_edge_pairs_.pop_back();
+  } else {
+    fwd = static_cast<EdgeId>(edges_.size());
+    edges_.emplace_back();
+    edges_.emplace_back();
+  }
+  const EdgeId rev = fwd ^ 1;
+  auto& fe = edges_[static_cast<std::size_t>(fwd)];
+  auto& re = edges_[static_cast<std::size_t>(rev)];
+  fe = Edge{from, to, cap, 0, kNoEdge, kNoEdge};
+  re = Edge{to, from, 0, 0, kNoEdge, kNoEdge};
+  link_edge(fwd);
+  link_edge(rev);
+  ++active_edge_pairs_;
+  return fwd;
+}
+
+void FlowNetwork::link_edge(EdgeId e) {
+  Edge& ed = edges_[static_cast<std::size_t>(e)];
+  const auto from = static_cast<std::size_t>(ed.from);
+  ed.next = head_[from];
+  ed.prev = kNoEdge;
+  if (ed.next != kNoEdge) {
+    edges_[static_cast<std::size_t>(ed.next)].prev = e;
+  }
+  head_[from] = e;
+}
+
+void FlowNetwork::unlink_edge(EdgeId e) {
+  Edge& ed = edges_[static_cast<std::size_t>(e)];
+  const auto from = static_cast<std::size_t>(ed.from);
+  if (ed.prev != kNoEdge) {
+    edges_[static_cast<std::size_t>(ed.prev)].next = ed.next;
+  } else {
+    head_[from] = ed.next;
+  }
+  if (ed.next != kNoEdge) {
+    edges_[static_cast<std::size_t>(ed.next)].prev = ed.prev;
+  }
+  ed.next = ed.prev = kNoEdge;
+}
+
+void FlowNetwork::remove_edge(EdgeId e) {
+  DELTA_CHECK(edge_live(e));
+  DELTA_CHECK((e & 1) == 0);  // forward id of the pair
+  const EdgeId rev = e ^ 1;
+  DELTA_CHECK_MSG(edges_[static_cast<std::size_t>(e)].flow == 0,
+                  "removing edge with non-zero flow");
+  unlink_edge(e);
+  unlink_edge(rev);
+  edges_[static_cast<std::size_t>(e)].from = kNoNode;
+  edges_[static_cast<std::size_t>(e)].to = kNoNode;
+  edges_[static_cast<std::size_t>(rev)].from = kNoNode;
+  edges_[static_cast<std::size_t>(rev)].to = kNoNode;
+  free_edge_pairs_.push_back(e);
+  --active_edge_pairs_;
+}
+
+void FlowNetwork::add_flow(EdgeId e, Capacity delta) {
+  DELTA_DCHECK(edge_live(e));
+  Edge& ed = edges_[static_cast<std::size_t>(e)];
+  Edge& pair = edges_[static_cast<std::size_t>(e ^ 1)];
+  ed.flow += delta;
+  pair.flow -= delta;
+  // The forward edge of the pair is the one with positive capacity; check
+  // feasibility on whichever this is.
+  const Edge& fwd = (ed.cap > 0 || pair.cap == 0) ? ed : pair;
+  DELTA_DCHECK(fwd.flow >= 0 && fwd.flow <= fwd.cap);
+}
+
+void FlowNetwork::set_capacity(EdgeId e, Capacity cap) {
+  DELTA_CHECK(edge_live(e));
+  Edge& ed = edges_[static_cast<std::size_t>(e)];
+  DELTA_CHECK(cap >= ed.flow);
+  ed.cap = cap;
+}
+
+Capacity FlowNetwork::outflow(NodeIndex v) const {
+  DELTA_CHECK(is_active(v));
+  Capacity total = 0;
+  for (EdgeId e = head_[static_cast<std::size_t>(v)]; e != kNoEdge;
+       e = edges_[static_cast<std::size_t>(e)].next) {
+    const Edge& ed = edges_[static_cast<std::size_t>(e)];
+    if (ed.cap > 0) total += ed.flow;
+  }
+  return total;
+}
+
+bool FlowNetwork::flow_is_feasible(NodeIndex source, NodeIndex sink) const {
+  for (std::size_t v = 0; v < active_.size(); ++v) {
+    if (!active_[v]) continue;
+    Capacity net = 0;
+    for (EdgeId e = head_[v]; e != kNoEdge;
+         e = edges_[static_cast<std::size_t>(e)].next) {
+      const Edge& ed = edges_[static_cast<std::size_t>(e)];
+      if (ed.cap > 0) {
+        if (ed.flow < 0 || ed.flow > ed.cap) return false;
+        net += ed.flow;
+      } else {
+        net += ed.flow;  // reverse edge: negative of paired forward flow
+      }
+    }
+    const auto vi = static_cast<NodeIndex>(v);
+    if (vi != source && vi != sink && net != 0) return false;
+  }
+  return true;
+}
+
+FlowNetwork FlowNetwork::zero_flow_copy() const {
+  FlowNetwork copy = *this;
+  for (auto& e : copy.edges_) e.flow = 0;
+  return copy;
+}
+
+}  // namespace delta::flow

@@ -1,0 +1,129 @@
+// A residual flow network with stable node and edge identifiers.
+//
+// The interaction graph behind VCover's UpdateManager lives for the whole
+// middleware session: query and update vertices are added as events arrive
+// and removed when the remainder-subgraph rule prunes them (§4 of the
+// paper). The network therefore supports O(1) node/edge removal (doubly
+// linked adjacency over a pooled edge array) and recycles freed slots so
+// memory stays proportional to the *live* remainder graph, not to the whole
+// history of the trace.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace delta::flow {
+
+using NodeIndex = std::int32_t;
+using EdgeId = std::int32_t;
+using Capacity = std::int64_t;
+
+inline constexpr NodeIndex kNoNode = -1;
+inline constexpr EdgeId kNoEdge = -1;
+
+/// Large-but-safe stand-in for the infinite capacities on interaction edges
+/// (u -> q). Chosen so that sums of many such capacities cannot overflow.
+inline constexpr Capacity kInfiniteCapacity =
+    std::numeric_limits<Capacity>::max() / 8;
+
+class FlowNetwork {
+ public:
+  struct Edge {
+    NodeIndex from = kNoNode;
+    NodeIndex to = kNoNode;
+    Capacity cap = 0;   // 0 on reverse edges
+    Capacity flow = 0;  // negative of the paired edge's flow
+    EdgeId next = kNoEdge;
+    EdgeId prev = kNoEdge;
+  };
+
+  FlowNetwork() = default;
+
+  /// Adds (or recycles) a node; returns its stable index.
+  NodeIndex add_node();
+
+  /// Removes a node and all incident edges. Every incident edge must carry
+  /// zero flow — callers cancel flow first (see BipartiteCoverSolver).
+  void remove_node(NodeIndex v);
+
+  [[nodiscard]] bool is_active(NodeIndex v) const {
+    return v >= 0 && static_cast<std::size_t>(v) < active_.size() &&
+           active_[static_cast<std::size_t>(v)] != 0;
+  }
+
+  /// Number of live nodes.
+  [[nodiscard]] std::size_t active_node_count() const { return active_count_; }
+
+  /// Upper bound on node indices ever issued (for scratch-array sizing).
+  [[nodiscard]] std::size_t node_bound() const { return active_.size(); }
+
+  [[nodiscard]] std::size_t active_edge_count() const {
+    return active_edge_pairs_;
+  }
+
+  /// Adds a forward edge with the given capacity plus its zero-capacity
+  /// reverse edge; returns the forward edge id (always even-paired with
+  /// id ^ 1 as its reverse).
+  EdgeId add_edge(NodeIndex from, NodeIndex to, Capacity cap);
+
+  /// Removes an edge pair. Both directions must carry zero flow.
+  void remove_edge(EdgeId e);
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const {
+    DELTA_DCHECK(edge_live(e));
+    return edges_[static_cast<std::size_t>(e)];
+  }
+
+  [[nodiscard]] EdgeId pair_of(EdgeId e) const { return e ^ 1; }
+
+  /// First incident edge of v (iterate via edge(e).next).
+  [[nodiscard]] EdgeId first_edge(NodeIndex v) const {
+    DELTA_DCHECK(is_active(v));
+    return head_[static_cast<std::size_t>(v)];
+  }
+
+  [[nodiscard]] Capacity residual(EdgeId e) const {
+    const Edge& ed = edge(e);
+    return ed.cap - ed.flow;
+  }
+
+  /// Pushes `delta` units of flow along edge e (may be negative to cancel).
+  /// Keeps the paired edge consistent. The resulting flow must respect
+  /// 0 <= flow <= cap on the forward edge of the pair.
+  void add_flow(EdgeId e, Capacity delta);
+
+  /// Raises or lowers an edge's capacity; must remain >= current flow.
+  void set_capacity(EdgeId e, Capacity cap);
+
+  /// Sum of flow leaving `v` (over forward edges only).
+  [[nodiscard]] Capacity outflow(NodeIndex v) const;
+
+  /// Verifies conservation at every node except the given source/sink and
+  /// capacity feasibility on every edge. O(V+E); used by tests.
+  [[nodiscard]] bool flow_is_feasible(NodeIndex source, NodeIndex sink) const;
+
+  /// Deep copy with all flows reset to zero (for from-scratch solvers).
+  [[nodiscard]] FlowNetwork zero_flow_copy() const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<EdgeId> head_;
+  std::vector<std::uint8_t> active_;
+  std::vector<NodeIndex> free_nodes_;
+  std::vector<EdgeId> free_edge_pairs_;  // stores the even id of each pair
+  std::size_t active_count_ = 0;
+  std::size_t active_edge_pairs_ = 0;
+
+  [[nodiscard]] bool edge_live(EdgeId e) const {
+    return e >= 0 && static_cast<std::size_t>(e) < edges_.size() &&
+           edges_[static_cast<std::size_t>(e)].from != kNoNode;
+  }
+
+  void link_edge(EdgeId e);
+  void unlink_edge(EdgeId e);
+};
+
+}  // namespace delta::flow

@@ -1,0 +1,66 @@
+#include "htm/cover.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace delta::htm {
+
+namespace {
+
+thread_local std::int64_t t_nodes_visited = 0;
+
+enum class Overlap { kOutside, kPartial, kInside };
+
+Overlap classify(const Trixel& t, const Region& region) {
+  const Vec3 c = t.center();
+  const double r = t.bounding_radius();
+  if (region_distance_to(region, c) > r) return Overlap::kOutside;
+  // Inside when all corners and the center are contained. (Approximate:
+  // boundary bulges are caught by the recursion below, and at worst a
+  // boundary trixel is classified Partial, which is conservative.)
+  if (region_contains(region, c) &&
+      std::all_of(t.vertices().begin(), t.vertices().end(),
+                  [&](const Vec3& v) { return region_contains(region, v); })) {
+    return Overlap::kInside;
+  }
+  return Overlap::kPartial;
+}
+
+void descend(const Trixel& t, const Region& region, int target_level,
+             std::vector<HtmId>& out) {
+  ++t_nodes_visited;
+  const Overlap o = classify(t, region);
+  if (o == Overlap::kOutside) return;
+  if (t.level() == target_level) {
+    out.push_back(t.id());
+    return;
+  }
+  if (o == Overlap::kInside) {
+    // Whole subtree is inside: enumerate descendants arithmetically.
+    const int depth = target_level - t.level();
+    const HtmId first = t.id() << (2 * depth);
+    const HtmId count = 1LL << (2 * depth);
+    for (HtmId i = 0; i < count; ++i) out.push_back(first + i);
+    return;
+  }
+  for (int c = 0; c < 4; ++c) descend(t.child(c), region, target_level, out);
+}
+
+}  // namespace
+
+std::vector<HtmId> cover_region(const Region& region, int level) {
+  DELTA_CHECK(level >= 0 && level <= 12);
+  t_nodes_visited = 0;
+  std::vector<HtmId> out;
+  for (int r = 0; r < 8; ++r) {
+    descend(Trixel::root(r), region, level, out);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::int64_t last_cover_nodes_visited() { return t_nodes_visited; }
+
+}  // namespace delta::htm

@@ -1,0 +1,101 @@
+// Unit vectors on the celestial sphere and (ra, dec) <-> Cartesian
+// conversions. All angles at this layer are radians unless the name says
+// degrees; SDSS-style coordinates (ra in [0, 360), dec in [-90, 90] degrees)
+// convert at the boundary.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace delta::htm {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  friend constexpr Vec3 operator+(const Vec3& a, const Vec3& b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend constexpr Vec3 operator-(const Vec3& a, const Vec3& b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend constexpr Vec3 operator*(const Vec3& a, double k) {
+    return {a.x * k, a.y * k, a.z * k};
+  }
+  friend constexpr bool operator==(const Vec3&, const Vec3&) = default;
+};
+
+constexpr double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+
+inline double norm(const Vec3& a) { return std::sqrt(dot(a, a)); }
+
+inline Vec3 normalized(const Vec3& a) {
+  const double n = norm(a);
+  return n > 0.0 ? Vec3{a.x / n, a.y / n, a.z / n} : Vec3{0.0, 0.0, 1.0};
+}
+
+inline Vec3 midpoint_on_sphere(const Vec3& a, const Vec3& b) {
+  return normalized(a + b);
+}
+
+/// Angular separation in radians, numerically stable near 0 and pi.
+inline double angular_distance(const Vec3& a, const Vec3& b) {
+  return std::atan2(norm(cross(a, b)), dot(a, b));
+}
+
+constexpr double degrees_to_radians(double deg) {
+  return deg * std::numbers::pi / 180.0;
+}
+constexpr double radians_to_degrees(double rad) {
+  return rad * 180.0 / std::numbers::pi;
+}
+
+/// (ra, dec) in degrees -> unit vector.
+inline Vec3 from_ra_dec(double ra_deg, double dec_deg) {
+  const double ra = degrees_to_radians(ra_deg);
+  const double dec = degrees_to_radians(dec_deg);
+  const double cd = std::cos(dec);
+  return {cd * std::cos(ra), cd * std::sin(ra), std::sin(dec)};
+}
+
+struct RaDec {
+  double ra_deg = 0.0;   // [0, 360)
+  double dec_deg = 0.0;  // [-90, 90]
+};
+
+/// Unit vector -> (ra, dec) in degrees.
+inline RaDec to_ra_dec(const Vec3& v) {
+  const double dec = std::asin(std::clamp(v.z, -1.0, 1.0));
+  double ra = std::atan2(v.y, v.x);
+  if (ra < 0.0) ra += 2.0 * std::numbers::pi;
+  return {radians_to_degrees(ra), radians_to_degrees(dec)};
+}
+
+/// Minimum distance (radians) from point p to the great-circle arc (a, b).
+/// Used by region/trixel intersection tests.
+inline double distance_to_arc(const Vec3& p, const Vec3& a, const Vec3& b) {
+  const Vec3 n = cross(a, b);
+  const double nn = norm(n);
+  if (nn < 1e-15) return angular_distance(p, a);  // degenerate arc
+  const Vec3 plane_normal{n.x / nn, n.y / nn, n.z / nn};
+  // Foot of p on the great circle through a, b.
+  const Vec3 foot = normalized(p - plane_normal * dot(p, plane_normal));
+  // The foot is on the arc iff it lies between a and b along the circle.
+  const double arc_len = angular_distance(a, b);
+  if (angular_distance(a, foot) <= arc_len &&
+      angular_distance(foot, b) <= arc_len) {
+    return angular_distance(p, foot);
+  }
+  return std::min(angular_distance(p, a), angular_distance(p, b));
+}
+
+}  // namespace delta::htm

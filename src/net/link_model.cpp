@@ -1,0 +1,18 @@
+#include "net/link_model.h"
+
+#include "util/check.h"
+
+namespace delta::net {
+
+LinkModel::LinkModel(double bandwidth_bytes_per_sec, double rtt_seconds)
+    : bandwidth_(bandwidth_bytes_per_sec), rtt_(rtt_seconds) {
+  DELTA_CHECK(bandwidth_ > 0.0);
+  DELTA_CHECK(rtt_ >= 0.0);
+}
+
+double LinkModel::transfer_seconds(Bytes size) const {
+  DELTA_CHECK(size.count() >= 0);
+  return rtt_ + size.as_double() / bandwidth_;
+}
+
+}  // namespace delta::net

@@ -1,0 +1,35 @@
+// Wide-area link latency model.
+//
+// The paper minimizes traffic, noting that reduced traffic "naturally
+// decreases response times" and that delayed queries can be helped by
+// preshipping (§4 Discussion). This model converts message sizes to transfer
+// times so the preshipping extension and the latency metrics have a concrete
+// response-time proxy: latency = RTT + bytes / bandwidth (linear scaling,
+// valid for transfers much larger than a frame, per the TCP assumption the
+// paper cites).
+#pragma once
+
+#include "util/types.h"
+
+namespace delta::net {
+
+class LinkModel {
+ public:
+  /// Defaults approximate a 2010-era well-provisioned WAN path:
+  /// 1 Gbit/s and 40 ms RTT.
+  explicit LinkModel(double bandwidth_bytes_per_sec = 125e6,
+                     double rtt_seconds = 0.040);
+
+  /// Seconds to complete a transfer of the given size (one round trip plus
+  /// serialization).
+  [[nodiscard]] double transfer_seconds(Bytes size) const;
+
+  [[nodiscard]] double bandwidth_bytes_per_sec() const { return bandwidth_; }
+  [[nodiscard]] double rtt_seconds() const { return rtt_; }
+
+ private:
+  double bandwidth_;
+  double rtt_;
+};
+
+}  // namespace delta::net

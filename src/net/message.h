@@ -1,0 +1,64 @@
+// Typed middleware messages exchanged between the cache and the repository.
+//
+// Delta's three data-communication mechanisms (§3) map onto message kinds:
+//   * query shipping   — kQueryRequest to the server, kQueryResult back
+//   * update shipping  — kUpdateShip from server to cache
+//   * object loading   — kLoadRequest to the server, kLoadData back
+// plus kInvalidation (server tells the cache an object went stale) and
+// kControl for protocol chatter. Network-traffic accounting is by payload
+// bytes, matching the paper's bytes-proportional cost model; header overhead
+// is metered separately so the figure numbers stay comparable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.h"
+
+namespace delta::net {
+
+enum class MessageKind : std::uint8_t {
+  kQueryRequest,
+  kQueryResult,
+  kUpdateShip,
+  kLoadRequest,
+  kLoadData,
+  kInvalidation,
+  kControl,
+};
+
+[[nodiscard]] constexpr const char* to_string(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kQueryRequest:
+      return "query_request";
+    case MessageKind::kQueryResult:
+      return "query_result";
+    case MessageKind::kUpdateShip:
+      return "update_ship";
+    case MessageKind::kLoadRequest:
+      return "load_request";
+    case MessageKind::kLoadData:
+      return "load_data";
+    case MessageKind::kInvalidation:
+      return "invalidation";
+    case MessageKind::kControl:
+      return "control";
+  }
+  return "?";
+}
+
+/// Fixed modeled header size for any message (framing, ids, checksums).
+inline constexpr Bytes kMessageHeaderBytes{64};
+
+struct Message {
+  MessageKind kind = MessageKind::kControl;
+  /// Payload size on the wire (query text / result rows / update content /
+  /// object data). Headers are accounted separately.
+  Bytes payload;
+  /// Ids are opaque to the transport; they identify the query/update/object
+  /// the message is about.
+  std::int64_t subject_id = -1;
+  EventTime sent_at = 0;
+};
+
+}  // namespace delta::net

@@ -1,0 +1,45 @@
+#include "net/traffic_meter.h"
+
+#include <sstream>
+
+#include "util/check.h"
+#include "util/format.h"
+
+namespace delta::net {
+
+void TrafficMeter::record(Mechanism mechanism, Bytes bytes) {
+  DELTA_CHECK(bytes.count() >= 0);
+  const auto i = static_cast<std::size_t>(mechanism);
+  totals_[i] += bytes;
+  ++counts_[i];
+}
+
+Bytes TrafficMeter::total(Mechanism mechanism) const {
+  return totals_[static_cast<std::size_t>(mechanism)];
+}
+
+Bytes TrafficMeter::figure_total() const {
+  return totals_[0] + totals_[1] + totals_[2];
+}
+
+std::int64_t TrafficMeter::message_count(Mechanism mechanism) const {
+  return counts_[static_cast<std::size_t>(mechanism)];
+}
+
+void TrafficMeter::reset() {
+  totals_ = {};
+  counts_ = {};
+}
+
+std::string TrafficMeter::summary() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < kMechanismCount; ++i) {
+    if (i > 0) os << ", ";
+    os << to_string(static_cast<Mechanism>(i)) << "="
+       << util::human_bytes(totals_[i]) << " (" << counts_[i] << " msgs)";
+  }
+  os << ", figure_total=" << util::human_bytes(figure_total());
+  return os.str();
+}
+
+}  // namespace delta::net

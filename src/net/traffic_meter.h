@@ -1,0 +1,59 @@
+// Per-mechanism network-traffic accounting: the metric every figure in the
+// paper's evaluation plots.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "net/message.h"
+#include "util/types.h"
+
+namespace delta::net {
+
+/// The paper's three data-communication mechanisms plus result return.
+enum class Mechanism : std::uint8_t {
+  kQueryShip = 0,   // query sent to the server + its result bytes
+  kUpdateShip = 1,  // update content pushed to the cache
+  kObjectLoad = 2,  // whole data objects bulk-copied to the cache
+  kOverhead = 3,    // headers / control chatter (not part of figure totals)
+};
+
+inline constexpr std::size_t kMechanismCount = 4;
+
+[[nodiscard]] constexpr const char* to_string(Mechanism m) {
+  switch (m) {
+    case Mechanism::kQueryShip:
+      return "query_ship";
+    case Mechanism::kUpdateShip:
+      return "update_ship";
+    case Mechanism::kObjectLoad:
+      return "object_load";
+    case Mechanism::kOverhead:
+      return "overhead";
+  }
+  return "?";
+}
+
+class TrafficMeter {
+ public:
+  void record(Mechanism mechanism, Bytes bytes);
+
+  [[nodiscard]] Bytes total(Mechanism mechanism) const;
+
+  /// Figure total: query shipping + update shipping + object loading
+  /// (overhead excluded, as in the paper's cost model).
+  [[nodiscard]] Bytes figure_total() const;
+
+  [[nodiscard]] std::int64_t message_count(Mechanism mechanism) const;
+
+  void reset();
+
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::array<Bytes, kMechanismCount> totals_{};
+  std::array<std::int64_t, kMechanismCount> counts_{};
+};
+
+}  // namespace delta::net

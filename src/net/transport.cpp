@@ -1,0 +1,35 @@
+#include "net/transport.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace delta::net {
+
+void LoopbackTransport::register_endpoint(const std::string& name,
+                                          MessageHandler handler) {
+  DELTA_CHECK(handler != nullptr);
+  const auto it = std::find_if(
+      endpoints_.begin(), endpoints_.end(),
+      [&](const auto& entry) { return entry.first == name; });
+  if (it != endpoints_.end()) {
+    it->second = std::move(handler);
+  } else {
+    endpoints_.emplace_back(name, std::move(handler));
+  }
+}
+
+void LoopbackTransport::send(const std::string& destination,
+                             const Message& message, Mechanism mechanism) {
+  const auto it = std::find_if(
+      endpoints_.begin(), endpoints_.end(),
+      [&](const auto& entry) { return entry.first == destination; });
+  DELTA_CHECK_MSG(it != endpoints_.end(),
+                  "unknown endpoint '" << destination << "'");
+  meter_.record(mechanism, message.payload);
+  meter_.record(Mechanism::kOverhead, kMessageHeaderBytes);
+  ++delivered_;
+  it->second(message);
+}
+
+}  // namespace delta::net

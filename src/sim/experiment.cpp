@@ -1,0 +1,101 @@
+#include "sim/experiment.h"
+
+#include "util/check.h"
+
+namespace delta::sim {
+
+Setup::Setup(const SetupParams& params) : params_(params) {
+  density_ = std::make_shared<storage::DensityModel>(params.base_level,
+                                                     params.sky_seed);
+  density_->scale_to_total_rows(params.total_rows);
+  map_ = std::make_shared<htm::PartitionMap>(htm::PartitionMap::build(
+      params.base_level, density_->weights(), params.object_target));
+  workload::TraceGenerator generator{map_, *density_, params.trace};
+  trace_ = generator.generate(params.trace_seed);
+}
+
+Bytes Setup::server_bytes() const {
+  Bytes total;
+  for (const Bytes b : trace_.initial_object_bytes) total += b;
+  return total;
+}
+
+Bytes Setup::cache_capacity() const {
+  return Bytes{static_cast<std::int64_t>(server_bytes().as_double() *
+                                         params_.cache_fraction)};
+}
+
+std::shared_ptr<const htm::PartitionMap> Setup::map_with_objects(
+    std::size_t target_count) const {
+  return std::make_shared<htm::PartitionMap>(htm::PartitionMap::build(
+      params_.base_level, density_->weights(), target_count));
+}
+
+const char* to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kNoCache:
+      return "NoCache";
+    case PolicyKind::kReplica:
+      return "Replica";
+    case PolicyKind::kBenefit:
+      return "Benefit";
+    case PolicyKind::kVCover:
+      return "VCover";
+    case PolicyKind::kSOptimal:
+      return "SOptimal";
+  }
+  return "?";
+}
+
+RunResult run_one(PolicyKind kind, const workload::Trace& trace,
+                  Bytes cache_capacity, const SetupParams& params,
+                  const PolicyOverrides& overrides,
+                  std::int64_t series_stride) {
+  core::DeltaSystem system{&trace};
+  std::unique_ptr<core::CachePolicy> policy;
+  switch (kind) {
+    case PolicyKind::kNoCache:
+      policy = std::make_unique<core::NoCachePolicy>(&system);
+      break;
+    case PolicyKind::kReplica:
+      policy = std::make_unique<core::ReplicaPolicy>(&system);
+      break;
+    case PolicyKind::kBenefit: {
+      core::BenefitOptions opts = overrides.benefit;
+      opts.cache_capacity = cache_capacity;
+      if (opts.window <= 0) opts.window = params.benefit_window;
+      opts.alpha = opts.alpha > 0.0 ? opts.alpha : params.benefit_alpha;
+      policy = std::make_unique<core::BenefitPolicy>(&system, opts);
+      break;
+    }
+    case PolicyKind::kVCover: {
+      core::VCoverOptions opts = overrides.vcover;
+      opts.cache_capacity = cache_capacity;
+      policy = std::make_unique<core::VCoverPolicy>(&system, opts);
+      break;
+    }
+    case PolicyKind::kSOptimal: {
+      core::SOptimalOptions opts = overrides.soptimal;
+      opts.cache_capacity = cache_capacity;
+      policy = std::make_unique<core::SOptimalPolicy>(&system, &trace, opts);
+      break;
+    }
+  }
+  return run_policy(trace, system, *policy, series_stride);
+}
+
+std::vector<RunResult> run_all_policies(const workload::Trace& trace,
+                                        Bytes cache_capacity,
+                                        const SetupParams& params,
+                                        std::int64_t series_stride) {
+  std::vector<RunResult> results;
+  for (const PolicyKind kind :
+       {PolicyKind::kNoCache, PolicyKind::kReplica, PolicyKind::kBenefit,
+        PolicyKind::kVCover, PolicyKind::kSOptimal}) {
+    results.push_back(run_one(kind, trace, cache_capacity, params,
+                              PolicyOverrides{}, series_stride));
+  }
+  return results;
+}
+
+}  // namespace delta::sim

@@ -1,0 +1,95 @@
+#include "sim/simulator.h"
+
+#include <chrono>
+
+#include "util/check.h"
+
+namespace delta::sim {
+
+RunResult run_policy(const workload::Trace& trace,
+                     core::DeltaSystem& system, core::CachePolicy& policy,
+                     std::int64_t series_stride,
+                     const LatencyModel& latency) {
+  const auto start = std::chrono::steady_clock::now();
+
+  RunResult result;
+  result.policy_name = policy.name();
+  result.warmup_end = trace.info.warmup_end_event;
+  result.series = util::CumulativeSeries{series_stride};
+
+  const net::TrafficMeter& meter = system.meter();
+  std::array<Bytes, 3> at_warmup{};
+  bool warmup_captured = false;
+  const auto capture_warmup = [&] {
+    at_warmup = {meter.total(net::Mechanism::kQueryShip),
+                 meter.total(net::Mechanism::kUpdateShip),
+                 meter.total(net::Mechanism::kObjectLoad)};
+    warmup_captured = true;
+  };
+  if (trace.info.warmup_end_event == 0) capture_warmup();
+
+  for (const workload::Event& event : trace.order) {
+    const bool is_update = event.kind == workload::Event::Kind::kUpdate;
+    const EventTime now =
+        is_update
+            ? trace.updates[static_cast<std::size_t>(event.index)].time
+            : trace.queries[static_cast<std::size_t>(event.index)].time;
+    // Snapshot the meter the moment the measurement window opens, before
+    // this event's traffic.
+    if (!warmup_captured && now >= trace.info.warmup_end_event) {
+      capture_warmup();
+    }
+
+    if (is_update) {
+      system.ingest_update(
+          trace.updates[static_cast<std::size_t>(event.index)]);
+    } else {
+      const workload::Query& q =
+          trace.queries[static_cast<std::size_t>(event.index)];
+      const core::QueryOutcome outcome = policy.on_query(q);
+      ++result.queries;
+      double seconds = 0.0;
+      switch (outcome.path) {
+        case core::QueryOutcome::Path::kCacheFresh:
+          ++result.cache_fresh;
+          seconds = latency.local_exec_seconds;
+          break;
+        case core::QueryOutcome::Path::kCacheAfterUpdates:
+          ++result.cache_after_updates;
+          seconds = latency.local_exec_seconds +
+                    system.link().transfer_seconds(outcome.max_update_bytes);
+          break;
+        case core::QueryOutcome::Path::kShipped:
+          ++result.shipped;
+          seconds = latency.server_exec_seconds +
+                    system.link().transfer_seconds(outcome.result_bytes);
+          break;
+      }
+      result.objects_loaded += outcome.objects_loaded;
+      if (now >= trace.info.warmup_end_event) {
+        result.postwarmup_latency.add(seconds);
+      }
+    }
+    result.series.observe(now, meter.figure_total().as_double());
+  }
+  result.series.finalize();
+  if (!warmup_captured) capture_warmup();  // warm-up spanned the whole run
+
+  result.total_traffic = meter.figure_total();
+  const std::array<Bytes, 3> final_by{
+      meter.total(net::Mechanism::kQueryShip),
+      meter.total(net::Mechanism::kUpdateShip),
+      meter.total(net::Mechanism::kObjectLoad)};
+  for (std::size_t i = 0; i < 3; ++i) {
+    result.postwarmup_by_mechanism[i] = final_by[i] - at_warmup[i];
+    result.postwarmup_traffic += result.postwarmup_by_mechanism[i];
+  }
+  result.overhead_traffic = meter.total(net::Mechanism::kOverhead);
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace delta::sim

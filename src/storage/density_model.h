@@ -1,0 +1,65 @@
+// Synthetic sky-density model.
+//
+// Substitution note (DESIGN.md §3): the paper's server is a 1 TB SDSS
+// PhotoObj table whose row density varies strongly across the sky (partition
+// data content spans 50 MB–90 GB over 68 roughly equi-area partitions). We
+// reproduce that distribution with a seeded synthetic model: a survey
+// footprint cap (outside it the density is zero — those partitions are the
+// "never queried" ones the paper ignores), lognormal small-scale texture,
+// galactic-plane suppression and a handful of dense cluster bumps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "htm/trixel.h"
+#include "htm/vec3.h"
+
+namespace delta::storage {
+
+class DensityModel {
+ public:
+  struct Params {
+    /// Survey footprint: cap centered on this (ra, dec), this angular radius.
+    double footprint_ra_deg = 185.0;
+    double footprint_dec_deg = 32.0;
+    double footprint_radius_rad = 1.15;
+    /// Galactic-plane suppression band (pole of the plane's great circle).
+    double plane_pole_ra_deg = 192.9;   // approx. north galactic pole
+    double plane_pole_dec_deg = 27.1;
+    double plane_width_rad = 0.35;
+    /// Lognormal texture sigma and cluster bumps.
+    double texture_sigma = 0.8;
+    int cluster_count = 24;
+    double cluster_radius_rad = 0.12;
+    double cluster_boost = 6.0;
+  };
+
+  /// Builds densities for every base-level trixel (deterministic in `seed`)
+  /// with default parameters.
+  DensityModel(int base_level, std::uint64_t seed);
+
+  /// As above with explicit parameters.
+  DensityModel(int base_level, std::uint64_t seed, const Params& params);
+
+  [[nodiscard]] int base_level() const { return base_level_; }
+
+  /// Relative row density per base trixel (index_in_level order). Zero
+  /// outside the survey footprint.
+  [[nodiscard]] const std::vector<double>& weights() const { return weights_; }
+
+  /// Rows in a base trixel once the model is scaled to `total_rows`.
+  [[nodiscard]] double rows_in_base_trixel(std::int64_t index) const;
+
+  /// Scales the model so that the weights sum to `total_rows` rows.
+  void scale_to_total_rows(double total_rows);
+
+  [[nodiscard]] double total_rows() const { return total_rows_; }
+
+ private:
+  int base_level_;
+  std::vector<double> weights_;  // sums to total_rows_ after scaling
+  double total_rows_ = 0.0;
+};
+
+}  // namespace delta::storage

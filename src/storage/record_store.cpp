@@ -1,0 +1,115 @@
+#include "storage/record_store.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace delta::storage {
+
+namespace {
+
+/// Uniform point inside a trixel via barycentric-style interpolation of the
+/// corners (approximate for spherical triangles; fine for record placement).
+htm::Vec3 random_point_in_trixel(const htm::Trixel& t, util::Rng& rng) {
+  double a = rng.next_double();
+  double b = rng.next_double();
+  if (a + b > 1.0) {
+    a = 1.0 - a;
+    b = 1.0 - b;
+  }
+  const double c = 1.0 - a - b;
+  const auto& v = t.vertices();
+  return htm::normalized(v[0] * a + v[1] * b + v[2] * c);
+}
+
+}  // namespace
+
+PhotoObjRecord RecordStore::make_record_in_trixel(htm::HtmId trixel,
+                                                  util::Rng& rng,
+                                                  std::int32_t run) {
+  const htm::Trixel t = htm::Trixel::from_id(trixel);
+  const htm::Vec3 p = random_point_in_trixel(t, rng);
+  const htm::RaDec rd = htm::to_ra_dec(p);
+  PhotoObjRecord rec;
+  rec.obj_id = next_obj_id_++;
+  rec.ra_deg = rd.ra_deg;
+  rec.dec_deg = rd.dec_deg;
+  for (auto& m : rec.psf_mag) {
+    m = static_cast<float>(rng.uniform(14.0, 24.0));
+  }
+  rec.flags = static_cast<std::uint32_t>(rng.next_u64());
+  rec.run = run;
+  return rec;
+}
+
+RecordStore::RecordStore(const htm::PartitionMap& map,
+                         const DensityModel& density,
+                         std::int64_t total_records, std::uint64_t seed)
+    : map_(&map) {
+  DELTA_CHECK(map.base_level() == density.base_level());
+  DELTA_CHECK(total_records >= 0);
+  partitions_.resize(map.partition_count());
+  util::Rng rng{seed};
+
+  const double total_weight = density.total_rows();
+  DELTA_CHECK(total_weight > 0.0);
+  for (std::int64_t i = 0; i < map.base_trixel_count(); ++i) {
+    const double w = density.rows_in_base_trixel(i);
+    if (w <= 0.0) continue;
+    const double expected =
+        w / total_weight * static_cast<double>(total_records);
+    // Deterministic rounding with a stochastic remainder keeps totals tight.
+    auto n = static_cast<std::int64_t>(expected);
+    if (rng.bernoulli(expected - static_cast<double>(n))) ++n;
+    if (n == 0) continue;
+    const htm::HtmId trixel = htm::id_from_index(map.base_level(), i);
+    const ObjectId o = map.object_for_base_index(i);
+    auto& bucket = partitions_[static_cast<std::size_t>(o.value())];
+    for (std::int64_t k = 0; k < n; ++k) {
+      bucket.push_back(make_record_in_trixel(trixel, rng, /*run=*/0));
+    }
+    record_count_ += n;
+  }
+}
+
+const std::vector<PhotoObjRecord>& RecordStore::records_of(
+    ObjectId id) const {
+  DELTA_CHECK(id.valid() &&
+              static_cast<std::size_t>(id.value()) < partitions_.size());
+  return partitions_[static_cast<std::size_t>(id.value())];
+}
+
+std::vector<PhotoObjRecord> RecordStore::query(
+    const htm::Region& region, const std::vector<ObjectId>& objects) const {
+  std::vector<PhotoObjRecord> out;
+  for (const ObjectId o : objects) {
+    for (const auto& rec : records_of(o)) {
+      if (htm::region_contains(region,
+                               htm::from_ra_dec(rec.ra_deg, rec.dec_deg))) {
+        out.push_back(rec);
+      }
+    }
+  }
+  return out;
+}
+
+std::int64_t RecordStore::insert(ObjectId id, std::int64_t count,
+                                 util::Rng& rng, std::int32_t run) {
+  DELTA_CHECK(count >= 0);
+  DELTA_CHECK(id.valid() &&
+              static_cast<std::size_t>(id.value()) < partitions_.size());
+  // Place new records uniformly over the partition's base trixels weighted
+  // by nothing in particular — new observations land where the telescope
+  // pointed, which the caller models by choosing the object.
+  const auto [lo, hi] = map_->base_range(id);
+  auto& bucket = partitions_[static_cast<std::size_t>(id.value())];
+  for (std::int64_t k = 0; k < count; ++k) {
+    const std::int64_t idx = rng.uniform_int(lo, hi - 1);
+    const htm::HtmId trixel = htm::id_from_index(map_->base_level(), idx);
+    bucket.push_back(make_record_in_trixel(trixel, rng, run));
+  }
+  record_count_ += count;
+  return count;
+}
+
+}  // namespace delta::storage

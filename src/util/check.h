@@ -1,0 +1,45 @@
+// Runtime invariant checks (P.6/P.7: make runtime-checkable what cannot be
+// checked at compile time, and catch errors early). DELTA_CHECK stays active
+// in release builds because the simulators validate accounting invariants at
+// full scale; DELTA_DCHECK compiles away outside debug builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace delta::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "DELTA_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace delta::detail
+
+#define DELTA_CHECK(expr)                                                \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::delta::detail::check_failed(#expr, __FILE__, __LINE__, "");      \
+    }                                                                    \
+  } while (false)
+
+#define DELTA_CHECK_MSG(expr, msg)                                       \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream os_;                                            \
+      os_ << msg; /* NOLINT */                                           \
+      ::delta::detail::check_failed(#expr, __FILE__, __LINE__, os_.str());\
+    }                                                                    \
+  } while (false)
+
+#ifdef NDEBUG
+#define DELTA_DCHECK(expr) \
+  do {                     \
+  } while (false)
+#else
+#define DELTA_DCHECK(expr) DELTA_CHECK(expr)
+#endif

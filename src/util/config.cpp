@@ -1,0 +1,76 @@
+#include "util/config.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace delta::util {
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    const auto eq = token.find('=');
+    DELTA_CHECK_MSG(eq != std::string::npos && eq > 0,
+                    "expected key=value argument, got '" << token << "'");
+    cfg.set(token.substr(0, eq), token.substr(eq + 1));
+  }
+  return cfg;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  entries_[key] = value;
+}
+
+bool Config::has(const std::string& key) const {
+  return entries_.count(key) > 0;
+}
+
+std::optional<std::string> Config::lookup(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  return lookup(key).value_or(fallback);
+}
+
+std::int64_t Config::get_int(const std::string& key,
+                             std::int64_t fallback) const {
+  const auto v = lookup(key);
+  if (!v) return fallback;
+  return std::stoll(*v);
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto v = lookup(key);
+  if (!v) return fallback;
+  return std::stod(*v);
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto v = lookup(key);
+  if (!v) return fallback;
+  if (*v == "true" || *v == "1" || *v == "yes") return true;
+  if (*v == "false" || *v == "0" || *v == "no") return false;
+  throw std::invalid_argument("bad boolean for " + key + ": " + *v);
+}
+
+std::vector<std::int64_t> Config::get_int_list(
+    const std::string& key, const std::vector<std::int64_t>& fallback) const {
+  const auto v = lookup(key);
+  if (!v) return fallback;
+  std::vector<std::int64_t> out;
+  std::istringstream is(*v);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(std::stoll(item));
+  }
+  return out;
+}
+
+}  // namespace delta::util

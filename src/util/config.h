@@ -1,0 +1,47 @@
+// Key=value configuration with typed getters; used by examples and bench
+// harnesses to override experiment parameters from the command line
+// ("key=value" arguments) without a heavyweight flags library.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace delta::util {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse "key=value" tokens; tokens without '=' are rejected.
+  static Config from_args(int argc, const char* const* argv);
+
+  void set(const std::string& key, const std::string& value);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Comma-separated integer list, e.g. "10,20,68".
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      const std::string& key, const std::vector<std::int64_t>& fallback) const;
+
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;
+
+  [[nodiscard]] std::optional<std::string> lookup(const std::string& key) const;
+};
+
+}  // namespace delta::util

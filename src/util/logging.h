@@ -1,0 +1,39 @@
+// Minimal leveled logger. Simulation inner loops never log; the logger exists
+// for middleware-level events (loads, evictions, policy switches) in the
+// examples and for debugging.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace delta::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log statement that formats lazily: the stream expression is
+/// only evaluated when the level is enabled.
+#define DELTA_LOG(level_enum, expr)                                      \
+  do {                                                                   \
+    if (static_cast<int>(level_enum) >=                                  \
+        static_cast<int>(::delta::util::log_level())) {                  \
+      std::ostringstream log_os_;                                        \
+      log_os_ << expr; /* NOLINT */                                      \
+      ::delta::util::detail::emit(level_enum, log_os_.str());            \
+    }                                                                    \
+  } while (false)
+
+#define DELTA_LOG_DEBUG(expr) DELTA_LOG(::delta::util::LogLevel::kDebug, expr)
+#define DELTA_LOG_INFO(expr) DELTA_LOG(::delta::util::LogLevel::kInfo, expr)
+#define DELTA_LOG_WARN(expr) DELTA_LOG(::delta::util::LogLevel::kWarn, expr)
+#define DELTA_LOG_ERROR(expr) DELTA_LOG(::delta::util::LogLevel::kError, expr)
+
+}  // namespace delta::util

@@ -1,0 +1,83 @@
+// Deterministic pseudo-random number generation and the heavy-tailed
+// distributions used by the workload synthesizer.
+//
+// All randomness in the repository flows through Rng so that every trace,
+// every randomized-loading coin flip (LoadManager, Fig. 6) and every
+// experiment is reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace delta::util {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64. Small, fast,
+/// and high quality; deliberately not std::mt19937 so that traces are stable
+/// across standard-library implementations.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Bernoulli trial: true with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Standard normal via Box-Muller (no cached spare: keeps state minimal).
+  double normal(double mean, double stddev);
+
+  /// Log-normal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with the given mean. Requires mean > 0.
+  double exponential(double mean);
+
+  /// Pareto (Lomax-style, xm scale, alpha shape): heavy-tailed sizes.
+  double pareto(double xm, double alpha);
+
+  /// Index in [0, weights.size()) drawn proportionally to weights.
+  /// Requires a non-empty vector with non-negative weights, not all zero.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle of an index vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (stable given the call sequence).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipf sampler over ranks {0..n-1} with exponent s, using precomputed CDF.
+/// Used for template popularity and hotspot weighting.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+
+  std::size_t sample(Rng& rng) const;
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace delta::util

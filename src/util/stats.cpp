@@ -1,0 +1,81 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace delta::util {
+
+void StreamingStats::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double StreamingStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StreamingStats::stddev() const {
+  return std::sqrt(variance());
+}
+
+LogHistogram::LogHistogram(double base, double growth, std::size_t bucket_count)
+    : base_(base), growth_(growth), buckets_(bucket_count + 1, 0) {
+  DELTA_CHECK(base > 0.0 && growth > 1.0 && bucket_count > 0);
+}
+
+double LogHistogram::bucket_upper_edge(std::size_t i) const {
+  return base_ * std::pow(growth_, static_cast<double>(i));
+}
+
+void LogHistogram::add(double value) {
+  ++total_;
+  if (value < base_) {
+    ++buckets_[0];
+    return;
+  }
+  const auto idx = static_cast<std::size_t>(
+      std::floor(std::log(value / base_) / std::log(growth_)) + 1);
+  ++buckets_[std::min(idx, buckets_.size() - 1)];
+}
+
+double LogHistogram::quantile(double q) const {
+  DELTA_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return 0.0;
+  const auto target = static_cast<std::int64_t>(
+      q * static_cast<double>(total_ - 1));
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) return bucket_upper_edge(i);
+  }
+  return bucket_upper_edge(buckets_.size() - 1);
+}
+
+std::string LogHistogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    os << "<" << bucket_upper_edge(i) << ": " << buckets_[i] << "  ";
+  }
+  return os.str();
+}
+
+double QuantileSketch::quantile(double q) const {
+  DELTA_CHECK(q >= 0.0 && q <= 1.0);
+  if (values_.empty()) return 0.0;
+  std::sort(values_.begin(), values_.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(values_.size() - 1));
+  return values_[idx];
+}
+
+}  // namespace delta::util

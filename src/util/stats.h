@@ -1,0 +1,68 @@
+// Streaming statistics and fixed-bin histograms used by metrics collection
+// and by the workload calibration pass.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace delta::util {
+
+/// Welford-style streaming mean/variance with min/max tracking.
+class StreamingStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Log-spaced histogram for heavy-tailed byte quantities. Values below the
+/// first bucket edge land in bucket 0; values past the last edge in the
+/// overflow bucket.
+class LogHistogram {
+ public:
+  /// Buckets: [0, base), [base, base*growth), ... `bucket_count` buckets.
+  LogHistogram(double base, double growth, std::size_t bucket_count);
+
+  void add(double value);
+
+  [[nodiscard]] std::int64_t total_count() const { return total_; }
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  double base_;
+  double growth_;
+  std::vector<std::int64_t> buckets_;
+  std::int64_t total_ = 0;
+
+  [[nodiscard]] double bucket_upper_edge(std::size_t i) const;
+};
+
+/// Exact-quantile helper for modest sample counts (sorts on demand).
+class QuantileSketch {
+ public:
+  void add(double v) { values_.push_back(v); }
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+ private:
+  mutable std::vector<double> values_;
+};
+
+}  // namespace delta::util

@@ -1,0 +1,52 @@
+#include "util/timeseries.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace delta::util {
+
+CumulativeSeries::CumulativeSeries(std::int64_t stride) : stride_(stride) {
+  DELTA_CHECK(stride > 0);
+}
+
+void CumulativeSeries::observe(std::int64_t event_index,
+                               double cumulative_value) {
+  DELTA_CHECK(event_index >= last_index_);
+  last_index_ = event_index;
+  last_value_ = cumulative_value;
+  last_recorded_ = false;
+  if (event_index >= next_sample_) {
+    points_.push_back({event_index, cumulative_value});
+    next_sample_ = event_index + stride_;
+    last_recorded_ = true;
+  }
+}
+
+void CumulativeSeries::finalize() {
+  if (!last_recorded_ && last_index_ >= 0) {
+    points_.push_back({last_index_, last_value_});
+    last_recorded_ = true;
+  }
+}
+
+double CumulativeSeries::value_at(std::int64_t event_index) const {
+  DELTA_CHECK(!points_.empty());
+  if (event_index <= points_.front().event_index) {
+    return points_.front().value;
+  }
+  if (event_index >= points_.back().event_index) {
+    return points_.back().value;
+  }
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), event_index,
+      [](const Point& p, std::int64_t idx) { return p.event_index < idx; });
+  const Point& hi = *it;
+  const Point& lo = *(it - 1);
+  if (hi.event_index == lo.event_index) return hi.value;
+  const double frac = static_cast<double>(event_index - lo.event_index) /
+                      static_cast<double>(hi.event_index - lo.event_index);
+  return lo.value + frac * (hi.value - lo.value);
+}
+
+}  // namespace delta::util

@@ -1,0 +1,46 @@
+// Sampled cumulative time-series: the representation behind every
+// "cumulative traffic cost along the event sequence" figure (Fig. 7b, 8b).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace delta::util {
+
+/// Records (event index, cumulative value) samples at a fixed stride plus a
+/// final sample, keeping figure-series memory bounded on 500k-event runs.
+class CumulativeSeries {
+ public:
+  explicit CumulativeSeries(std::int64_t stride = 1000);
+
+  /// Observe the cumulative value at the given event index. Indices must be
+  /// non-decreasing across calls.
+  void observe(std::int64_t event_index, double cumulative_value);
+
+  /// Force-record the latest observed point (call once at end of run).
+  void finalize();
+
+  struct Point {
+    std::int64_t event_index = 0;
+    double value = 0.0;
+  };
+
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+  [[nodiscard]] double last_value() const { return last_value_; }
+
+  /// Linear interpolation of the series at an arbitrary event index
+  /// (clamped to the recorded range). Requires at least one point.
+  [[nodiscard]] double value_at(std::int64_t event_index) const;
+
+ private:
+  std::int64_t stride_;
+  std::int64_t next_sample_ = 0;
+  std::int64_t last_index_ = -1;
+  double last_value_ = 0.0;
+  bool last_recorded_ = true;
+  std::vector<Point> points_;
+};
+
+}  // namespace delta::util

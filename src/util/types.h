@@ -1,0 +1,118 @@
+// Strong identifier and quantity types shared across the Delta middleware.
+//
+// Network costs in Delta are byte quantities (the paper's ν(q), ν(u), l(o));
+// they are carried as signed 64-bit counts per ES.102 ("use signed types for
+// arithmetic") and wrapped in a Bytes value type so that costs, sizes and
+// capacities cannot be silently mixed with unrelated integers.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <functional>
+#include <iosfwd>
+
+namespace delta {
+
+/// A byte quantity: object sizes, query-result sizes, update payload sizes,
+/// cache capacities and network-traffic totals.
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::int64_t count) : count_(count) {}
+
+  [[nodiscard]] constexpr std::int64_t count() const { return count_; }
+  [[nodiscard]] constexpr double as_double() const {
+    return static_cast<double>(count_);
+  }
+  [[nodiscard]] constexpr double gib() const {
+    return as_double() / (1024.0 * 1024.0 * 1024.0);
+  }
+  [[nodiscard]] constexpr double mib() const {
+    return as_double() / (1024.0 * 1024.0);
+  }
+
+  constexpr Bytes& operator+=(Bytes other) {
+    count_ += other.count_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes other) {
+    count_ -= other.count_;
+    return *this;
+  }
+
+  friend constexpr Bytes operator+(Bytes a, Bytes b) {
+    return Bytes{a.count_ + b.count_};
+  }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) {
+    return Bytes{a.count_ - b.count_};
+  }
+  friend constexpr Bytes operator*(Bytes a, std::int64_t k) {
+    return Bytes{a.count_ * k};
+  }
+  friend constexpr auto operator<=>(Bytes, Bytes) = default;
+
+ private:
+  std::int64_t count_ = 0;
+};
+
+constexpr Bytes operator""_B(unsigned long long v) {
+  return Bytes{static_cast<std::int64_t>(v)};
+}
+constexpr Bytes operator""_KiB(unsigned long long v) {
+  return Bytes{static_cast<std::int64_t>(v) * 1024};
+}
+constexpr Bytes operator""_MiB(unsigned long long v) {
+  return Bytes{static_cast<std::int64_t>(v) * 1024 * 1024};
+}
+constexpr Bytes operator""_GiB(unsigned long long v) {
+  return Bytes{static_cast<std::int64_t>(v) * 1024 * 1024 * 1024};
+}
+
+std::ostream& operator<<(std::ostream& os, Bytes b);
+
+/// CRTP-free strongly-typed integer id. `Tag` distinguishes unrelated id
+/// spaces at compile time (P.4: static type safety).
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::int64_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::int64_t value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ >= 0; }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+  static constexpr Id invalid() { return Id{-1}; }
+
+ private:
+  std::int64_t value_ = -1;
+};
+
+struct ObjectIdTag {};
+struct QueryIdTag {};
+struct UpdateIdTag {};
+struct TrixelIdTag {};
+
+/// A data-object (spatial partition) identifier; the paper's o1..oN.
+using ObjectId = Id<ObjectIdTag>;
+/// A user query identifier; the paper's q.
+using QueryId = Id<QueryIdTag>;
+/// A repository update identifier; the paper's u.
+using UpdateId = Id<UpdateIdTag>;
+
+/// Logical time in the merged query/update event sequence. The paper's
+/// traces are ordered streams; staleness tolerances t(q) are expressed in
+/// these units.
+using EventTime = std::int64_t;
+
+}  // namespace delta
+
+namespace std {
+template <typename Tag>
+struct hash<delta::Id<Tag>> {
+  size_t operator()(delta::Id<Tag> id) const noexcept {
+    return std::hash<std::int64_t>{}(id.value());
+  }
+};
+}  // namespace std

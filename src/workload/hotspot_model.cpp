@@ -1,0 +1,90 @@
+#include "workload/hotspot_model.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace delta::workload {
+
+HotspotModel::HotspotModel(const Params& params, util::Rng rng)
+    : params_(params),
+      rng_(rng),
+      popularity_(static_cast<std::size_t>(params.cluster_count),
+                  params.popularity_exponent) {
+  DELTA_CHECK(params.cluster_count > 0);
+  DELTA_CHECK(params.hotspot_probability >= 0.0 &&
+              params.hotspot_probability <= 1.0);
+  centers_.reserve(static_cast<std::size_t>(params.cluster_count));
+  next_jump_.reserve(static_cast<std::size_t>(params.cluster_count));
+  for (int i = 0; i < params.cluster_count; ++i) {
+    centers_.push_back(random_footprint_point());
+    next_jump_.push_back(draw_dwell(0));
+  }
+}
+
+htm::Vec3 HotspotModel::random_footprint_point() {
+  // Rejection sampling of a uniform direction within the footprint cap.
+  htm::Vec3 fallback = params_.footprint_center;
+  for (int attempt = 0; attempt < 10'000; ++attempt) {
+    const htm::Vec3 p = htm::normalized(
+        {rng_.normal(0, 1), rng_.normal(0, 1), rng_.normal(0, 1)});
+    if (htm::angular_distance(p, params_.footprint_center) >
+        params_.footprint_radius_rad) {
+      continue;
+    }
+    fallback = p;
+    if (!params_.placement_acceptor || params_.placement_acceptor(p)) {
+      return p;
+    }
+  }
+  return fallback;  // acceptor too strict: fall back to any footprint point
+}
+
+EventTime HotspotModel::draw_dwell(EventTime now) {
+  return now +
+         static_cast<EventTime>(rng_.exponential(params_.mean_dwell_events)) +
+         1;
+}
+
+htm::Vec3 HotspotModel::sample_query_center(EventTime now) {
+  // Relocate clusters whose dwell expired: usually a local drift, sometimes
+  // a serendipitous global jump.
+  for (std::size_t i = 0; i < centers_.size(); ++i) {
+    if (next_jump_[i] <= now) {
+      if (rng_.bernoulli(params_.global_jump_fraction)) {
+        centers_[i] = random_footprint_point();
+      } else {
+        const double s = params_.local_jump_sigma_rad;
+        const htm::Vec3& c = centers_[i];
+        const htm::Vec3 moved = htm::normalized(
+            {c.x + rng_.normal(0, s), c.y + rng_.normal(0, s),
+             c.z + rng_.normal(0, s)});
+        if (htm::angular_distance(moved, params_.footprint_center) <=
+                params_.footprint_radius_rad &&
+            (!params_.placement_acceptor ||
+             params_.placement_acceptor(moved))) {
+          centers_[i] = moved;
+        }
+      }
+      next_jump_[i] = draw_dwell(now);
+      ++relocations_;
+    }
+  }
+  if (!rng_.bernoulli(params_.hotspot_probability)) {
+    return random_footprint_point();  // serendipitous exploration
+  }
+  const std::size_t cluster = popularity_.sample(rng_);
+  // Gaussian scatter around the cluster center, clipped to the footprint.
+  const htm::Vec3& c = centers_[cluster];
+  const double s = params_.cluster_sigma_rad;
+  const htm::Vec3 p = htm::normalized({c.x + rng_.normal(0, s),
+                                       c.y + rng_.normal(0, s),
+                                       c.z + rng_.normal(0, s)});
+  if (htm::angular_distance(p, params_.footprint_center) <=
+      params_.footprint_radius_rad) {
+    return p;
+  }
+  return c;
+}
+
+}  // namespace delta::workload

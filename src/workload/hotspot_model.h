@@ -1,0 +1,74 @@
+// Evolving query-hotspot process.
+//
+// Scientific workloads "exhibit a constant evolution in the queried data
+// objects … entirely different sets of data objects being queried in a short
+// time period" (§1). The model keeps a small set of active interest clusters
+// inside the survey footprint; each query targets a cluster (Zipf-weighted)
+// or, with some probability, a serendipitous uniform position. Clusters
+// relocate after exponentially-distributed dwell times, which produces the
+// hotspot drift visible in Fig. 7a.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "htm/vec3.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace delta::workload {
+
+class HotspotModel {
+ public:
+  struct Params {
+    int cluster_count = 4;
+    /// Probability a query targets a cluster rather than a random position.
+    double hotspot_probability = 0.92;
+    /// Mean dwell (in events) before a cluster relocates. Relocations mix
+    /// local drift (interest moves to data "close to or related to" the
+    /// current data, §6.2) with occasional serendipitous global jumps that
+    /// move the cluster anywhere in the footprint.
+    double mean_dwell_events = 130'000.0;
+    double global_jump_fraction = 0.2;
+    double local_jump_sigma_rad = 0.06;
+    /// Angular spread of query centers around a cluster center (radians).
+    double cluster_sigma_rad = 0.022;
+    /// Zipf exponent for cluster popularity.
+    double popularity_exponent = 0.9;
+    /// Survey footprint (queries stay inside it).
+    htm::Vec3 footprint_center = htm::from_ra_dec(185.0, 32.0);
+    double footprint_radius_rad = 1.1;
+    /// Optional predicate constraining where clusters may settle (e.g.
+    /// extragalactic programs prefer moderate-density fields away from the
+    /// densest partitions). Cluster centers — not individual queries — are
+    /// filtered, so query scatter still spills into neighbours.
+    std::function<bool(const htm::Vec3&)> placement_acceptor;
+  };
+
+  HotspotModel(const Params& params, util::Rng rng);
+
+  /// Draws the sky position targeted by the query arriving at `now`,
+  /// advancing cluster relocations that are due.
+  htm::Vec3 sample_query_center(EventTime now);
+
+  /// Current cluster centers (testing / Fig. 7a diagnostics).
+  [[nodiscard]] const std::vector<htm::Vec3>& cluster_centers() const {
+    return centers_;
+  }
+
+  /// Total relocations so far.
+  [[nodiscard]] std::int64_t relocation_count() const { return relocations_; }
+
+ private:
+  Params params_;
+  util::Rng rng_;
+  util::ZipfSampler popularity_;
+  std::vector<htm::Vec3> centers_;
+  std::vector<EventTime> next_jump_;
+  std::int64_t relocations_ = 0;
+
+  htm::Vec3 random_footprint_point();
+  [[nodiscard]] EventTime draw_dwell(EventTime now);
+};
+
+}  // namespace delta::workload

@@ -1,0 +1,97 @@
+#include "workload/scan_model.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace delta::workload {
+
+namespace {
+
+/// An orthonormal pair spanning the plane perpendicular to `n`.
+std::pair<htm::Vec3, htm::Vec3> orthonormal_basis(const htm::Vec3& n) {
+  const htm::Vec3 seed =
+      std::fabs(n.z) < 0.9 ? htm::Vec3{0.0, 0.0, 1.0} : htm::Vec3{1.0, 0.0, 0.0};
+  const htm::Vec3 u = htm::normalized(htm::cross(n, seed));
+  const htm::Vec3 v = htm::normalized(htm::cross(n, u));
+  return {u, v};
+}
+
+}  // namespace
+
+ScanModel::ScanModel(const Params& params, util::Rng rng)
+    : params_(params), rng_(rng) {
+  DELTA_CHECK(params.stripe_count > 0);
+  DELTA_CHECK(params.step_rad > 0.0);
+  // Stripe poles: nearly orthogonal to the footprint center so each great
+  // circle crosses the footprint, tilted so different stripes cross at
+  // different offsets from the center (distinct declination-like bands).
+  const htm::Vec3 f = htm::normalized(params.footprint_center);
+  const auto [e1, e2] = orthonormal_basis(f);
+  stripe_poles_.reserve(static_cast<std::size_t>(params.stripe_count));
+  for (int i = 0; i < params.stripe_count; ++i) {
+    const double frac =
+        params.stripe_count == 1
+            ? 0.5
+            : static_cast<double>(i) / (params.stripe_count - 1);
+    const double tilt =
+        (params.tilt_lo_frac +
+         frac * (params.tilt_hi_frac - params.tilt_lo_frac)) *
+        params.footprint_radius_rad;
+    const double pa = 2.0 * std::numbers::pi * static_cast<double>(i) /
+                      params.stripe_count;
+    const htm::Vec3 equatorial = e1 * std::cos(pa) + e2 * std::sin(pa);
+    stripe_poles_.push_back(
+        htm::normalized(equatorial * std::cos(tilt) + f * std::sin(tilt)));
+  }
+  begin_night();
+}
+
+void ScanModel::begin_night() {
+  if (rng_.bernoulli(params_.random_stripe_probability)) {
+    current_stripe_ = static_cast<int>(
+        rng_.uniform_int(0, params_.stripe_count - 1));
+  } else {
+    current_stripe_ = night_counter_ % params_.stripe_count;
+  }
+  ++night_counter_;
+  const htm::Vec3& base = stripe_poles_[static_cast<std::size_t>(current_stripe_)];
+  night_pole_ = htm::normalized(
+      {base.x + rng_.normal(0, params_.pole_jitter_rad),
+       base.y + rng_.normal(0, params_.pole_jitter_rad),
+       base.z + rng_.normal(0, params_.pole_jitter_rad)});
+  const auto [u, v] = orthonormal_basis(night_pole_);
+  basis_u_ = u;
+  basis_v_ = v;
+  // Enter the footprint at a random angle on the circle that lies inside.
+  angle_ = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+  for (int i = 0; i < 4096; ++i) {
+    const htm::Vec3 p = basis_u_ * std::cos(angle_) + basis_v_ * std::sin(angle_);
+    if (htm::angular_distance(p, params_.footprint_center) <=
+        params_.footprint_radius_rad) {
+      return;
+    }
+    angle_ += params_.step_rad * 4.0;
+  }
+  // Circle misses the footprint (extreme jitter): fall back to the center.
+  angle_ = 0.0;
+}
+
+htm::Vec3 ScanModel::next_position() {
+  for (int i = 0; i < 4096; ++i) {
+    const htm::Vec3 p = htm::normalized(basis_u_ * std::cos(angle_) +
+                                        basis_v_ * std::sin(angle_));
+    angle_ += params_.step_rad;
+    if (angle_ >= 2.0 * std::numbers::pi) {
+      angle_ -= 2.0 * std::numbers::pi;
+    }
+    if (htm::angular_distance(p, params_.footprint_center) <=
+        params_.footprint_radius_rad) {
+      return p;
+    }
+  }
+  return params_.footprint_center;  // degenerate jitter: stay in footprint
+}
+
+}  // namespace delta::workload

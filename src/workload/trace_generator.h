@@ -1,0 +1,117 @@
+// SDSS-style trace synthesis (DESIGN.md §3 substitution).
+//
+// Queries: a template mixture (cone searches, ra/dec range scans, spatial
+// self-joins, aggregations, sky-scan chunks) positioned by the evolving
+// hotspot process, with result sizes derived from the density model and a
+// long warm-up of cheap queries (the paper's trace property, §6.1).
+// Updates: great-circle telescope scans with batch sizes proportional to the
+// target object's density. Both streams are then calibrated to the paper's
+// traffic magnitudes (~300 GB of post-warm-up query results; ~2 MB mean
+// update, giving Replica ≈ 260 GB at 250 k updates).
+//
+// Determinism: generate(seed) is a pure function of (partition map, density
+// model, params, seed).
+#pragma once
+
+#include <memory>
+
+#include "htm/partition_map.h"
+#include "storage/catalog.h"
+#include "storage/density_model.h"
+#include "workload/hotspot_model.h"
+#include "workload/scan_model.h"
+#include "workload/trace.h"
+
+namespace delta::workload {
+
+struct TraceParams {
+  std::int64_t query_count = 250'000;
+  std::int64_t update_count = 250'000;
+
+  /// Post-warm-up calibration targets.
+  double postwarmup_query_gb = 300.0;
+  double mean_postwarmup_update_mb = 2.1;
+
+  /// Fraction of queries considered warm-up; their sizes ramp geometrically
+  /// from `warmup_floor` up to full scale, reaching full scale at
+  /// `warmup_ramp_end` of the warm-up (the tail of the warm-up then carries
+  /// full-sized queries, so cache loading completes before the measurement
+  /// window opens — as in the paper, where the cache warms during the
+  /// excluded first 250 k events).
+  double warmup_fraction = 0.5;
+  double warmup_floor = 0.02;
+  double warmup_ramp_end = 0.3;
+
+  /// Template mixture weights (need not be normalized).
+  double cone_weight = 0.55;
+  double rect_weight = 0.20;
+  double join_weight = 0.10;
+  double agg_weight = 0.10;
+  double scan_chunk_weight = 0.05;
+
+  /// Region sizing.
+  double cone_radius_median_rad = 0.015;  // ~0.9 degrees
+  double cone_radius_sigma = 0.9;
+  double cone_radius_max_rad = 0.06;
+  double rect_side_median_deg = 1.2;
+  double rect_side_sigma = 0.8;
+  double rect_side_max_deg = 3.0;
+  double scan_chunk_ra_lo_deg = 10.0;
+  double scan_chunk_ra_hi_deg = 25.0;
+  double scan_chunk_dec_lo_deg = 0.5;
+  double scan_chunk_dec_hi_deg = 1.5;
+
+  /// Output sizing (fraction of scanned rows' bytes returned).
+  double projection_lo = 0.05;
+  double projection_hi = 1.0;
+  double join_output_lo = 0.01;
+  double join_output_hi = 0.25;
+  double agg_bytes_lo = 4096.0;
+  double agg_bytes_hi = 65536.0;
+
+  /// Staleness-tolerance mixture (t(q), in merged-event units).
+  double strict_fraction = 0.55;
+  double moderate_fraction = 0.30;
+  EventTime moderate_tolerance_lo = 200;
+  EventTime moderate_tolerance_hi = 2'000;
+  EventTime loose_tolerance_lo = 5'000;
+  EventTime loose_tolerance_hi = 20'000;
+
+  /// Interleaving: queries arrive in blocks, updates in nightly bursts.
+  double mean_query_block = 120.0;
+
+  /// Update sizing before calibration.
+  double update_rows_base = 500.0;
+  double update_rows_sigma = 0.5;
+  /// Exponent tying batch size to object density ("the size of an update is
+  /// proportional to the density of the data object", §6.1).
+  double update_density_exponent = 1.0;
+
+  /// Query clusters settle only on objects at most this large (0 disables
+  /// the filter). Keeps the hot working set's demand/load-cost ratio high —
+  /// interest programs rarely camp on the very densest partitions.
+  double hotspot_max_object_gb = 12.0;
+
+  HotspotModel::Params hotspot;
+  ScanModel::Params scan;
+};
+
+class TraceGenerator {
+ public:
+  /// `map` must be built from `density.weights()` *after* the density has
+  /// been scaled to total rows (so partition weights are row counts).
+  TraceGenerator(std::shared_ptr<const htm::PartitionMap> map,
+                 const storage::DensityModel& density,
+                 TraceParams params = {});
+
+  [[nodiscard]] Trace generate(std::uint64_t seed) const;
+
+  [[nodiscard]] const TraceParams& params() const { return params_; }
+
+ private:
+  std::shared_ptr<const htm::PartitionMap> map_;
+  const storage::DensityModel* density_;
+  TraceParams params_;
+};
+
+}  // namespace delta::workload

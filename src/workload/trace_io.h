@@ -1,0 +1,25 @@
+// Trace (de)serialization: a line-oriented text format so synthesized
+// workloads can be archived, diffed and replayed across runs and tools.
+// The merged event order is implicit — event times are unique and strictly
+// increasing, so loading reconstructs it by a time merge.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/trace.h"
+
+namespace delta::workload {
+
+/// Writes the trace in the versioned "delta-trace v1" text format.
+void write_trace(std::ostream& os, const Trace& trace);
+
+/// Parses a trace written by write_trace. Throws std::logic_error on
+/// malformed input. The result passes Trace::validate().
+Trace read_trace(std::istream& is);
+
+/// Convenience file wrappers.
+void save_trace(const std::string& path, const Trace& trace);
+Trace load_trace(const std::string& path);
+
+}  // namespace delta::workload

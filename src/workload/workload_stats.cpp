@@ -1,0 +1,109 @@
+#include "workload/workload_stats.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace delta::workload {
+
+WorkloadStats WorkloadStats::compute(const Trace& trace,
+                                     EventTime from_event) {
+  WorkloadStats stats;
+  const std::size_t n = trace.initial_object_bytes.size();
+  stats.query_touches.assign(n, 0);
+  stats.query_bytes.assign(n, 0.0);
+  stats.update_counts.assign(n, 0);
+  stats.update_bytes.assign(n, 0.0);
+  for (const Query& q : trace.queries) {
+    if (q.time < from_event) continue;
+    // Attribute the full result size to every object the query touches
+    // (diagnostic attribution; the policies use their own cost splits).
+    for (const ObjectId o : q.objects) {
+      const auto i = static_cast<std::size_t>(o.value());
+      ++stats.query_touches[i];
+      stats.query_bytes[i] += q.cost.as_double() /
+                              static_cast<double>(q.objects.size());
+    }
+  }
+  for (const Update& u : trace.updates) {
+    if (u.time < from_event) continue;
+    const auto i = static_cast<std::size_t>(u.object.value());
+    ++stats.update_counts[i];
+    stats.update_bytes[i] += u.cost.as_double();
+  }
+  return stats;
+}
+
+namespace {
+
+std::vector<ObjectId> rank_desc(const std::vector<double>& score,
+                                std::size_t n) {
+  std::vector<std::size_t> idx(score.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return score[a] > score[b];
+  });
+  std::vector<ObjectId> out;
+  out.reserve(std::min(n, idx.size()));
+  for (std::size_t i = 0; i < idx.size() && out.size() < n; ++i) {
+    if (score[idx[i]] <= 0.0) break;
+    out.push_back(ObjectId{static_cast<std::int64_t>(idx[i])});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ObjectId> WorkloadStats::top_query_objects(std::size_t n) const {
+  return rank_desc(query_bytes, n);
+}
+
+std::vector<ObjectId> WorkloadStats::top_update_objects(std::size_t n) const {
+  return rank_desc(update_bytes, n);
+}
+
+double WorkloadStats::query_concentration(std::size_t n) const {
+  const double total =
+      std::accumulate(query_bytes.begin(), query_bytes.end(), 0.0);
+  if (total <= 0.0) return 0.0;
+  double top = 0.0;
+  for (const ObjectId o : top_query_objects(n)) {
+    top += query_bytes[static_cast<std::size_t>(o.value())];
+  }
+  return top / total;
+}
+
+double WorkloadStats::hotspot_overlap(std::size_t n) const {
+  const auto q = top_query_objects(n);
+  const auto u = top_update_objects(n);
+  if (q.empty() || u.empty()) return 0.0;
+  std::unordered_set<ObjectId> qs{q.begin(), q.end()};
+  std::size_t inter = 0;
+  for (const ObjectId o : u) inter += qs.count(o);
+  const std::size_t uni = q.size() + u.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) /
+                              static_cast<double>(uni);
+}
+
+std::vector<ScatterPoint> sample_scatter(const Trace& trace,
+                                         std::int64_t stride) {
+  DELTA_CHECK(stride > 0);
+  std::vector<ScatterPoint> points;
+  for (std::int64_t e = 0; e < trace.event_count(); e += stride) {
+    const Event& ev = trace.order[static_cast<std::size_t>(e)];
+    if (ev.kind == Event::Kind::kQuery) {
+      const Query& q = trace.queries[static_cast<std::size_t>(ev.index)];
+      for (const ObjectId o : q.objects) {
+        points.push_back({q.time, false, o});
+      }
+    } else {
+      const Update& u = trace.updates[static_cast<std::size_t>(ev.index)];
+      points.push_back({u.time, true, u.object});
+    }
+  }
+  return points;
+}
+
+}  // namespace delta::workload

@@ -1,0 +1,48 @@
+// Workload diagnostics: the per-object query/update footprint behind
+// Fig. 7a (object-IDs touched along the event sequence; query hotspots vs
+// update hotspots) and summary statistics used by the calibration tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+#include "workload/trace.h"
+
+namespace delta::workload {
+
+struct WorkloadStats {
+  /// Per-object counters over [from_event, end), indexed by ObjectId.
+  std::vector<std::int64_t> query_touches;
+  std::vector<double> query_bytes;  // ν(q) attributed to each touched object
+  std::vector<std::int64_t> update_counts;
+  std::vector<double> update_bytes;
+
+  static WorkloadStats compute(const Trace& trace, EventTime from_event = 0);
+
+  /// Objects ranked by attributed query bytes (descending).
+  [[nodiscard]] std::vector<ObjectId> top_query_objects(std::size_t n) const;
+
+  /// Objects ranked by update bytes (descending).
+  [[nodiscard]] std::vector<ObjectId> top_update_objects(std::size_t n) const;
+
+  /// Fraction of total attributed query bytes covered by the top-n objects.
+  [[nodiscard]] double query_concentration(std::size_t n) const;
+
+  /// Jaccard overlap between the top-n query objects and top-n update
+  /// objects — low overlap is what makes decoupling profitable.
+  [[nodiscard]] double hotspot_overlap(std::size_t n) const;
+};
+
+/// One row of the Fig. 7a scatter: an event and one object it touches.
+struct ScatterPoint {
+  EventTime time = 0;
+  bool is_update = false;
+  ObjectId object;
+};
+
+/// Samples every `stride`-th event (all objects a sampled query touches).
+std::vector<ScatterPoint> sample_scatter(const Trace& trace,
+                                         std::int64_t stride);
+
+}  // namespace delta::workload

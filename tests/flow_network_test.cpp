@@ -1,0 +1,142 @@
+#include "flow/network.h"
+
+#include <gtest/gtest.h>
+
+namespace delta::flow {
+namespace {
+
+TEST(FlowNetworkTest, AddNodesAndEdges) {
+  FlowNetwork net;
+  const NodeIndex a = net.add_node();
+  const NodeIndex b = net.add_node();
+  EXPECT_TRUE(net.is_active(a));
+  EXPECT_TRUE(net.is_active(b));
+  EXPECT_EQ(net.active_node_count(), 2u);
+
+  const EdgeId e = net.add_edge(a, b, 10);
+  EXPECT_EQ(net.active_edge_count(), 1u);
+  EXPECT_EQ(net.edge(e).from, a);
+  EXPECT_EQ(net.edge(e).to, b);
+  EXPECT_EQ(net.edge(e).cap, 10);
+  EXPECT_EQ(net.residual(e), 10);
+  // Paired reverse edge.
+  const EdgeId r = net.pair_of(e);
+  EXPECT_EQ(net.edge(r).from, b);
+  EXPECT_EQ(net.edge(r).to, a);
+  EXPECT_EQ(net.edge(r).cap, 0);
+}
+
+TEST(FlowNetworkTest, FlowUpdatesBothDirections) {
+  FlowNetwork net;
+  const NodeIndex a = net.add_node();
+  const NodeIndex b = net.add_node();
+  const EdgeId e = net.add_edge(a, b, 10);
+  net.add_flow(e, 7);
+  EXPECT_EQ(net.residual(e), 3);
+  EXPECT_EQ(net.residual(net.pair_of(e)), 7);
+  net.add_flow(e, -2);
+  EXPECT_EQ(net.residual(e), 5);
+  EXPECT_EQ(net.outflow(a), 5);
+}
+
+TEST(FlowNetworkTest, RemoveEdgeRequiresZeroFlow) {
+  FlowNetwork net;
+  const NodeIndex a = net.add_node();
+  const NodeIndex b = net.add_node();
+  const EdgeId e = net.add_edge(a, b, 10);
+  net.add_flow(e, 1);
+  EXPECT_THROW(net.remove_edge(e), std::logic_error);
+  net.add_flow(e, -1);
+  net.remove_edge(e);
+  EXPECT_EQ(net.active_edge_count(), 0u);
+}
+
+TEST(FlowNetworkTest, RemoveNodeDropsIncidentEdges) {
+  FlowNetwork net;
+  const NodeIndex a = net.add_node();
+  const NodeIndex b = net.add_node();
+  const NodeIndex c = net.add_node();
+  net.add_edge(a, b, 1);
+  net.add_edge(b, c, 2);
+  net.add_edge(a, c, 3);
+  EXPECT_EQ(net.active_edge_count(), 3u);
+  net.remove_node(b);
+  EXPECT_FALSE(net.is_active(b));
+  EXPECT_EQ(net.active_edge_count(), 1u);  // only a->c remains
+  EXPECT_NE(net.first_edge(a), kNoEdge);
+  EXPECT_EQ(net.edge(net.first_edge(a)).to, c);
+}
+
+TEST(FlowNetworkTest, NodeSlotsAreRecycled) {
+  FlowNetwork net;
+  const NodeIndex a = net.add_node();
+  const NodeIndex b = net.add_node();
+  (void)b;
+  net.remove_node(a);
+  const NodeIndex c = net.add_node();
+  EXPECT_EQ(c, a);  // slot reuse keeps memory proportional to live graph
+  EXPECT_EQ(net.node_bound(), 2u);
+}
+
+TEST(FlowNetworkTest, EdgeSlotsAreRecycled) {
+  FlowNetwork net;
+  const NodeIndex a = net.add_node();
+  const NodeIndex b = net.add_node();
+  const EdgeId e1 = net.add_edge(a, b, 5);
+  net.remove_edge(e1);
+  const EdgeId e2 = net.add_edge(b, a, 9);
+  EXPECT_EQ(e2, e1);
+}
+
+TEST(FlowNetworkTest, FeasibilityCheck) {
+  FlowNetwork net;
+  const NodeIndex s = net.add_node();
+  const NodeIndex m = net.add_node();
+  const NodeIndex t = net.add_node();
+  const EdgeId e1 = net.add_edge(s, m, 10);
+  const EdgeId e2 = net.add_edge(m, t, 10);
+  EXPECT_TRUE(net.flow_is_feasible(s, t));
+  net.add_flow(e1, 4);
+  EXPECT_FALSE(net.flow_is_feasible(s, t));  // conservation broken at m
+  net.add_flow(e2, 4);
+  EXPECT_TRUE(net.flow_is_feasible(s, t));
+}
+
+TEST(FlowNetworkTest, ZeroFlowCopyPreservesStructure) {
+  FlowNetwork net;
+  const NodeIndex a = net.add_node();
+  const NodeIndex b = net.add_node();
+  const EdgeId e = net.add_edge(a, b, 10);
+  net.add_flow(e, 6);
+  FlowNetwork copy = net.zero_flow_copy();
+  EXPECT_EQ(copy.residual(e), 10);
+  EXPECT_EQ(net.residual(e), 4);  // original untouched
+  EXPECT_EQ(copy.active_edge_count(), 1u);
+}
+
+TEST(FlowNetworkTest, SelfLoopRejected) {
+  FlowNetwork net;
+  const NodeIndex a = net.add_node();
+  EXPECT_THROW(net.add_edge(a, a, 1), std::logic_error);
+}
+
+TEST(FlowNetworkTest, IterationVisitsAllIncidentEdges) {
+  FlowNetwork net;
+  const NodeIndex hub = net.add_node();
+  constexpr int kSpokes = 20;
+  for (int i = 0; i < kSpokes; ++i) {
+    const NodeIndex v = net.add_node();
+    net.add_edge(hub, v, i + 1);
+  }
+  int count = 0;
+  Capacity total_cap = 0;
+  for (EdgeId e = net.first_edge(hub); e != kNoEdge; e = net.edge(e).next) {
+    ++count;
+    total_cap += net.edge(e).cap;
+  }
+  EXPECT_EQ(count, kSpokes);
+  EXPECT_EQ(total_cap, kSpokes * (kSpokes + 1) / 2);
+}
+
+}  // namespace
+}  // namespace delta::flow

@@ -1,0 +1,173 @@
+// Property-based validation of the incremental min-weight vertex cover:
+//  * cover weight equals a brute-force minimum on random small graphs;
+//  * the cover stays valid (every edge covered) under random incremental
+//    add/remove workloads mimicking the UpdateManager's remainder pruning;
+//  * incremental flow equals from-scratch flow after every mutation batch.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "flow/bipartite_cover.h"
+#include "flow/edmonds_karp.h"
+#include "util/rng.h"
+
+namespace delta::flow {
+namespace {
+
+using UpdateNode = BipartiteCoverSolver::UpdateNode;
+using QueryNode = BipartiteCoverSolver::QueryNode;
+
+struct RandomGraph {
+  std::vector<Capacity> update_weights;
+  std::vector<Capacity> query_weights;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;  // (update, query)
+};
+
+RandomGraph make_random_graph(util::Rng& rng, std::size_t max_side) {
+  RandomGraph g;
+  const auto nu = static_cast<std::size_t>(rng.uniform_int(1, static_cast<std::int64_t>(max_side)));
+  const auto nq = static_cast<std::size_t>(rng.uniform_int(1, static_cast<std::int64_t>(max_side)));
+  for (std::size_t i = 0; i < nu; ++i) {
+    g.update_weights.push_back(rng.uniform_int(1, 30));
+  }
+  for (std::size_t i = 0; i < nq; ++i) {
+    g.query_weights.push_back(rng.uniform_int(1, 30));
+  }
+  for (std::size_t u = 0; u < nu; ++u) {
+    for (std::size_t q = 0; q < nq; ++q) {
+      if (rng.bernoulli(0.4)) g.edges.emplace_back(u, q);
+    }
+  }
+  return g;
+}
+
+/// Exponential-time exact minimum-weight vertex cover over update subsets:
+/// choosing the update subset determines the forced query side (any query
+/// with an uncovered incident edge must be picked).
+Capacity brute_force_cover(const RandomGraph& g) {
+  const std::size_t nu = g.update_weights.size();
+  Capacity best = kInfiniteCapacity;
+  for (std::uint64_t mask = 0; mask < (1ULL << nu); ++mask) {
+    Capacity weight = 0;
+    for (std::size_t u = 0; u < nu; ++u) {
+      if (mask & (1ULL << u)) weight += g.update_weights[u];
+    }
+    std::vector<bool> query_needed(g.query_weights.size(), false);
+    for (const auto& [u, q] : g.edges) {
+      if (!(mask & (1ULL << u))) query_needed[q] = true;
+    }
+    for (std::size_t q = 0; q < g.query_weights.size(); ++q) {
+      if (query_needed[q]) weight += g.query_weights[q];
+    }
+    best = std::min(best, weight);
+  }
+  return best;
+}
+
+class CoverPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CoverPropertyTest, MatchesBruteForceMinimum) {
+  util::Rng rng{GetParam()};
+  for (int trial = 0; trial < 25; ++trial) {
+    const RandomGraph g = make_random_graph(rng, 7);
+    BipartiteCoverSolver solver;
+    std::vector<UpdateNode> us;
+    std::vector<QueryNode> qs;
+    us.reserve(g.update_weights.size());
+    qs.reserve(g.query_weights.size());
+    for (const Capacity w : g.update_weights) us.push_back(solver.add_update(w));
+    for (const Capacity w : g.query_weights) qs.push_back(solver.add_query(w));
+    for (const auto& [u, q] : g.edges) solver.connect(us[u], qs[q]);
+    const auto cover = solver.compute();
+    EXPECT_EQ(cover.weight, brute_force_cover(g)) << "trial " << trial;
+    EXPECT_TRUE(solver.last_cover_is_valid());
+  }
+}
+
+TEST_P(CoverPropertyTest, IncrementalEqualsScratchUnderChurn) {
+  util::Rng rng{GetParam() * 977};
+  BipartiteCoverSolver solver;
+  std::vector<UpdateNode> live_updates;
+  std::vector<QueryNode> live_queries;
+
+  for (int step = 0; step < 120; ++step) {
+    const double roll = rng.next_double();
+    if (roll < 0.35 || live_updates.empty()) {
+      live_updates.push_back(solver.add_update(rng.uniform_int(1, 40)));
+    } else if (roll < 0.7 || live_queries.empty()) {
+      const auto q = solver.add_query(rng.uniform_int(1, 40));
+      live_queries.push_back(q);
+      // Connect to a few random live updates.
+      const auto conns = rng.uniform_int(0, 3);
+      for (std::int64_t c = 0; c < conns; ++c) {
+        const auto ui = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(live_updates.size()) - 1));
+        solver.connect(live_updates[ui], live_queries.back());
+      }
+    } else if (roll < 0.85) {
+      // Remove a random update (simulates shipping or eviction).
+      const auto ui = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(live_updates.size()) - 1));
+      solver.remove_update(live_updates[ui]);
+      live_updates.erase(live_updates.begin() +
+                         static_cast<std::ptrdiff_t>(ui));
+      // Prune isolated queries, as the remainder rule does.
+      for (std::size_t i = live_queries.size(); i-- > 0;) {
+        if (solver.degree(live_queries[i]) == 0) {
+          solver.remove_query(live_queries[i]);
+          live_queries.erase(live_queries.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+        }
+      }
+    }
+
+    if (step % 5 == 0) {
+      const auto cover = solver.compute();
+      EXPECT_TRUE(solver.last_cover_is_valid()) << "step " << step;
+      // Incremental flow value must match a from-scratch computation.
+      FlowNetwork scratch = solver.network().zero_flow_copy();
+      // Locate source/sink: they are nodes 0 and 1 by construction order.
+      const Capacity scratch_flow = max_flow_edmonds_karp(scratch, 0, 1);
+      EXPECT_EQ(cover.weight, scratch_flow) << "step " << step;
+    }
+  }
+}
+
+TEST_P(CoverPropertyTest, CoverWeightNeverExceedsEitherSide) {
+  util::Rng rng{GetParam() * 31 + 7};
+  for (int trial = 0; trial < 20; ++trial) {
+    const RandomGraph g = make_random_graph(rng, 8);
+    BipartiteCoverSolver solver;
+    std::vector<UpdateNode> us;
+    std::vector<QueryNode> qs;
+    Capacity touched_updates = 0;
+    Capacity touched_queries = 0;
+    std::vector<bool> utouched(g.update_weights.size(), false);
+    std::vector<bool> qtouched(g.query_weights.size(), false);
+    for (const Capacity w : g.update_weights) us.push_back(solver.add_update(w));
+    for (const Capacity w : g.query_weights) qs.push_back(solver.add_query(w));
+    for (const auto& [u, q] : g.edges) {
+      solver.connect(us[u], qs[q]);
+      if (!utouched[u]) {
+        utouched[u] = true;
+        touched_updates += g.update_weights[u];
+      }
+      if (!qtouched[q]) {
+        qtouched[q] = true;
+        touched_queries += g.query_weights[q];
+      }
+    }
+    const auto cover = solver.compute();
+    // Taking all touched updates, or all touched queries, are both valid
+    // covers; the minimum can be no worse.
+    EXPECT_LE(cover.weight, touched_updates);
+    EXPECT_LE(cover.weight, touched_queries);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoverPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace delta::flow

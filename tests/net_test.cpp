@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/link_model.h"
+#include "net/message.h"
+#include "net/traffic_meter.h"
+#include "net/transport.h"
+
+namespace delta::net {
+namespace {
+
+TEST(TrafficMeterTest, AccumulatesPerMechanism) {
+  TrafficMeter m;
+  m.record(Mechanism::kQueryShip, Bytes{100});
+  m.record(Mechanism::kQueryShip, Bytes{50});
+  m.record(Mechanism::kUpdateShip, Bytes{7});
+  m.record(Mechanism::kObjectLoad, Bytes{1000});
+  m.record(Mechanism::kOverhead, Bytes{64});
+  EXPECT_EQ(m.total(Mechanism::kQueryShip).count(), 150);
+  EXPECT_EQ(m.total(Mechanism::kUpdateShip).count(), 7);
+  EXPECT_EQ(m.total(Mechanism::kObjectLoad).count(), 1000);
+  EXPECT_EQ(m.message_count(Mechanism::kQueryShip), 2);
+  // Figure totals exclude overhead, matching the paper's cost model.
+  EXPECT_EQ(m.figure_total().count(), 1157);
+}
+
+TEST(TrafficMeterTest, ResetClears) {
+  TrafficMeter m;
+  m.record(Mechanism::kQueryShip, Bytes{5});
+  m.reset();
+  EXPECT_EQ(m.figure_total().count(), 0);
+  EXPECT_EQ(m.message_count(Mechanism::kQueryShip), 0);
+}
+
+TEST(TrafficMeterTest, RejectsNegativeBytes) {
+  TrafficMeter m;
+  EXPECT_THROW(m.record(Mechanism::kQueryShip, Bytes{-1}), std::logic_error);
+}
+
+TEST(LoopbackTransportTest, DeliversToRegisteredEndpoint) {
+  LoopbackTransport t;
+  std::vector<Message> received;
+  t.register_endpoint("cache", [&](const Message& m) {
+    received.push_back(m);
+  });
+  Message msg;
+  msg.kind = MessageKind::kUpdateShip;
+  msg.payload = Bytes{12345};
+  msg.subject_id = 9;
+  t.send("cache", msg, Mechanism::kUpdateShip);
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].subject_id, 9);
+  EXPECT_EQ(t.meter().total(Mechanism::kUpdateShip).count(), 12345);
+  EXPECT_EQ(t.meter().total(Mechanism::kOverhead), kMessageHeaderBytes);
+  EXPECT_EQ(t.delivered_count(), 1);
+}
+
+TEST(LoopbackTransportTest, UnknownEndpointThrows) {
+  LoopbackTransport t;
+  EXPECT_THROW(t.send("nowhere", Message{}, Mechanism::kQueryShip),
+               std::logic_error);
+}
+
+TEST(LoopbackTransportTest, ReRegistrationReplacesHandler) {
+  LoopbackTransport t;
+  int first = 0;
+  int second = 0;
+  t.register_endpoint("server", [&](const Message&) { ++first; });
+  t.register_endpoint("server", [&](const Message&) { ++second; });
+  t.send("server", Message{}, Mechanism::kQueryShip);
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(LinkModelTest, TransferTimeScalesLinearly) {
+  const LinkModel link{1e6, 0.01};  // 1 MB/s, 10 ms RTT
+  EXPECT_NEAR(link.transfer_seconds(Bytes{0}), 0.01, 1e-12);
+  EXPECT_NEAR(link.transfer_seconds(Bytes{1'000'000}), 1.01, 1e-9);
+  // Linear in size: the paper's proportional-cost assumption.
+  const double t1 = link.transfer_seconds(Bytes{500'000});
+  const double t2 = link.transfer_seconds(Bytes{1'000'000});
+  EXPECT_NEAR(t2 - t1, 0.5, 1e-9);
+}
+
+TEST(MessageKindTest, NamesAreStable) {
+  EXPECT_STREQ(to_string(MessageKind::kQueryRequest), "query_request");
+  EXPECT_STREQ(to_string(Mechanism::kObjectLoad), "object_load");
+}
+
+}  // namespace
+}  // namespace delta::net

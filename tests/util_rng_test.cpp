@@ -1,0 +1,151 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace delta::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBoundsAndCoversRange) {
+  Rng rng{3};
+  std::vector<int> seen(11, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = rng.uniform_int(-5, 5);
+    ASSERT_GE(v, -5);
+    ASSERT_LE(v, 5);
+    ++seen[static_cast<std::size_t>(v + 5)];
+  }
+  for (int count : seen) EXPECT_GT(count, 0);
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng{3};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(9, 9), 9);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng{5};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng{11};
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng{13};
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng{17};
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(RngTest, ParetoLowerBound) {
+  Rng rng{19};
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(RngTest, WeightedIndexDistribution) {
+  Rng rng{23};
+  const std::vector<double> w{1.0, 0.0, 3.0};
+  std::vector<int> hits(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++hits[rng.weighted_index(w)];
+  EXPECT_EQ(hits[1], 0);
+  EXPECT_NEAR(static_cast<double>(hits[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(hits[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng{29};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a{31};
+  Rng child = a.fork();
+  // The child must not replay the parent's stream.
+  Rng b{31};
+  b.next_u64();  // parent consumed one word for the fork
+  EXPECT_NE(child.next_u64(), b.next_u64());
+}
+
+TEST(ZipfSamplerTest, RankZeroMostPopular) {
+  Rng rng{37};
+  ZipfSampler zipf{10, 1.0};
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 50000; ++i) ++hits[zipf.sample(rng)];
+  EXPECT_GT(hits[0], hits[4]);
+  EXPECT_GT(hits[0], hits[9]);
+  for (int h : hits) EXPECT_GT(h, 0);
+}
+
+TEST(ZipfSamplerTest, SingleElement) {
+  Rng rng{41};
+  ZipfSampler zipf{1, 1.2};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace delta::util

@@ -1,0 +1,58 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace delta::util {
+namespace {
+
+TEST(StreamingStatsTest, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStatsTest, KnownMoments) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStatsTest, SingleValue) {
+  StreamingStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(LogHistogramTest, CountsAndQuantiles) {
+  LogHistogram h{1.0, 10.0, 6};
+  for (int i = 0; i < 90; ++i) h.add(0.5);    // below base -> bucket 0
+  for (int i = 0; i < 10; ++i) h.add(5000.0);  // large values
+  EXPECT_EQ(h.total_count(), 100);
+  EXPECT_LE(h.quantile(0.5), 1.0);
+  EXPECT_GT(h.quantile(0.95), 1000.0);
+}
+
+TEST(LogHistogramTest, EmptyQuantileIsZero) {
+  LogHistogram h{1.0, 2.0, 4};
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(QuantileSketchTest, ExactQuantiles) {
+  QuantileSketch s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.quantile(0.5), 50.0, 1.0);
+}
+
+}  // namespace
+}  // namespace delta::util

@@ -1,0 +1,56 @@
+#include "util/timeseries.h"
+
+#include <gtest/gtest.h>
+
+namespace delta::util {
+namespace {
+
+TEST(CumulativeSeriesTest, SamplesAtStride) {
+  CumulativeSeries s{10};
+  for (int i = 0; i < 35; ++i) {
+    s.observe(i, static_cast<double>(i * 2));
+  }
+  s.finalize();
+  // Samples at 0, 10, 20, 30 plus the final point 34.
+  ASSERT_EQ(s.points().size(), 5u);
+  EXPECT_EQ(s.points().front().event_index, 0);
+  EXPECT_EQ(s.points().back().event_index, 34);
+  EXPECT_DOUBLE_EQ(s.points().back().value, 68.0);
+}
+
+TEST(CumulativeSeriesTest, FinalizeIsIdempotent) {
+  CumulativeSeries s{100};
+  s.observe(0, 1.0);
+  s.observe(5, 2.0);
+  s.finalize();
+  s.finalize();
+  ASSERT_EQ(s.points().size(), 2u);
+}
+
+TEST(CumulativeSeriesTest, LastValueTracksLatestObservation) {
+  CumulativeSeries s{1000};
+  s.observe(0, 0.0);
+  s.observe(999, 42.0);  // not sampled (stride), but tracked
+  EXPECT_DOUBLE_EQ(s.last_value(), 42.0);
+}
+
+TEST(CumulativeSeriesTest, InterpolationClampsAndInterpolates) {
+  CumulativeSeries s{10};
+  s.observe(0, 0.0);
+  s.observe(10, 100.0);
+  s.observe(20, 200.0);
+  s.finalize();
+  EXPECT_DOUBLE_EQ(s.value_at(-5), 0.0);
+  EXPECT_DOUBLE_EQ(s.value_at(25), 200.0);
+  EXPECT_DOUBLE_EQ(s.value_at(15), 150.0);
+  EXPECT_DOUBLE_EQ(s.value_at(10), 100.0);
+}
+
+TEST(CumulativeSeriesTest, RejectsTimeTravel) {
+  CumulativeSeries s{10};
+  s.observe(5, 1.0);
+  EXPECT_THROW(s.observe(4, 2.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace delta::util
