@@ -1,0 +1,74 @@
+// Micro benchmark: multi-endpoint scaling sweep. One shared repository, N
+// cache endpoints (N ∈ {1, 2, 4, 8}), each with its own VCover instance and
+// an equal slice of the total cache budget; queries split round-robin and
+// by sky-region hash.
+//
+// Reported per (strategy, N): post-warm-up figure traffic (combined and the
+// per-endpoint min/max spread), cache answer fraction, and wall time. The
+// N=1 row is the single-cache baseline — by construction it matches
+// sim::run_one byte-for-byte, so the sweep isolates the effect of sharding
+// alone. Round-robin destroys spatial locality (every endpoint sees every
+// hot region but holds only 1/N of the cache), while hash-by-region keeps
+// each region's queries on one endpoint; the gap between the two rows is
+// the value of locality-aware sharding.
+//
+//   ./build/bench/micro_multi_endpoint [key=value ...]
+//     queries=40000 updates=40000 objects=68 cache_frac=0.3 seed=1
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "sim/multi_cache.h"
+#include "workload/trace_split.h"
+
+int main(int argc, char** argv) {
+  using namespace delta;
+  const auto cfg = util::Config::from_args(argc, argv);
+  sim::SetupParams params = bench::setup_from_config(cfg);
+  // Sweep-friendly defaults: the paper-scale 250k+250k trace takes minutes
+  // per cell; 40k+40k keeps the full sweep under a minute.
+  if (!cfg.has("queries")) params.trace.query_count = 40'000;
+  if (!cfg.has("updates")) params.trace.update_count = 40'000;
+  params.trace.postwarmup_query_gb =
+      cfg.get_double("query_gb", 300.0) *
+      static_cast<double>(params.trace.query_count) / 250'000.0;
+
+  const sim::Setup setup{params};
+  const Bytes total_cache = setup.cache_capacity();
+  bench::print_header("multi-endpoint scaling sweep", params,
+                      setup.server_bytes(), total_cache);
+  const sim::PolicyOverrides overrides = bench::overrides_from_config(cfg);
+
+  std::cout << "strategy        N  per-EP cache  postwarmup GB  "
+               "EP min..max GB  at-cache  wall s\n";
+  for (const auto strategy : {workload::SplitStrategy::kRoundRobin,
+                              workload::SplitStrategy::kHashByRegion}) {
+    for (const std::size_t n : {1u, 2u, 4u, 8u}) {
+      const Bytes per_endpoint{static_cast<std::int64_t>(
+          total_cache.as_double() / static_cast<double>(n))};
+      const sim::MultiRunResult result = sim::run_one_multi(
+          sim::PolicyKind::kVCover, setup.trace(), per_endpoint, params, n,
+          strategy, overrides, /*series_stride=*/5000);
+      double lo = result.per_endpoint[0].postwarmup_traffic.as_double();
+      double hi = lo;
+      for (const sim::RunResult& r : result.per_endpoint) {
+        lo = std::min(lo, r.postwarmup_traffic.as_double());
+        hi = std::max(hi, r.postwarmup_traffic.as_double());
+      }
+      const auto& c = result.combined;
+      const double at_cache =
+          static_cast<double>(c.cache_fresh + c.cache_after_updates) /
+          static_cast<double>(std::max<std::int64_t>(c.queries, 1));
+      std::cout << workload::to_string(strategy)
+                << (strategy == workload::SplitStrategy::kRoundRobin ? "     "
+                                                                     : "  ")
+                << n << "  " << bench::gb(per_endpoint) << "          "
+                << bench::gb(c.postwarmup_traffic) << "           "
+                << bench::gb(lo) << ".." << bench::gb(hi) << "      "
+                << util::fixed(at_cache * 100, 1) << "%    "
+                << util::fixed(c.wall_seconds, 2) << "\n";
+    }
+  }
+  return 0;
+}

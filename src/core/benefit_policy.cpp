@@ -7,7 +7,7 @@
 
 namespace delta::core {
 
-BenefitPolicy::BenefitPolicy(DeltaSystem* system,
+BenefitPolicy::BenefitPolicy(CacheNode* system,
                              const BenefitOptions& options)
     : system_(system), options_(options), store_(options.cache_capacity) {
   DELTA_CHECK(system != nullptr);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cache/cache_store.h"
+#include "core/cache_node.h"
 #include "core/delta_system.h"
 #include "core/policy.h"
 
@@ -29,7 +30,10 @@ struct BenefitOptions {
 
 class BenefitPolicy final : public CachePolicy {
  public:
-  BenefitPolicy(DeltaSystem* system, const BenefitOptions& options);
+  BenefitPolicy(CacheNode* cache, const BenefitOptions& options);
+  /// Single-cache compatibility: bind to the façade's cache endpoint.
+  BenefitPolicy(DeltaSystem* system, const BenefitOptions& options)
+      : BenefitPolicy(cache_endpoint(system), options) {}
 
   void on_update(const workload::Update& u) override;
   QueryOutcome on_query(const workload::Query& q) override;
@@ -43,7 +47,7 @@ class BenefitPolicy final : public CachePolicy {
   }
 
  private:
-  DeltaSystem* system_;
+  CacheNode* system_;  // the cache endpoint this policy drives
   BenefitOptions options_;
   cache::CacheStore store_;
   std::vector<double> forecast_;       // µ per object

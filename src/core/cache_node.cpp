@@ -1,0 +1,85 @@
+#include "core/cache_node.h"
+
+#include "util/check.h"
+
+namespace delta::core {
+
+CacheNode::CacheNode(const workload::Trace* trace, ServerNode* server,
+                     net::Transport* transport, std::string name,
+                     net::LinkModel link)
+    : trace_(trace),
+      server_(server),
+      transport_(transport),
+      name_(std::move(name)),
+      slot_(0),
+      link_(link) {
+  DELTA_CHECK(trace != nullptr);
+  DELTA_CHECK(server != nullptr);
+  DELTA_CHECK(transport != nullptr);
+  slot_ = server_->attach_cache(name_);
+  transport_->register_endpoint(
+      name_, [this](const net::Message& m) { handle_message(m); });
+}
+
+net::Message CacheNode::request(net::MessageKind kind,
+                                std::int64_t subject_id,
+                                EventTime sent_at) const {
+  net::Message msg;
+  msg.kind = kind;
+  msg.subject_id = subject_id;
+  msg.sent_at = sent_at;
+  msg.sender = name_;
+  return msg;
+}
+
+void CacheNode::handle_message(const net::Message& m) {
+  // Data-bearing replies mutate nothing here: the calling policy applies
+  // their effects synchronously after the send() returns. Invalidations are
+  // forwarded to the policy's handler.
+  if (m.kind == net::MessageKind::kInvalidation) {
+    const auto idx = static_cast<std::size_t>(m.subject_id);
+    DELTA_CHECK(idx < trace_->updates.size());
+    if (invalidation_handler_) invalidation_handler_(trace_->updates[idx]);
+  }
+}
+
+void CacheNode::set_subscription(MetadataSubscription subscription) {
+  server_->set_subscription(slot_, subscription);
+}
+
+void CacheNode::set_invalidation_handler(
+    std::function<void(const workload::Update&)> handler) {
+  invalidation_handler_ = std::move(handler);
+}
+
+Bytes CacheNode::ship_query(const workload::Query& q) {
+  transport_->send(server_->name(),
+                   request(net::MessageKind::kQueryRequest, q.id.value(),
+                           q.time),
+                   net::Mechanism::kOverhead);
+  return q.cost;  // the QueryResult reply carried ν(q) bytes
+}
+
+Bytes CacheNode::ship_update(const workload::Update& u) {
+  transport_->send(server_->name(),
+                   request(net::MessageKind::kControl, u.id.value(), u.time),
+                   net::Mechanism::kOverhead);
+  return u.cost;
+}
+
+Bytes CacheNode::load_object(ObjectId o) {
+  transport_->send(server_->name(),
+                   request(net::MessageKind::kLoadRequest, o.value(), 0),
+                   net::Mechanism::kOverhead);
+  DELTA_CHECK(is_registered(o));
+  return server_->load_cost(o);
+}
+
+void CacheNode::notify_eviction(ObjectId o) {
+  transport_->send(server_->name(),
+                   request(net::MessageKind::kInvalidation, o.value(), 0),
+                   net::Mechanism::kOverhead);
+  DELTA_CHECK(!is_registered(o));
+}
+
+}  // namespace delta::core

@@ -1,0 +1,101 @@
+// CacheNode: a cache client endpoint of the middleware (Figure 1).
+//
+// It is the surface the cache policies program against: ship a query, ship
+// an update, bulk-load an object, notify an eviction — each call is a real
+// request message to the ServerNode whose data-bearing reply comes back over
+// the transport, so the TrafficMeter sees exactly what the paper's cost
+// model counts:
+//   query shipping  = QueryRequest (overhead) + QueryResult (ν(q))
+//   update shipping = control request (overhead) + UpdateShip (ν(u))
+//   object loading  = LoadRequest (overhead) + LoadData (l(o))
+// plus Invalidation notices (overhead) from the server's registration-based
+// coherence protocol. Many CacheNodes can share one ServerNode; each owns
+// its endpoint name, its link model, and (through the transport) its
+// per-endpoint traffic meter.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/server_node.h"
+#include "net/link_model.h"
+#include "net/transport.h"
+#include "util/types.h"
+#include "workload/trace.h"
+
+namespace delta::core {
+
+class CacheNode {
+ public:
+  /// Registers the endpoint on the transport and attaches it to the server's
+  /// registration table. Trace, server and transport outlive the node.
+  CacheNode(const workload::Trace* trace, ServerNode* server,
+            net::Transport* transport, std::string name = "cache",
+            net::LinkModel link = net::LinkModel{});
+
+  CacheNode(const CacheNode&) = delete;
+  CacheNode& operator=(const CacheNode&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  // ---- client API (called by policies) ----
+
+  void set_subscription(MetadataSubscription subscription);
+
+  /// Invoked (synchronously) when an invalidation notice is delivered.
+  void set_invalidation_handler(
+      std::function<void(const workload::Update&)> handler);
+
+  /// Ships the query to the repository; the result (ν(q) bytes) comes back
+  /// as a QueryResult message. Returns the result size.
+  Bytes ship_query(const workload::Query& q);
+
+  /// Requests the update's content; it arrives as an UpdateShip message.
+  /// Returns the content size (ν(u)).
+  Bytes ship_update(const workload::Update& u);
+
+  /// Bulk-loads the object; returns the bytes transferred (current object
+  /// size plus bulk-copy framing). Registers the object for invalidations.
+  Bytes load_object(ObjectId o);
+
+  /// Tells the server this cache dropped the object (stops invalidations).
+  void notify_eviction(ObjectId o);
+
+  // ---- repository metadata (cheap reads the protocol allows) ----
+
+  [[nodiscard]] Bytes server_object_bytes(ObjectId o) const {
+    return server_->object_bytes(o);
+  }
+  [[nodiscard]] Bytes load_cost(ObjectId o) const {
+    return server_->load_cost(o);
+  }
+  [[nodiscard]] bool is_registered(ObjectId o) const {
+    return server_->is_registered(slot_, o);
+  }
+  [[nodiscard]] std::size_t object_count() const {
+    return server_->object_count();
+  }
+
+  /// Traffic delivered to this endpoint (all data-bearing replies; see
+  /// Transport::endpoint_meter).
+  [[nodiscard]] const net::TrafficMeter& meter() const {
+    return transport_->endpoint_meter(name_);
+  }
+  [[nodiscard]] const net::LinkModel& link() const { return link_; }
+
+ private:
+  const workload::Trace* trace_;
+  ServerNode* server_;
+  net::Transport* transport_;
+  std::string name_;
+  std::size_t slot_;  // this cache's row in the server registration table
+  net::LinkModel link_;
+  std::function<void(const workload::Update&)> invalidation_handler_;
+
+  [[nodiscard]] net::Message request(net::MessageKind kind,
+                                     std::int64_t subject_id,
+                                     EventTime sent_at) const;
+  void handle_message(const net::Message& m);
+};
+
+}  // namespace delta::core

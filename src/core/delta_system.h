@@ -1,100 +1,97 @@
-// DeltaSystem: the wired middleware — a repository (ServerNode) and a cache
-// endpoint joined by a message transport (Figure 1 of the paper).
+// DeltaSystem: the single-cache wiring of the middleware — a thin façade
+// over one ServerNode and one CacheNode joined by an in-process transport.
 //
-// All data movement flows through real messages on the transport, so the
-// TrafficMeter sees exactly what the paper's cost model counts:
-//   query shipping  = QueryRequest (overhead) + QueryResult (ν(q))
-//   update shipping = control request (overhead) + UpdateShip (ν(u))
-//   object loading  = LoadRequest (overhead) + LoadData (l(o))
-// plus Invalidation notices (overhead) from the server's registration-based
-// cache-coherence protocol.
+// The repository logic lives in ServerNode, the client endpoint logic in
+// CacheNode (see their headers); DeltaSystem only assembles them and
+// forwards the historical single-cache API so existing policies, tests,
+// benches and examples keep working unchanged. Multi-endpoint deployments
+// compose ServerNode + N CacheNodes directly (see sim/multi_cache.h).
 #pragma once
 
 #include <functional>
-#include <memory>
-#include <vector>
+#include <string>
 
+#include "core/cache_node.h"
+#include "core/server_node.h"
 #include "net/link_model.h"
 #include "net/transport.h"
+#include "util/check.h"
 #include "util/types.h"
 #include "workload/trace.h"
 
 namespace delta::core {
 
-/// Which update notices the cache endpoint subscribes to.
-enum class MetadataSubscription : std::uint8_t {
-  kNone,            // NoCache: the cache never hears about updates
-  kRegisteredOnly,  // VCover: invalidations only for loaded objects
-  kAll,             // Replica / Benefit: metadata notices for every update
-};
-
 class DeltaSystem {
  public:
   /// Builds the server from the trace's initial object sizes. The trace
   /// outlives the system.
-  explicit DeltaSystem(const workload::Trace* trace);
+  explicit DeltaSystem(const workload::Trace* trace)
+      : server_(trace, &transport_), cache_(trace, &server_, &transport_) {}
 
   DeltaSystem(const DeltaSystem&) = delete;
   DeltaSystem& operator=(const DeltaSystem&) = delete;
 
+  /// The layered nodes, for callers that want the real architecture.
+  [[nodiscard]] ServerNode& server() { return server_; }
+  [[nodiscard]] const ServerNode& server() const { return server_; }
+  [[nodiscard]] CacheNode& cache() { return cache_; }
+  [[nodiscard]] const CacheNode& cache() const { return cache_; }
+
   // ---- repository-side driver (called by the simulator) ----
 
-  /// Applies an arriving update to the repository and, per the cache's
-  /// subscription, delivers an invalidation notice.
-  void ingest_update(const workload::Update& u);
+  void ingest_update(const workload::Update& u) { server_.ingest_update(u); }
 
   // ---- cache-side client API (called by policies) ----
 
-  void set_subscription(MetadataSubscription subscription);
-
-  /// Invoked (synchronously) when an invalidation notice is delivered.
+  void set_subscription(MetadataSubscription subscription) {
+    cache_.set_subscription(subscription);
+  }
   void set_invalidation_handler(
-      std::function<void(const workload::Update&)> handler);
-
-  /// Ships the query to the repository; the result (ν(q) bytes) comes back
-  /// as a QueryResult message. Returns the result size.
-  Bytes ship_query(const workload::Query& q);
-
-  /// Requests the update's content; it arrives as an UpdateShip message.
-  /// Returns the content size (ν(u)).
-  Bytes ship_update(const workload::Update& u);
-
-  /// Bulk-loads the object; returns the bytes transferred (current object
-  /// size plus bulk-copy framing). Registers the object for invalidations.
-  Bytes load_object(ObjectId o);
-
-  /// Tells the server the cache dropped the object (stops invalidations).
-  void notify_eviction(ObjectId o);
+      std::function<void(const workload::Update&)> handler) {
+    cache_.set_invalidation_handler(std::move(handler));
+  }
+  Bytes ship_query(const workload::Query& q) { return cache_.ship_query(q); }
+  Bytes ship_update(const workload::Update& u) {
+    return cache_.ship_update(u);
+  }
+  Bytes load_object(ObjectId o) { return cache_.load_object(o); }
+  void notify_eviction(ObjectId o) { cache_.notify_eviction(o); }
 
   // ---- repository state (metadata the cache may query cheaply) ----
 
-  [[nodiscard]] Bytes server_object_bytes(ObjectId o) const;
-  [[nodiscard]] Bytes load_cost(ObjectId o) const;
-  [[nodiscard]] bool is_registered(ObjectId o) const;
+  [[nodiscard]] Bytes server_object_bytes(ObjectId o) const {
+    return server_.object_bytes(o);
+  }
+  [[nodiscard]] Bytes load_cost(ObjectId o) const {
+    return server_.load_cost(o);
+  }
+  [[nodiscard]] bool is_registered(ObjectId o) const {
+    return cache_.is_registered(o);
+  }
   [[nodiscard]] std::size_t object_count() const {
-    return object_bytes_.size();
+    return server_.object_count();
   }
 
+  /// Aggregate accounting over the whole system (the figure numbers).
   [[nodiscard]] const net::TrafficMeter& meter() const {
     return transport_.meter();
   }
-  [[nodiscard]] const net::LinkModel& link() const { return link_; }
+  [[nodiscard]] const net::LinkModel& link() const { return cache_.link(); }
 
   /// Bulk-copy framing added to every object load.
-  static constexpr Bytes kLoadOverheadBytes{256 * 1024};
+  static constexpr Bytes kLoadOverheadBytes = ServerNode::kLoadOverheadBytes;
 
  private:
-  const workload::Trace* trace_;
   net::LoopbackTransport transport_;
-  net::LinkModel link_;
-  std::vector<Bytes> object_bytes_;      // server-side current sizes
-  std::vector<std::uint8_t> registered_; // objects resident at the cache
-  MetadataSubscription subscription_ = MetadataSubscription::kNone;
-  std::function<void(const workload::Update&)> invalidation_handler_;
-  const workload::Update* pending_invalidation_ = nullptr;
-
-  [[nodiscard]] std::size_t checked(ObjectId o) const;
-  void handle_cache_message(const net::Message& m);
+  ServerNode server_;
+  CacheNode cache_;
 };
+
+/// Null-checked access to the façade's cache endpoint, for the policies'
+/// single-cache compatibility constructors.
+[[nodiscard]] inline CacheNode* cache_endpoint(DeltaSystem* system) {
+  DELTA_CHECK(system != nullptr);
+  return &system->cache();
+}
 
 }  // namespace delta::core

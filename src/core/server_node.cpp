@@ -1,0 +1,138 @@
+#include "core/server_node.h"
+
+#include "util/check.h"
+
+namespace delta::core {
+
+ServerNode::ServerNode(const workload::Trace* trace,
+                       net::Transport* transport, std::string name)
+    : trace_(trace), transport_(transport), name_(std::move(name)) {
+  DELTA_CHECK(trace != nullptr);
+  DELTA_CHECK(transport != nullptr);
+  object_bytes_ = trace->initial_object_bytes;
+  transport_->register_endpoint(
+      name_, [this](const net::Message& m) { handle_message(m); });
+}
+
+std::size_t ServerNode::attach_cache(const std::string& cache_name) {
+  DELTA_CHECK_MSG(slot_by_name_.count(cache_name) == 0,
+                  "cache '" << cache_name << "' attached twice");
+  DELTA_CHECK_MSG(cache_name != name_,
+                  "cache endpoint cannot reuse the server name");
+  const std::size_t slot = caches_.size();
+  CacheEntry entry;
+  entry.name = cache_name;
+  entry.registered.assign(object_bytes_.size(), 0);
+  caches_.push_back(std::move(entry));
+  slot_by_name_.emplace(cache_name, slot);
+  return slot;
+}
+
+void ServerNode::set_subscription(std::size_t cache_slot,
+                                  MetadataSubscription subscription) {
+  DELTA_CHECK(cache_slot < caches_.size());
+  caches_[cache_slot].subscription = subscription;
+}
+
+std::size_t ServerNode::checked(ObjectId o) const {
+  DELTA_CHECK(o.valid());
+  const auto idx = static_cast<std::size_t>(o.value());
+  DELTA_CHECK(idx < object_bytes_.size());
+  return idx;
+}
+
+ServerNode::CacheEntry& ServerNode::sender_entry(const net::Message& m) {
+  const auto it = slot_by_name_.find(m.sender);
+  DELTA_CHECK_MSG(it != slot_by_name_.end(),
+                  "request from unattached cache '" << m.sender << "'");
+  return caches_[it->second];
+}
+
+void ServerNode::handle_message(const net::Message& m) {
+  // The server answers requests with data-bearing replies addressed to the
+  // requesting cache endpoint.
+  net::Message reply;
+  reply.subject_id = m.subject_id;
+  reply.sent_at = m.sent_at;
+  reply.sender = name_;
+  switch (m.kind) {
+    case net::MessageKind::kQueryRequest: {
+      const auto& q = trace_->queries[static_cast<std::size_t>(m.subject_id)];
+      reply.kind = net::MessageKind::kQueryResult;
+      reply.payload = q.cost;
+      transport_->send(sender_entry(m).name, reply,
+                       net::Mechanism::kQueryShip);
+      break;
+    }
+    case net::MessageKind::kControl: {
+      // "ship update <id>" request.
+      const auto& u = trace_->updates[static_cast<std::size_t>(m.subject_id)];
+      reply.kind = net::MessageKind::kUpdateShip;
+      reply.payload = u.cost;
+      transport_->send(sender_entry(m).name, reply,
+                       net::Mechanism::kUpdateShip);
+      break;
+    }
+    case net::MessageKind::kLoadRequest: {
+      const auto idx = checked(ObjectId{m.subject_id});
+      CacheEntry& cache = sender_entry(m);
+      reply.kind = net::MessageKind::kLoadData;
+      reply.payload = object_bytes_[idx] + kLoadOverheadBytes;
+      cache.registered[idx] = 1;
+      transport_->send(cache.name, reply, net::Mechanism::kObjectLoad);
+      break;
+    }
+    case net::MessageKind::kInvalidation: {
+      // Cache -> server: eviction notice (re-using the kind for the
+      // reverse coherence direction).
+      const auto idx = checked(ObjectId{m.subject_id});
+      sender_entry(m).registered[idx] = 0;
+      break;
+    }
+    default:
+      DELTA_CHECK_MSG(false, "server received unexpected message kind");
+  }
+}
+
+void ServerNode::ingest_update(const workload::Update& u) {
+  // Invalidation notices carry only the update id; subscribed caches
+  // resolve it against the shared trace. The update must therefore BE the
+  // trace entry its id names (or an identical copy), or cache-side
+  // accounting would silently diverge from the repository.
+  const auto uidx = static_cast<std::size_t>(u.id.value());
+  DELTA_CHECK_MSG(u.id.valid() && uidx < trace_->updates.size() &&
+                      trace_->updates[uidx].object == u.object &&
+                      trace_->updates[uidx].cost == u.cost &&
+                      trace_->updates[uidx].time == u.time,
+                  "ingest_update requires an update from the system's trace");
+  const std::size_t idx = checked(u.object);
+  object_bytes_[idx] += u.cost;  // inserts grow the repository object
+  for (const CacheEntry& cache : caches_) {
+    const bool notify =
+        cache.subscription == MetadataSubscription::kAll ||
+        (cache.subscription == MetadataSubscription::kRegisteredOnly &&
+         cache.registered[idx] != 0);
+    if (!notify) continue;
+    net::Message msg;
+    msg.kind = net::MessageKind::kInvalidation;
+    msg.subject_id = u.id.value();
+    msg.sent_at = u.time;
+    msg.sender = name_;
+    transport_->send(cache.name, msg, net::Mechanism::kOverhead);
+  }
+}
+
+Bytes ServerNode::object_bytes(ObjectId o) const {
+  return object_bytes_[checked(o)];
+}
+
+Bytes ServerNode::load_cost(ObjectId o) const {
+  return object_bytes(o) + kLoadOverheadBytes;
+}
+
+bool ServerNode::is_registered(std::size_t cache_slot, ObjectId o) const {
+  DELTA_CHECK(cache_slot < caches_.size());
+  return caches_[cache_slot].registered[checked(o)] != 0;
+}
+
+}  // namespace delta::core

@@ -1,0 +1,86 @@
+// ServerNode: the repository endpoint of the paper's middleware (Figure 1).
+//
+// It owns the server-side object sizes, answers data requests arriving over
+// the transport (query shipping, update shipping, object loading), and runs
+// the registration-based cache-coherence protocol: a per-cache registration
+// table plus a per-cache metadata subscription drive the invalidation
+// fan-out when updates arrive. Any number of CacheNode endpoints can attach,
+// all communicating with the server only through net::Transport messages.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/transport.h"
+#include "util/types.h"
+#include "workload/trace.h"
+
+namespace delta::core {
+
+/// Which update notices a cache endpoint subscribes to.
+enum class MetadataSubscription : std::uint8_t {
+  kNone,            // NoCache: the cache never hears about updates
+  kRegisteredOnly,  // VCover: invalidations only for loaded objects
+  kAll,             // Replica / Benefit: metadata notices for every update
+};
+
+class ServerNode {
+ public:
+  /// Bulk-copy framing added to every object load.
+  static constexpr Bytes kLoadOverheadBytes{256 * 1024};
+
+  /// Builds the repository from the trace's initial object sizes and
+  /// registers the endpoint on the transport. Trace and transport outlive
+  /// the node.
+  ServerNode(const workload::Trace* trace, net::Transport* transport,
+             std::string name = "server");
+
+  ServerNode(const ServerNode&) = delete;
+  ServerNode& operator=(const ServerNode&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Adds a cache endpoint to the registration table and returns its slot
+  /// index (the handle CacheNode uses for cheap metadata reads). The cache
+  /// must already be registered on the transport by the time updates flow.
+  std::size_t attach_cache(const std::string& cache_name);
+
+  void set_subscription(std::size_t cache_slot,
+                        MetadataSubscription subscription);
+
+  /// Applies an arriving update to the repository and fans out an
+  /// invalidation notice to every attached cache whose subscription covers
+  /// it (in attach order — deterministic).
+  void ingest_update(const workload::Update& u);
+
+  // ---- repository state (metadata caches may read cheaply) ----
+
+  [[nodiscard]] Bytes object_bytes(ObjectId o) const;
+  [[nodiscard]] Bytes load_cost(ObjectId o) const;
+  [[nodiscard]] bool is_registered(std::size_t cache_slot, ObjectId o) const;
+  [[nodiscard]] std::size_t object_count() const {
+    return object_bytes_.size();
+  }
+  [[nodiscard]] std::size_t cache_count() const { return caches_.size(); }
+
+ private:
+  struct CacheEntry {
+    std::string name;
+    MetadataSubscription subscription = MetadataSubscription::kNone;
+    std::vector<std::uint8_t> registered;  // objects resident at this cache
+  };
+
+  const workload::Trace* trace_;
+  net::Transport* transport_;
+  std::string name_;
+  std::vector<Bytes> object_bytes_;  // server-side current sizes
+  std::vector<CacheEntry> caches_;
+  std::unordered_map<std::string, std::size_t> slot_by_name_;
+
+  [[nodiscard]] std::size_t checked(ObjectId o) const;
+  [[nodiscard]] CacheEntry& sender_entry(const net::Message& m);
+  void handle_message(const net::Message& m);
+};
+
+}  // namespace delta::core

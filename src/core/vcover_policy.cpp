@@ -8,7 +8,7 @@
 
 namespace delta::core {
 
-VCoverPolicy::VCoverPolicy(DeltaSystem* system, const VCoverOptions& options)
+VCoverPolicy::VCoverPolicy(CacheNode* system, const VCoverOptions& options)
     : system_(system),
       options_(options),
       store_(options.cache_capacity),

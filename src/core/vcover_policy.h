@@ -14,6 +14,7 @@
 
 #include "cache/cache_store.h"
 #include "cache/eviction_policy.h"
+#include "core/cache_node.h"
 #include "core/delta_system.h"
 #include "core/load_manager.h"
 #include "core/policy.h"
@@ -38,7 +39,10 @@ struct VCoverOptions {
 
 class VCoverPolicy final : public CachePolicy {
  public:
-  VCoverPolicy(DeltaSystem* system, const VCoverOptions& options);
+  VCoverPolicy(CacheNode* cache, const VCoverOptions& options);
+  /// Single-cache compatibility: bind to the façade's cache endpoint.
+  VCoverPolicy(DeltaSystem* system, const VCoverOptions& options)
+      : VCoverPolicy(cache_endpoint(system), options) {}
 
   void on_update(const workload::Update& u) override;
   QueryOutcome on_query(const workload::Query& q) override;
@@ -66,7 +70,7 @@ class VCoverPolicy final : public CachePolicy {
   }
 
  private:
-  DeltaSystem* system_;
+  CacheNode* system_;  // the cache endpoint this policy drives
   VCoverOptions options_;
   cache::CacheStore store_;
   std::unique_ptr<cache::EvictionPolicy> evictor_;

@@ -9,7 +9,7 @@ namespace delta::core {
 
 // ---------------------------------------------------------------- NoCache
 
-NoCachePolicy::NoCachePolicy(DeltaSystem* system) : system_(system) {
+NoCachePolicy::NoCachePolicy(CacheNode* system) : system_(system) {
   DELTA_CHECK(system != nullptr);
   system_->set_subscription(MetadataSubscription::kNone);
 }
@@ -27,7 +27,7 @@ QueryOutcome NoCachePolicy::on_query(const workload::Query& q) {
 
 // ---------------------------------------------------------------- Replica
 
-ReplicaPolicy::ReplicaPolicy(DeltaSystem* system) : system_(system) {
+ReplicaPolicy::ReplicaPolicy(CacheNode* system) : system_(system) {
   DELTA_CHECK(system != nullptr);
   system_->set_subscription(MetadataSubscription::kAll);
   system_->set_invalidation_handler(
@@ -49,26 +49,33 @@ QueryOutcome ReplicaPolicy::on_query(const workload::Query&) {
 
 namespace {
 
+/// Whether query index `qi` is routed to the endpoint choosing the set.
+bool routed_here(const SOptimalOptions& options, std::size_t qi) {
+  return options.query_assignment == nullptr ||
+         (*options.query_assignment)[qi] == options.endpoint;
+}
+
 struct HindsightStats {
   std::vector<double> saved;       // proportional query savings
   std::vector<double> update_cost; // total ν(u) per object
   std::vector<Bytes> final_size;   // initial size + all update growth
 };
 
-HindsightStats hindsight(const DeltaSystem& system,
-                         const workload::Trace& trace) {
+HindsightStats hindsight(const workload::Trace& trace,
+                         const SOptimalOptions& options) {
   const std::size_t n = trace.initial_object_bytes.size();
   HindsightStats s;
   s.saved.assign(n, 0.0);
   s.update_cost.assign(n, 0.0);
   s.final_size = trace.initial_object_bytes;
-  (void)system;
   for (const workload::Update& u : trace.updates) {
     const auto i = static_cast<std::size_t>(u.object.value());
     s.update_cost[i] += u.cost.as_double();
     s.final_size[i] += u.cost;
   }
-  for (const workload::Query& q : trace.queries) {
+  for (std::size_t qi = 0; qi < trace.queries.size(); ++qi) {
+    if (!routed_here(options, qi)) continue;
+    const workload::Query& q = trace.queries[qi];
     double size_sum = 0.0;
     for (const ObjectId o : q.objects) {
       size_sum +=
@@ -90,13 +97,15 @@ HindsightStats hindsight(const DeltaSystem& system,
 class StaticSetEvaluator {
  public:
   StaticSetEvaluator(const workload::Trace& trace,
-                     const std::vector<Bytes>& load_costs)
+                     const std::vector<Bytes>& load_costs,
+                     const SOptimalOptions& options)
       : trace_(&trace), load_costs_(&load_costs) {
     const std::size_t n = trace.initial_object_bytes.size();
     object_queries_.resize(n);
     missing_.assign(trace.queries.size(), 0);
     update_cost_.assign(n, 0.0);
     for (std::size_t qi = 0; qi < trace.queries.size(); ++qi) {
+      if (!routed_here(options, qi)) continue;  // another endpoint's query
       for (const ObjectId o : trace.queries[qi].objects) {
         object_queries_[static_cast<std::size_t>(o.value())].push_back(qi);
       }
@@ -149,15 +158,16 @@ class StaticSetEvaluator {
 }  // namespace
 
 std::unordered_set<ObjectId> SOptimalPolicy::choose_set(
-    const DeltaSystem& system, const workload::Trace& trace,
-    const SOptimalOptions& options) {
+    const workload::Trace& trace, const SOptimalOptions& options) {
+  DELTA_CHECK(options.query_assignment == nullptr ||
+              options.query_assignment->size() == trace.queries.size());
   const std::size_t n = trace.initial_object_bytes.size();
-  const HindsightStats stats = hindsight(system, trace);
+  const HindsightStats stats = hindsight(trace, options);
   std::vector<Bytes> load_costs(n);
   std::vector<double> net(n);
   for (std::size_t i = 0; i < n; ++i) {
     load_costs[i] =
-        trace.initial_object_bytes[i] + DeltaSystem::kLoadOverheadBytes;
+        trace.initial_object_bytes[i] + ServerNode::kLoadOverheadBytes;
     net[i] = stats.saved[i] - stats.update_cost[i] -
              load_costs[i].as_double();
   }
@@ -184,7 +194,7 @@ std::unordered_set<ObjectId> SOptimalPolicy::choose_set(
   if (!options.local_search) return chosen;
 
   // Ablation A5: add/drop hill-climbing against the exact replay cost.
-  StaticSetEvaluator eval{trace, load_costs};
+  StaticSetEvaluator eval{trace, load_costs, options};
   for (std::size_t i = 0; i < n; ++i) {
     if (selected[i]) eval.add(i);
   }
@@ -222,13 +232,13 @@ std::unordered_set<ObjectId> SOptimalPolicy::choose_set(
   return chosen;
 }
 
-SOptimalPolicy::SOptimalPolicy(DeltaSystem* system,
+SOptimalPolicy::SOptimalPolicy(CacheNode* system,
                                const workload::Trace* trace,
                                const SOptimalOptions& options)
     : system_(system) {
   DELTA_CHECK(system != nullptr);
   DELTA_CHECK(trace != nullptr);
-  chosen_ = choose_set(*system, *trace, options);
+  chosen_ = choose_set(*trace, options);
   system_->set_subscription(MetadataSubscription::kRegisteredOnly);
   system_->set_invalidation_handler(
       [this](const workload::Update& u) { on_update(u); });

@@ -11,6 +11,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/cache_node.h"
 #include "core/delta_system.h"
 #include "core/policy.h"
 #include "workload/trace.h"
@@ -19,26 +20,32 @@ namespace delta::core {
 
 class NoCachePolicy final : public CachePolicy {
  public:
-  explicit NoCachePolicy(DeltaSystem* system);
+  explicit NoCachePolicy(CacheNode* cache);
+  /// Single-cache compatibility: bind to the façade's cache endpoint.
+  explicit NoCachePolicy(DeltaSystem* system)
+      : NoCachePolicy(cache_endpoint(system)) {}
 
   void on_update(const workload::Update& u) override;
   QueryOutcome on_query(const workload::Query& q) override;
   [[nodiscard]] const char* name() const override { return "NoCache"; }
 
  private:
-  DeltaSystem* system_;
+  CacheNode* system_;
 };
 
 class ReplicaPolicy final : public CachePolicy {
  public:
-  explicit ReplicaPolicy(DeltaSystem* system);
+  explicit ReplicaPolicy(CacheNode* cache);
+  /// Single-cache compatibility: bind to the façade's cache endpoint.
+  explicit ReplicaPolicy(DeltaSystem* system)
+      : ReplicaPolicy(cache_endpoint(system)) {}
 
   void on_update(const workload::Update& u) override;
   QueryOutcome on_query(const workload::Query& q) override;
   [[nodiscard]] const char* name() const override { return "Replica"; }
 
  private:
-  DeltaSystem* system_;
+  CacheNode* system_;
 };
 
 struct SOptimalOptions {
@@ -48,6 +55,13 @@ struct SOptimalOptions {
   /// online algorithm close to SOptimal is outstanding"). Ablation A5 turns
   /// this off to get the paper's literal Benefit-one-window ranking.
   bool local_search = true;
+  /// Multi-endpoint runs: the trace split (indexed like Trace::queries)
+  /// and this policy's endpoint, so hindsight only counts the queries
+  /// actually routed here — otherwise every shard would "optimize" for
+  /// queries it never receives. Null = single cache, all queries. The
+  /// vector must outlive policy construction.
+  const std::vector<std::uint32_t>* query_assignment = nullptr;
+  std::uint32_t endpoint = 0;
 };
 
 class SOptimalPolicy final : public CachePolicy {
@@ -55,8 +69,12 @@ class SOptimalPolicy final : public CachePolicy {
   /// Inspects the whole trace up front (it is an offline yardstick) and
   /// loads its chosen set immediately — before any event, i.e. within the
   /// warm-up window.
-  SOptimalPolicy(DeltaSystem* system, const workload::Trace* trace,
+  SOptimalPolicy(CacheNode* cache, const workload::Trace* trace,
                  const SOptimalOptions& options);
+  /// Single-cache compatibility: bind to the façade's cache endpoint.
+  SOptimalPolicy(DeltaSystem* system, const workload::Trace* trace,
+                 const SOptimalOptions& options)
+      : SOptimalPolicy(cache_endpoint(system), trace, options) {}
 
   void on_update(const workload::Update& u) override;
   QueryOutcome on_query(const workload::Query& q) override;
@@ -67,12 +85,11 @@ class SOptimalPolicy final : public CachePolicy {
   }
 
  private:
-  DeltaSystem* system_;
+  CacheNode* system_;
   std::unordered_set<ObjectId> chosen_;
 
   static std::unordered_set<ObjectId> choose_set(
-      const DeltaSystem& system, const workload::Trace& trace,
-      const SOptimalOptions& options);
+      const workload::Trace& trace, const SOptimalOptions& options);
 };
 
 }  // namespace delta::core

@@ -113,7 +113,8 @@ void FlowNetwork::add_flow(EdgeId e, Capacity delta) {
   pair.flow -= delta;
   // The forward edge of the pair is the one with positive capacity; check
   // feasibility on whichever this is.
-  const Edge& fwd = (ed.cap > 0 || pair.cap == 0) ? ed : pair;
+  [[maybe_unused]] const Edge& fwd =
+      (ed.cap > 0 || pair.cap == 0) ? ed : pair;
   DELTA_DCHECK(fwd.flow >= 0 && fwd.flow <= fwd.cap);
 }
 

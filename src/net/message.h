@@ -59,6 +59,9 @@ struct Message {
   /// the message is about.
   std::int64_t subject_id = -1;
   EventTime sent_at = 0;
+  /// Originating endpoint, so a multi-endpoint server can address its reply
+  /// (part of the modeled fixed-size header, not extra payload).
+  std::string sender;
 };
 
 }  // namespace delta::net

@@ -1,35 +1,62 @@
 #include "net/transport.h"
 
-#include <algorithm>
-
 #include "util/check.h"
 
 namespace delta::net {
 
+LoopbackTransport::Endpoint* LoopbackTransport::find(
+    const std::string& name) {
+  const auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &endpoints_[it->second];
+}
+
+const LoopbackTransport::Endpoint* LoopbackTransport::find(
+    const std::string& name) const {
+  const auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &endpoints_[it->second];
+}
+
 void LoopbackTransport::register_endpoint(const std::string& name,
                                           MessageHandler handler) {
   DELTA_CHECK(handler != nullptr);
-  const auto it = std::find_if(
-      endpoints_.begin(), endpoints_.end(),
-      [&](const auto& entry) { return entry.first == name; });
-  if (it != endpoints_.end()) {
-    it->second = std::move(handler);
+  if (Endpoint* existing = find(name)) {
+    existing->handler = std::move(handler);  // meter survives re-wiring
   } else {
-    endpoints_.emplace_back(name, std::move(handler));
+    index_.emplace(name, endpoints_.size());
+    endpoints_.push_back(Endpoint{name, std::move(handler), TrafficMeter{}});
   }
 }
 
 void LoopbackTransport::send(const std::string& destination,
                              const Message& message, Mechanism mechanism) {
-  const auto it = std::find_if(
-      endpoints_.begin(), endpoints_.end(),
-      [&](const auto& entry) { return entry.first == destination; });
-  DELTA_CHECK_MSG(it != endpoints_.end(),
+  Endpoint* endpoint = find(destination);
+  DELTA_CHECK_MSG(endpoint != nullptr,
                   "unknown endpoint '" << destination << "'");
   meter_.record(mechanism, message.payload);
   meter_.record(Mechanism::kOverhead, kMessageHeaderBytes);
+  endpoint->meter.record(mechanism, message.payload);
+  endpoint->meter.record(Mechanism::kOverhead, kMessageHeaderBytes);
   ++delivered_;
-  it->second(message);
+  endpoint->handler(message);
+}
+
+bool LoopbackTransport::has_endpoint(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+const TrafficMeter& LoopbackTransport::endpoint_meter(
+    const std::string& name) const {
+  const Endpoint* endpoint = find(name);
+  DELTA_CHECK_MSG(endpoint != nullptr,
+                  "no meter: unknown endpoint '" << name << "'");
+  return endpoint->meter;
+}
+
+std::vector<std::string> LoopbackTransport::endpoint_names() const {
+  std::vector<std::string> names;
+  names.reserve(endpoints_.size());
+  for (const Endpoint& e : endpoints_) names.push_back(e.name);
+  return names;
 }
 
 }  // namespace delta::net

@@ -6,10 +6,19 @@
 // in-process implementation used by the simulator: synchronous delivery,
 // deterministic ordering, full byte accounting (payload through the caller's
 // TrafficMeter category, headers as overhead).
+//
+// Accounting is kept at two granularities. The aggregate meter() sees every
+// message, so existing figure numbers are unchanged; additionally each
+// registered endpoint owns a meter that sees exactly the messages delivered
+// *to* it. Every send is accounted to exactly one endpoint meter, so the
+// per-endpoint meters partition the aggregate: summing any mechanism over
+// all endpoints reproduces the aggregate total byte-for-byte.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/message.h"
@@ -25,16 +34,31 @@ class Transport {
   virtual ~Transport() = default;
 
   /// Registers (or replaces) the handler for a destination endpoint.
+  /// Re-registration keeps the endpoint's accumulated meter.
   virtual void register_endpoint(const std::string& name,
                                  MessageHandler handler) = 0;
 
   /// Delivers `message` to `destination`, accounting `message.payload`
-  /// under `mechanism` and the header under overhead.
+  /// under `mechanism` and the header under overhead. Delivery to an
+  /// unregistered endpoint is a checked failure.
   virtual void send(const std::string& destination, const Message& message,
                     Mechanism mechanism) = 0;
 
+  /// Aggregate accounting across all endpoints.
   [[nodiscard]] virtual const TrafficMeter& meter() const = 0;
   virtual TrafficMeter& meter() = 0;
+
+  // ---- per-endpoint accounting ----
+
+  [[nodiscard]] virtual bool has_endpoint(const std::string& name) const = 0;
+
+  /// Meter of the traffic delivered to `name`. Checked failure if the
+  /// endpoint is not registered.
+  [[nodiscard]] virtual const TrafficMeter& endpoint_meter(
+      const std::string& name) const = 0;
+
+  /// Registered endpoint names, in registration order.
+  [[nodiscard]] virtual std::vector<std::string> endpoint_names() const = 0;
 };
 
 /// Synchronous in-process transport with deterministic delivery order.
@@ -49,10 +73,29 @@ class LoopbackTransport final : public Transport {
   [[nodiscard]] const TrafficMeter& meter() const override { return meter_; }
   TrafficMeter& meter() override { return meter_; }
 
+  [[nodiscard]] bool has_endpoint(const std::string& name) const override;
+  [[nodiscard]] const TrafficMeter& endpoint_meter(
+      const std::string& name) const override;
+  [[nodiscard]] std::vector<std::string> endpoint_names() const override;
+
   [[nodiscard]] std::int64_t delivered_count() const { return delivered_; }
 
  private:
-  std::vector<std::pair<std::string, MessageHandler>> endpoints_;
+  struct Endpoint {
+    std::string name;
+    MessageHandler handler;
+    TrafficMeter meter;
+  };
+
+  [[nodiscard]] Endpoint* find(const std::string& name);
+  [[nodiscard]] const Endpoint* find(const std::string& name) const;
+
+  /// Deque so endpoint meters stay at stable addresses as later endpoints
+  /// register — callers may hold endpoint_meter() references long-term.
+  std::deque<Endpoint> endpoints_;
+  /// Name -> endpoints_ slot: keeps send() O(1) in the endpoint count
+  /// (sends are per-message on the simulation hot path).
+  std::unordered_map<std::string, std::size_t> index_;
   TrafficMeter meter_;
   std::int64_t delivered_ = 0;
 };

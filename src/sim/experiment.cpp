@@ -47,41 +47,74 @@ const char* to_string(PolicyKind kind) {
   return "?";
 }
 
-RunResult run_one(PolicyKind kind, const workload::Trace& trace,
-                  Bytes cache_capacity, const SetupParams& params,
-                  const PolicyOverrides& overrides,
-                  std::int64_t series_stride) {
-  core::DeltaSystem system{&trace};
-  std::unique_ptr<core::CachePolicy> policy;
+std::unique_ptr<core::CachePolicy> make_policy(
+    PolicyKind kind, core::CacheNode& cache, const workload::Trace& trace,
+    Bytes cache_capacity, const SetupParams& params,
+    const PolicyOverrides& overrides) {
   switch (kind) {
     case PolicyKind::kNoCache:
-      policy = std::make_unique<core::NoCachePolicy>(&system);
-      break;
+      return std::make_unique<core::NoCachePolicy>(&cache);
     case PolicyKind::kReplica:
-      policy = std::make_unique<core::ReplicaPolicy>(&system);
-      break;
+      return std::make_unique<core::ReplicaPolicy>(&cache);
     case PolicyKind::kBenefit: {
       core::BenefitOptions opts = overrides.benefit;
       opts.cache_capacity = cache_capacity;
       if (opts.window <= 0) opts.window = params.benefit_window;
       opts.alpha = opts.alpha > 0.0 ? opts.alpha : params.benefit_alpha;
-      policy = std::make_unique<core::BenefitPolicy>(&system, opts);
-      break;
+      return std::make_unique<core::BenefitPolicy>(&cache, opts);
     }
     case PolicyKind::kVCover: {
       core::VCoverOptions opts = overrides.vcover;
       opts.cache_capacity = cache_capacity;
-      policy = std::make_unique<core::VCoverPolicy>(&system, opts);
-      break;
+      return std::make_unique<core::VCoverPolicy>(&cache, opts);
     }
     case PolicyKind::kSOptimal: {
       core::SOptimalOptions opts = overrides.soptimal;
       opts.cache_capacity = cache_capacity;
-      policy = std::make_unique<core::SOptimalPolicy>(&system, &trace, opts);
-      break;
+      return std::make_unique<core::SOptimalPolicy>(&cache, &trace, opts);
     }
   }
+  DELTA_CHECK_MSG(false, "unknown policy kind");
+  return nullptr;
+}
+
+RunResult run_one(PolicyKind kind, const workload::Trace& trace,
+                  Bytes cache_capacity, const SetupParams& params,
+                  const PolicyOverrides& overrides,
+                  std::int64_t series_stride) {
+  core::DeltaSystem system{&trace};
+  const std::unique_ptr<core::CachePolicy> policy = make_policy(
+      kind, system.cache(), trace, cache_capacity, params, overrides);
   return run_policy(trace, system, *policy, series_stride);
+}
+
+MultiRunResult run_one_multi(PolicyKind kind, const workload::Trace& trace,
+                             Bytes per_endpoint_capacity,
+                             const SetupParams& params,
+                             std::size_t endpoint_count,
+                             workload::SplitStrategy strategy,
+                             const PolicyOverrides& overrides,
+                             std::int64_t series_stride) {
+  // Computed once and handed to both the policies and the runner, so the
+  // routing and (for offline SOptimal) each endpoint's hindsight shard are
+  // the same split by construction.
+  const std::vector<std::uint32_t> assignment =
+      workload::assign_queries(trace, endpoint_count, strategy);
+  const bool shard_soptimal =
+      kind == PolicyKind::kSOptimal && endpoint_count > 1;
+  return run_policy_multi(
+      trace, endpoint_count, strategy,
+      [&](core::CacheNode& cache, std::size_t index) {
+        PolicyOverrides endpoint_overrides = overrides;
+        if (shard_soptimal) {
+          endpoint_overrides.soptimal.query_assignment = &assignment;
+          endpoint_overrides.soptimal.endpoint =
+              static_cast<std::uint32_t>(index);
+        }
+        return make_policy(kind, cache, trace, per_endpoint_capacity, params,
+                           endpoint_overrides);
+      },
+      series_stride, LatencyModel{}, &assignment);
 }
 
 std::vector<RunResult> run_all_policies(const workload::Trace& trace,

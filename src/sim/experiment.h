@@ -15,9 +15,11 @@
 #include "core/vcover_policy.h"
 #include "core/yardsticks.h"
 #include "htm/partition_map.h"
+#include "sim/multi_cache.h"
 #include "sim/simulator.h"
 #include "storage/density_model.h"
 #include "workload/trace_generator.h"
+#include "workload/trace_split.h"
 
 namespace delta::sim {
 
@@ -79,11 +81,31 @@ struct PolicyOverrides {
   core::SOptimalOptions soptimal;  // capacity filled in
 };
 
+/// Builds a policy of `kind` driving `cache`, with the same defaults-and-
+/// overrides resolution the runners use.
+std::unique_ptr<core::CachePolicy> make_policy(
+    PolicyKind kind, core::CacheNode& cache, const workload::Trace& trace,
+    Bytes cache_capacity, const SetupParams& params,
+    const PolicyOverrides& overrides = PolicyOverrides{});
+
 /// Runs one policy over the trace with a fresh DeltaSystem.
 RunResult run_one(PolicyKind kind, const workload::Trace& trace,
                   Bytes cache_capacity, const SetupParams& params,
                   const PolicyOverrides& overrides = PolicyOverrides{},
                   std::int64_t series_stride = 2000);
+
+/// Runs one policy kind over the trace with N cache endpoints sharing a
+/// fresh repository; queries are routed per `strategy`, and every endpoint
+/// gets its own policy instance with `per_endpoint_capacity` of cache.
+/// With endpoint_count == 1 this reproduces run_one byte-for-byte.
+MultiRunResult run_one_multi(PolicyKind kind, const workload::Trace& trace,
+                             Bytes per_endpoint_capacity,
+                             const SetupParams& params,
+                             std::size_t endpoint_count,
+                             workload::SplitStrategy strategy,
+                             const PolicyOverrides& overrides =
+                                 PolicyOverrides{},
+                             std::int64_t series_stride = 2000);
 
 /// Runs the two algorithms and three yardsticks (Fig. 7b's cast).
 std::vector<RunResult> run_all_policies(const workload::Trace& trace,

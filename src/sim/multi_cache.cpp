@@ -1,0 +1,177 @@
+#include "sim/multi_cache.h"
+
+#include <chrono>
+#include <string>
+
+#include "net/transport.h"
+#include "util/check.h"
+
+namespace delta::sim {
+
+namespace {
+
+std::array<Bytes, 3> mechanism_snapshot(const net::TrafficMeter& meter) {
+  return {meter.total(net::Mechanism::kQueryShip),
+          meter.total(net::Mechanism::kUpdateShip),
+          meter.total(net::Mechanism::kObjectLoad)};
+}
+
+}  // namespace
+
+// NOTE: mirrors sim/simulator.cpp's run_policy event semantics exactly;
+// the N=1 byte-for-byte equivalence is pinned by MultiCacheSimTest — keep
+// the two replay loops in lockstep.
+MultiRunResult run_policy_multi(const workload::Trace& trace,
+                                std::size_t endpoint_count,
+                                workload::SplitStrategy strategy,
+                                const CachePolicyFactory& factory,
+                                std::int64_t series_stride,
+                                const LatencyModel& latency,
+                                const std::vector<std::uint32_t>* assignment) {
+  DELTA_CHECK(endpoint_count > 0);
+  DELTA_CHECK(factory != nullptr);
+  DELTA_CHECK(assignment == nullptr ||
+              assignment->size() == trace.queries.size());
+  const auto start = std::chrono::steady_clock::now();
+
+  // ---- assemble the node graph: one repository, N cache endpoints ----
+  net::LoopbackTransport transport;
+  core::ServerNode server{&trace, &transport};
+  std::vector<std::unique_ptr<core::CacheNode>> caches;
+  std::vector<std::unique_ptr<core::CachePolicy>> policies;
+  caches.reserve(endpoint_count);
+  policies.reserve(endpoint_count);
+  for (std::size_t i = 0; i < endpoint_count; ++i) {
+    caches.push_back(std::make_unique<core::CacheNode>(
+        &trace, &server, &transport, "cache-" + std::to_string(i)));
+  }
+  // Policies are built after every endpoint exists; offline policies
+  // (SOptimal) emit their up-front load traffic here, inside the warm-up
+  // window, exactly as in the single-cache runner.
+  for (std::size_t i = 0; i < endpoint_count; ++i) {
+    policies.push_back(factory(*caches[i], i));
+    DELTA_CHECK(policies.back() != nullptr);
+  }
+
+  const std::vector<std::uint32_t> computed_assignment =
+      assignment == nullptr
+          ? workload::assign_queries(trace, endpoint_count, strategy)
+          : std::vector<std::uint32_t>{};
+  const std::vector<std::uint32_t>& routing =
+      assignment == nullptr ? computed_assignment : *assignment;
+
+  MultiRunResult result;
+  result.strategy = strategy;
+  result.combined.policy_name = policies.front()->name();
+  result.combined.warmup_end = trace.info.warmup_end_event;
+  result.combined.series = util::CumulativeSeries{series_stride};
+  result.per_endpoint.resize(endpoint_count);
+  std::vector<const net::TrafficMeter*> meters;
+  for (std::size_t i = 0; i < endpoint_count; ++i) {
+    RunResult& r = result.per_endpoint[i];
+    r.policy_name = policies[i]->name();
+    r.warmup_end = trace.info.warmup_end_event;
+    r.series = util::CumulativeSeries{series_stride};
+    meters.push_back(&caches[i]->meter());
+  }
+  const net::TrafficMeter& aggregate = transport.meter();
+
+  // ---- warm-up boundary snapshots (combined + one per endpoint) ----
+  std::array<Bytes, 3> combined_at_warmup{};
+  std::vector<std::array<Bytes, 3>> endpoint_at_warmup(endpoint_count);
+  bool warmup_captured = false;
+  const auto capture_warmup = [&] {
+    combined_at_warmup = mechanism_snapshot(aggregate);
+    for (std::size_t i = 0; i < endpoint_count; ++i) {
+      endpoint_at_warmup[i] = mechanism_snapshot(*meters[i]);
+    }
+    warmup_captured = true;
+  };
+  if (trace.info.warmup_end_event == 0) capture_warmup();
+
+  // ---- replay the merged event sequence ----
+  for (const workload::Event& event : trace.order) {
+    const bool is_update = event.kind == workload::Event::Kind::kUpdate;
+    const EventTime now =
+        is_update
+            ? trace.updates[static_cast<std::size_t>(event.index)].time
+            : trace.queries[static_cast<std::size_t>(event.index)].time;
+    // Snapshot the meters the moment the measurement window opens, before
+    // this event's traffic.
+    if (!warmup_captured && now >= trace.info.warmup_end_event) {
+      capture_warmup();
+    }
+
+    if (is_update) {
+      server.ingest_update(
+          trace.updates[static_cast<std::size_t>(event.index)]);
+    } else {
+      const auto qi = static_cast<std::size_t>(event.index);
+      const workload::Query& q = trace.queries[qi];
+      const std::size_t e = routing[qi];
+      DELTA_CHECK(e < endpoint_count);
+      RunResult& r = result.per_endpoint[e];
+      const core::QueryOutcome outcome = policies[e]->on_query(q);
+      ++result.combined.queries;
+      ++r.queries;
+      double seconds = 0.0;
+      switch (outcome.path) {
+        case core::QueryOutcome::Path::kCacheFresh:
+          ++result.combined.cache_fresh;
+          ++r.cache_fresh;
+          seconds = latency.local_exec_seconds;
+          break;
+        case core::QueryOutcome::Path::kCacheAfterUpdates:
+          ++result.combined.cache_after_updates;
+          ++r.cache_after_updates;
+          seconds =
+              latency.local_exec_seconds +
+              caches[e]->link().transfer_seconds(outcome.max_update_bytes);
+          break;
+        case core::QueryOutcome::Path::kShipped:
+          ++result.combined.shipped;
+          ++r.shipped;
+          seconds =
+              latency.server_exec_seconds +
+              caches[e]->link().transfer_seconds(outcome.result_bytes);
+          break;
+      }
+      result.combined.objects_loaded += outcome.objects_loaded;
+      r.objects_loaded += outcome.objects_loaded;
+      if (now >= trace.info.warmup_end_event) {
+        result.combined.postwarmup_latency.add(seconds);
+        r.postwarmup_latency.add(seconds);
+      }
+    }
+    result.combined.series.observe(now, aggregate.figure_total().as_double());
+    for (std::size_t i = 0; i < endpoint_count; ++i) {
+      result.per_endpoint[i].series.observe(
+          now, meters[i]->figure_total().as_double());
+    }
+  }
+  if (!warmup_captured) capture_warmup();  // warm-up spanned the whole run
+
+  // ---- fold the meters into the results ----
+  const auto finish = [](RunResult& r, const net::TrafficMeter& meter,
+                         const std::array<Bytes, 3>& at_warmup) {
+    r.series.finalize();
+    r.total_traffic = meter.figure_total();
+    const std::array<Bytes, 3> final_by = mechanism_snapshot(meter);
+    for (std::size_t m = 0; m < 3; ++m) {
+      r.postwarmup_by_mechanism[m] = final_by[m] - at_warmup[m];
+      r.postwarmup_traffic += r.postwarmup_by_mechanism[m];
+    }
+    r.overhead_traffic = meter.total(net::Mechanism::kOverhead);
+  };
+  finish(result.combined, aggregate, combined_at_warmup);
+  for (std::size_t i = 0; i < endpoint_count; ++i) {
+    finish(result.per_endpoint[i], *meters[i], endpoint_at_warmup[i]);
+  }
+
+  result.combined.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace delta::sim

@@ -1,0 +1,52 @@
+// Multi-endpoint simulation: one ServerNode (shared repository) serving N
+// CacheNode endpoints, each driven by its own policy instance, over a
+// single metered transport.
+//
+// The trace's merged event sequence is replayed once: updates go to the
+// repository (which fans invalidations out per subscription), queries are
+// routed to endpoints by a workload::SplitStrategy. Results come back at
+// two granularities — a RunResult per endpoint (from that endpoint's
+// transport meter) and a combined RunResult computed exactly like the
+// single-cache sim::run_policy, so a run with one endpoint reproduces the
+// single-cache numbers byte-for-byte and per-endpoint figures always sum to
+// the combined figure.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/cache_node.h"
+#include "core/policy.h"
+#include "core/server_node.h"
+#include "sim/simulator.h"
+#include "workload/trace.h"
+#include "workload/trace_split.h"
+
+namespace delta::sim {
+
+struct MultiRunResult {
+  workload::SplitStrategy strategy = workload::SplitStrategy::kRoundRobin;
+  /// One result per cache endpoint: counters/latency over the queries
+  /// routed to it, traffic from its per-endpoint meter.
+  std::vector<RunResult> per_endpoint;
+  /// Aggregate view, same semantics as the single-cache run_policy result.
+  RunResult combined;
+};
+
+/// Builds the policy driving endpoint `index` (already attached to `cache`).
+using CachePolicyFactory = std::function<std::unique_ptr<core::CachePolicy>(
+    core::CacheNode& cache, std::size_t index)>;
+
+/// Replays the trace through N cache endpoints sharing one repository.
+/// `assignment`, when given, is the query split to route by (indexed like
+/// Trace::queries, values < endpoint_count) — pass it when a policy also
+/// needs the split (e.g. sharded SOptimal hindsight) so routing and policy
+/// provably agree; null recomputes it from `strategy`.
+MultiRunResult run_policy_multi(
+    const workload::Trace& trace, std::size_t endpoint_count,
+    workload::SplitStrategy strategy, const CachePolicyFactory& factory,
+    std::int64_t series_stride = 2000,
+    const LatencyModel& latency = LatencyModel{},
+    const std::vector<std::uint32_t>* assignment = nullptr);
+
+}  // namespace delta::sim

@@ -6,6 +6,11 @@
 
 namespace delta::sim {
 
+// NOTE: sim/multi_cache.cpp's run_policy_multi replays the same event
+// semantics (warm-up capture, latency accounting, series observation) over
+// N endpoints, and MultiCacheSimTest.OneEndpointReproducesSingleCache-
+// ByteForByte pins the two loops to byte-identical results — change replay
+// semantics in both places together.
 RunResult run_policy(const workload::Trace& trace,
                      core::DeltaSystem& system, core::CachePolicy& policy,
                      std::int64_t series_stride,

@@ -1,0 +1,49 @@
+#include "workload/trace_split.h"
+
+#include "util/check.h"
+
+namespace delta::workload {
+
+namespace {
+
+/// splitmix64: cheap, well-mixed 64-bit hash so adjacent trixel indices
+/// spread over endpoints instead of striping.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> assign_queries(const Trace& trace,
+                                          std::size_t endpoint_count,
+                                          SplitStrategy strategy) {
+  DELTA_CHECK(endpoint_count > 0);
+  std::vector<std::uint32_t> assignment(trace.queries.size(), 0);
+  if (endpoint_count == 1) return assignment;
+  const auto n = static_cast<std::uint64_t>(endpoint_count);
+  for (std::size_t i = 0; i < trace.queries.size(); ++i) {
+    switch (strategy) {
+      case SplitStrategy::kRoundRobin:
+        assignment[i] = static_cast<std::uint32_t>(i % n);
+        break;
+      case SplitStrategy::kHashByRegion: {
+        const Query& q = trace.queries[i];
+        // The region's first base trixel anchors the query spatially; a
+        // cover-less query (shouldn't happen in generated traces) falls
+        // back to its id so the split stays total.
+        const std::uint64_t key =
+            q.base_cover.empty()
+                ? mix(static_cast<std::uint64_t>(q.id.value()))
+                : mix(static_cast<std::uint64_t>(q.base_cover.front()));
+        assignment[i] = static_cast<std::uint32_t>(key % n);
+        break;
+      }
+    }
+  }
+  return assignment;
+}
+
+}  // namespace delta::workload

@@ -1,0 +1,44 @@
+// Trace splitting for multi-endpoint deployments: assigns every query of a
+// trace to one of N cache endpoints. Updates are not split — they arrive at
+// the shared repository, which fans invalidations out to the subscribed
+// caches (see core::ServerNode).
+//
+// Two strategies:
+//   * kRoundRobin     — queries are dealt to endpoints in arrival order;
+//                       an even load-balance baseline with no locality.
+//   * kHashByRegion   — queries hash by their spatial anchor (the first
+//                       base-level trixel of the region's cover), so
+//                       queries over the same sky region land on the same
+//                       endpoint and its cache can specialize. This is the
+//                       sharding mode the ROADMAP's scale-out targets.
+// Both are deterministic functions of the trace, so multi-endpoint runs
+// stay exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/trace.h"
+
+namespace delta::workload {
+
+enum class SplitStrategy : std::uint8_t {
+  kRoundRobin,
+  kHashByRegion,
+};
+
+[[nodiscard]] constexpr const char* to_string(SplitStrategy strategy) {
+  switch (strategy) {
+    case SplitStrategy::kRoundRobin:
+      return "round_robin";
+    case SplitStrategy::kHashByRegion:
+      return "hash_by_region";
+  }
+  return "?";
+}
+
+/// Endpoint index (< endpoint_count) per query, indexed like Trace::queries.
+[[nodiscard]] std::vector<std::uint32_t> assign_queries(
+    const Trace& trace, std::size_t endpoint_count, SplitStrategy strategy);
+
+}  // namespace delta::workload

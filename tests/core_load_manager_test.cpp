@@ -1,0 +1,163 @@
+// LoadManager unit tests (paper Fig. 6): the bypass-caching rule in both
+// implementations — exact per-object counters, and the paper's randomized
+// attribution that matches the rule in expectation.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "core/load_manager.h"
+
+namespace delta::core {
+namespace {
+
+workload::Query query_costing(std::int64_t cost) {
+  workload::Query q;
+  q.cost = Bytes{cost};
+  return q;
+}
+
+/// Fixed-size world: every object is `size` bytes, loads cost `load_cost`.
+struct Sizes {
+  Bytes size{1000};
+  Bytes load_cost{1000};
+  [[nodiscard]] auto size_fn() const {
+    return [s = size](ObjectId) { return s; };
+  }
+  [[nodiscard]] auto cost_fn() const {
+    return [c = load_cost](ObjectId) { return c; };
+  }
+};
+
+std::int64_t proposals_in(const LoadManager::Proposal& p) {
+  std::int64_t n = 0;
+  for (const auto& batch : p.batches) {
+    n += static_cast<std::int64_t>(batch.size());
+  }
+  return n;
+}
+
+// Counter mode: the object is proposed exactly once per l(o) bytes of
+// shipped-query demand attributed to it — queries of cost c propose every
+// ceil(l/c)-th query and never in between.
+TEST(LoadManagerTest, CounterModeProposesExactlyOncePerLoadCost) {
+  LoadManager lm{{/*randomized=*/false, /*lazy=*/true}, util::Rng{1}};
+  const Sizes sizes;  // l(o) = 1000
+  const ObjectId o{0};
+  std::int64_t proposals = 0;
+  for (int i = 1; i <= 20; ++i) {
+    const auto p = lm.consider(query_costing(250), {o}, sizes.size_fn(),
+                               sizes.cost_fn());
+    proposals += proposals_in(p);
+    // 250 bytes per query against l=1000: a proposal exactly at every
+    // 4th query, i.e. exactly once per 1000 attributed bytes.
+    EXPECT_EQ(proposals, i / 4) << "after query " << i;
+  }
+  EXPECT_EQ(proposals, 5);
+}
+
+TEST(LoadManagerTest, CounterModeAttributionIsCappedByQueryCost) {
+  LoadManager lm{{/*randomized=*/false, /*lazy=*/true}, util::Rng{1}};
+  const Sizes sizes;
+  // One query shipping more than 2*l(o) still proposes the object once:
+  // attribution per query is capped at l(o) (share = min(budget, l)).
+  const auto p = lm.consider(query_costing(5000), {ObjectId{0}},
+                             sizes.size_fn(), sizes.cost_fn());
+  EXPECT_EQ(proposals_in(p), 1);
+}
+
+TEST(LoadManagerTest, BudgetWalksAcrossMissingObjects) {
+  LoadManager lm{{/*randomized=*/false, /*lazy=*/true}, util::Rng{1}};
+  const Sizes sizes;
+  // Cost 1000 over two missing objects of l=1000 each: the walk funds the
+  // first object in (shuffled) order fully; the second accrues nothing
+  // (budget exhausted). Exactly one proposal either way.
+  const auto p =
+      lm.consider(query_costing(1000), {ObjectId{0}, ObjectId{1}},
+                  sizes.size_fn(), sizes.cost_fn());
+  EXPECT_EQ(proposals_in(p), 1);
+  // A second identical query funds the other object to its threshold too.
+  const auto p2 =
+      lm.consider(query_costing(1000), {ObjectId{0}, ObjectId{1}},
+                  sizes.size_fn(), sizes.cost_fn());
+  EXPECT_EQ(proposals_in(p2), 1);
+}
+
+// Randomized mode matches the counter rule in expectation: over a long
+// seeded run the proposal count concentrates around demand / l(o).
+TEST(LoadManagerTest, RandomizedModeMatchesCounterModeInExpectation) {
+  const Sizes sizes;  // l(o) = 1000
+  const ObjectId o{0};
+  const int kQueries = 5000;
+  const std::int64_t kCost = 100;  // propose w.p. 0.1 per query
+
+  LoadManager exact{{/*randomized=*/false, /*lazy=*/true}, util::Rng{7}};
+  LoadManager randomized{{/*randomized=*/true, /*lazy=*/true},
+                         util::Rng{7}};
+  std::int64_t exact_count = 0;
+  std::int64_t randomized_count = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    exact_count += proposals_in(exact.consider(
+        query_costing(kCost), {o}, sizes.size_fn(), sizes.cost_fn()));
+    randomized_count += proposals_in(randomized.consider(
+        query_costing(kCost), {o}, sizes.size_fn(), sizes.cost_fn()));
+  }
+  // The exact rule: 5000 queries * 100 B / 1000 B = 500 proposals.
+  EXPECT_EQ(exact_count, kQueries * kCost / 1000);
+  // Binomial(5000, 0.1): mean 500, sd ~21. A 20% band is ~4.7 sd — tight
+  // enough to catch a wrong probability, loose enough to never flake on
+  // this fixed seed.
+  EXPECT_NEAR(static_cast<double>(randomized_count),
+              static_cast<double>(exact_count), 0.2 * exact_count);
+}
+
+TEST(LoadManagerTest, ForgetDropsTheCounter) {
+  LoadManager lm{{/*randomized=*/false, /*lazy=*/true}, util::Rng{1}};
+  const Sizes sizes;
+  const ObjectId o{0};
+  const auto feed = [&] {
+    return proposals_in(lm.consider(query_costing(400), {o},
+                                    sizes.size_fn(), sizes.cost_fn()));
+  };
+  EXPECT_EQ(feed(), 0);  // 400
+  EXPECT_EQ(feed(), 0);  // 800
+  lm.forget(o);          // load or eviction resets the shipped-cost memory
+  EXPECT_EQ(feed(), 0);  // 400 again — without forget() this would propose
+  EXPECT_EQ(feed(), 0);  // 800
+  EXPECT_EQ(feed(), 1);  // 1200: the rule re-arms from zero
+}
+
+TEST(LoadManagerTest, LazyModeBatchesSiblingCandidates) {
+  const Sizes sizes;
+  // A query rich enough to fund both missing objects at once.
+  const workload::Query q = query_costing(2000);
+
+  LoadManager lazy{{/*randomized=*/false, /*lazy=*/true}, util::Rng{3}};
+  const auto lazy_p = lazy.consider(q, {ObjectId{0}, ObjectId{1}},
+                                    sizes.size_fn(), sizes.cost_fn());
+  ASSERT_EQ(lazy_p.batches.size(), 1u);  // siblings decided together
+  EXPECT_EQ(lazy_p.batches[0].size(), 2u);
+
+  LoadManager eager{{/*randomized=*/false, /*lazy=*/false}, util::Rng{3}};
+  const auto eager_p = eager.consider(q, {ObjectId{0}, ObjectId{1}},
+                                      sizes.size_fn(), sizes.cost_fn());
+  ASSERT_EQ(eager_p.batches.size(), 2u);  // one decision per candidate
+  EXPECT_EQ(eager_p.batches[0].size(), 1u);
+  EXPECT_EQ(eager_p.batches[1].size(), 1u);
+}
+
+TEST(LoadManagerTest, CandidatesCarrySizeAndLoadCost) {
+  LoadManager lm{{/*randomized=*/false, /*lazy=*/true}, util::Rng{1}};
+  const auto p = lm.consider(
+      query_costing(5000), {ObjectId{42}},
+      [](ObjectId) { return Bytes{1234}; },
+      [](ObjectId) { return Bytes{1234 + 766}; });
+  ASSERT_EQ(p.batches.size(), 1u);
+  ASSERT_EQ(p.batches[0].size(), 1u);
+  EXPECT_EQ(p.batches[0][0].id, ObjectId{42});
+  EXPECT_EQ(p.batches[0][0].size.count(), 1234);
+  EXPECT_EQ(p.batches[0][0].load_cost.count(), 1234 + 766);
+}
+
+}  // namespace
+}  // namespace delta::core

@@ -62,6 +62,78 @@ TEST(LoopbackTransportTest, UnknownEndpointThrows) {
                std::logic_error);
 }
 
+TEST(LoopbackTransportTest, UnregisteredEndpointIsCheckedFailureEvenWhenOthersExist) {
+  LoopbackTransport t;
+  t.register_endpoint("cache-0", [](const Message&) {});
+  EXPECT_THROW(t.send("cache-1", Message{}, Mechanism::kUpdateShip),
+               std::logic_error);
+  // The failed delivery must not have been accounted anywhere.
+  EXPECT_EQ(t.meter().figure_total().count(), 0);
+  EXPECT_EQ(t.meter().total(Mechanism::kOverhead).count(), 0);
+  EXPECT_EQ(t.delivered_count(), 0);
+}
+
+TEST(LoopbackTransportTest, PerEndpointMetersPartitionTheAggregate) {
+  LoopbackTransport t;
+  for (const char* name : {"server", "cache-0", "cache-1"}) {
+    t.register_endpoint(name, [](const Message&) {});
+  }
+  Message msg;
+  msg.kind = MessageKind::kQueryResult;
+  msg.payload = Bytes{1000};
+  t.send("cache-0", msg, Mechanism::kQueryShip);
+  msg.payload = Bytes{250};
+  t.send("cache-1", msg, Mechanism::kQueryShip);
+  msg.kind = MessageKind::kUpdateShip;
+  msg.payload = Bytes{77};
+  t.send("cache-1", msg, Mechanism::kUpdateShip);
+  msg.kind = MessageKind::kLoadRequest;
+  msg.payload = Bytes{};
+  t.send("server", msg, Mechanism::kOverhead);
+
+  // Destination-keyed: each endpoint saw exactly its deliveries.
+  EXPECT_EQ(t.endpoint_meter("cache-0").total(Mechanism::kQueryShip).count(),
+            1000);
+  EXPECT_EQ(t.endpoint_meter("cache-1").total(Mechanism::kQueryShip).count(),
+            250);
+  EXPECT_EQ(t.endpoint_meter("cache-1").total(Mechanism::kUpdateShip).count(),
+            77);
+  EXPECT_EQ(t.endpoint_meter("server").figure_total().count(), 0);
+
+  // Partition property: per-endpoint totals sum exactly to the aggregate,
+  // mechanism by mechanism, bytes and message counts alike.
+  const auto names = t.endpoint_names();
+  ASSERT_EQ(names.size(), 3u);
+  for (std::size_t i = 0; i < kMechanismCount; ++i) {
+    const auto mech = static_cast<Mechanism>(i);
+    Bytes bytes_sum;
+    std::int64_t count_sum = 0;
+    for (const std::string& name : names) {
+      bytes_sum += t.endpoint_meter(name).total(mech);
+      count_sum += t.endpoint_meter(name).message_count(mech);
+    }
+    EXPECT_EQ(bytes_sum, t.meter().total(mech)) << to_string(mech);
+    EXPECT_EQ(count_sum, t.meter().message_count(mech)) << to_string(mech);
+  }
+}
+
+TEST(LoopbackTransportTest, EndpointMeterUnknownNameThrows) {
+  LoopbackTransport t;
+  EXPECT_THROW(t.endpoint_meter("ghost"), std::logic_error);
+  EXPECT_FALSE(t.has_endpoint("ghost"));
+}
+
+TEST(LoopbackTransportTest, ReRegistrationKeepsEndpointMeter) {
+  LoopbackTransport t;
+  t.register_endpoint("cache", [](const Message&) {});
+  Message msg;
+  msg.payload = Bytes{500};
+  t.send("cache", msg, Mechanism::kObjectLoad);
+  t.register_endpoint("cache", [](const Message&) {});
+  EXPECT_EQ(t.endpoint_meter("cache").total(Mechanism::kObjectLoad).count(),
+            500);
+}
+
 TEST(LoopbackTransportTest, ReRegistrationReplacesHandler) {
   LoopbackTransport t;
   int first = 0;

@@ -1,0 +1,256 @@
+// Multi-endpoint simulation tests: trace splitting, the N=1 equivalence
+// guarantee, and the per-endpoint/aggregate accounting identities.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <unordered_map>
+
+#include "core/yardsticks.h"
+#include "sim/experiment.h"
+#include "sim/multi_cache.h"
+#include "trace_builder.h"
+#include "workload/trace_split.h"
+
+namespace delta::sim {
+namespace {
+
+using World = Setup;  // ::testing::Test::Setup shadows sim::Setup in TESTs
+
+SetupParams small_params(std::uint64_t seed = 5) {
+  SetupParams p;
+  p.base_level = 4;
+  p.total_rows = 4e7;
+  p.object_target = 30;
+  p.trace_seed = seed;
+  p.trace.query_count = 2000;
+  p.trace.update_count = 2000;
+  p.trace.postwarmup_query_gb = 8.0;
+  p.trace.mean_postwarmup_update_mb = 2.0;
+  p.trace.hotspot_max_object_gb = 1.0;
+  p.benefit_window = 500;
+  return p;
+}
+
+constexpr PolicyKind kAllKinds[] = {PolicyKind::kNoCache,
+                                    PolicyKind::kReplica,
+                                    PolicyKind::kBenefit, PolicyKind::kVCover,
+                                    PolicyKind::kSOptimal};
+
+// ------------------------------------------------------------- splitting
+
+TEST(TraceSplitTest, RoundRobinDealsEvenly) {
+  const World setup{small_params()};
+  const auto assignment = workload::assign_queries(
+      setup.trace(), 4, workload::SplitStrategy::kRoundRobin);
+  ASSERT_EQ(assignment.size(), setup.trace().queries.size());
+  std::array<std::int64_t, 4> counts{};
+  for (const std::uint32_t e : assignment) {
+    ASSERT_LT(e, 4u);
+    ++counts[e];
+  }
+  const auto [lo, hi] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_LE(*hi - *lo, 1);
+}
+
+TEST(TraceSplitTest, HashByRegionIsDeterministicAndSpatiallyConsistent) {
+  const World setup{small_params()};
+  const auto a = workload::assign_queries(
+      setup.trace(), 4, workload::SplitStrategy::kHashByRegion);
+  const auto b = workload::assign_queries(
+      setup.trace(), 4, workload::SplitStrategy::kHashByRegion);
+  EXPECT_EQ(a, b);
+  // Queries anchored at the same base trixel always land together.
+  std::unordered_map<std::int32_t, std::uint32_t> anchor_endpoint;
+  for (std::size_t i = 0; i < setup.trace().queries.size(); ++i) {
+    const auto& q = setup.trace().queries[i];
+    if (q.base_cover.empty()) continue;
+    const auto [it, inserted] =
+        anchor_endpoint.emplace(q.base_cover.front(), a[i]);
+    EXPECT_EQ(it->second, a[i]);
+  }
+  // And the split is non-trivial: more than one endpoint is used.
+  std::set<std::uint32_t> used(a.begin(), a.end());
+  EXPECT_GT(used.size(), 1u);
+}
+
+TEST(TraceSplitTest, SingleEndpointTakesEverything) {
+  const World setup{small_params()};
+  for (const auto strategy : {workload::SplitStrategy::kRoundRobin,
+                              workload::SplitStrategy::kHashByRegion}) {
+    const auto assignment =
+        workload::assign_queries(setup.trace(), 1, strategy);
+    for (const std::uint32_t e : assignment) EXPECT_EQ(e, 0u);
+  }
+}
+
+// -------------------------------------------------- N=1 equivalence
+
+// A multi-cache simulation with one endpoint must reproduce the
+// single-cache RunResult byte-for-byte: total and per-mechanism
+// post-warm-up traffic, overhead, and every decision counter.
+TEST(MultiCacheSimTest, OneEndpointReproducesSingleCacheByteForByte) {
+  const World setup{small_params()};
+  for (const PolicyKind kind : kAllKinds) {
+    const RunResult single = run_one(kind, setup.trace(),
+                                     setup.cache_capacity(), setup.params());
+    const MultiRunResult multi = run_one_multi(
+        kind, setup.trace(), setup.cache_capacity(), setup.params(), 1,
+        workload::SplitStrategy::kRoundRobin);
+    ASSERT_EQ(multi.per_endpoint.size(), 1u);
+    for (const RunResult* r : {&multi.combined, &multi.per_endpoint[0]}) {
+      EXPECT_EQ(r->total_traffic, single.total_traffic) << r->policy_name;
+      EXPECT_EQ(r->postwarmup_traffic, single.postwarmup_traffic)
+          << r->policy_name;
+      for (std::size_t m = 0; m < 3; ++m) {
+        EXPECT_EQ(r->postwarmup_by_mechanism[m],
+                  single.postwarmup_by_mechanism[m])
+            << r->policy_name << " mechanism " << m;
+      }
+      EXPECT_EQ(r->queries, single.queries) << r->policy_name;
+      EXPECT_EQ(r->cache_fresh, single.cache_fresh) << r->policy_name;
+      EXPECT_EQ(r->cache_after_updates, single.cache_after_updates)
+          << r->policy_name;
+      EXPECT_EQ(r->shipped, single.shipped) << r->policy_name;
+      EXPECT_EQ(r->objects_loaded, single.objects_loaded) << r->policy_name;
+    }
+    // The aggregate view also reproduces overhead and the latency proxy.
+    EXPECT_EQ(multi.combined.overhead_traffic, single.overhead_traffic);
+    EXPECT_DOUBLE_EQ(multi.combined.postwarmup_latency.mean(),
+                     single.postwarmup_latency.mean());
+  }
+}
+
+// ------------------------------------- per-endpoint accounting identities
+
+TEST(MultiCacheSimTest, PerEndpointTrafficSumsToCombined) {
+  const World setup{small_params(7)};
+  for (const auto strategy : {workload::SplitStrategy::kRoundRobin,
+                              workload::SplitStrategy::kHashByRegion}) {
+    for (const std::size_t n : {2u, 4u}) {
+      const MultiRunResult multi =
+          run_one_multi(PolicyKind::kVCover, setup.trace(),
+                        setup.cache_capacity(), setup.params(), n, strategy);
+      ASSERT_EQ(multi.per_endpoint.size(), n);
+      Bytes total_sum;
+      Bytes postwarmup_sum;
+      std::array<Bytes, 3> by_mechanism_sum{};
+      std::int64_t queries_sum = 0;
+      for (const RunResult& r : multi.per_endpoint) {
+        total_sum += r.total_traffic;
+        postwarmup_sum += r.postwarmup_traffic;
+        for (std::size_t m = 0; m < 3; ++m) {
+          by_mechanism_sum[m] += r.postwarmup_by_mechanism[m];
+        }
+        queries_sum += r.queries;
+      }
+      // All figure traffic is delivered to cache endpoints, so the
+      // per-endpoint meters partition the combined figures exactly.
+      EXPECT_EQ(total_sum, multi.combined.total_traffic)
+          << workload::to_string(strategy) << " n=" << n;
+      EXPECT_EQ(postwarmup_sum, multi.combined.postwarmup_traffic);
+      for (std::size_t m = 0; m < 3; ++m) {
+        EXPECT_EQ(by_mechanism_sum[m],
+                  multi.combined.postwarmup_by_mechanism[m]);
+      }
+      // Every query was routed to exactly one endpoint.
+      EXPECT_EQ(queries_sum, multi.combined.queries);
+      EXPECT_EQ(queries_sum,
+                static_cast<std::int64_t>(setup.trace().queries.size()));
+      // Request/invalidation overhead lands partly on the server endpoint,
+      // so per-endpoint overhead under-counts the combined total.
+      Bytes overhead_sum;
+      for (const RunResult& r : multi.per_endpoint) {
+        overhead_sum += r.overhead_traffic;
+      }
+      EXPECT_LE(overhead_sum, multi.combined.overhead_traffic);
+    }
+  }
+}
+
+TEST(MultiCacheSimTest, DeterministicAcrossRuns) {
+  const World setup{small_params(9)};
+  for (const PolicyKind kind :
+       {PolicyKind::kVCover, PolicyKind::kBenefit}) {
+    const MultiRunResult a =
+        run_one_multi(kind, setup.trace(), setup.cache_capacity(),
+                      setup.params(), 4,
+                      workload::SplitStrategy::kHashByRegion);
+    const MultiRunResult b =
+        run_one_multi(kind, setup.trace(), setup.cache_capacity(),
+                      setup.params(), 4,
+                      workload::SplitStrategy::kHashByRegion);
+    EXPECT_EQ(a.combined.total_traffic, b.combined.total_traffic);
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(a.per_endpoint[i].total_traffic,
+                b.per_endpoint[i].total_traffic);
+      EXPECT_EQ(a.per_endpoint[i].cache_fresh,
+                b.per_endpoint[i].cache_fresh);
+    }
+  }
+}
+
+// SOptimal is offline: when sharded, each endpoint's hindsight must count
+// only the queries routed to it, so disjoint shards choose disjoint sets
+// instead of every endpoint loading the global optimum.
+TEST(MultiCacheSimTest, ShardedSOptimalOptimizesPerEndpointQueries) {
+  // Two equally hot objects; round-robin over the alternating query
+  // sequence routes all object-0 queries to endpoint 0 and all object-1
+  // queries to endpoint 1.
+  delta::testing::TraceBuilder b{{1000, 1000}};
+  for (int i = 0; i < 4; ++i) {
+    b.query({0}, 600'000);
+    b.query({1}, 600'000);
+  }
+  const workload::Trace trace = b.build();
+  const auto assignment = workload::assign_queries(
+      trace, 2, workload::SplitStrategy::kRoundRobin);
+
+  // The policies live only for the duration of the run; snapshot each
+  // endpoint's chosen set at construction.
+  std::vector<std::unordered_set<ObjectId>> chosen(2);
+  const MultiRunResult result = run_policy_multi(
+      trace, 2, workload::SplitStrategy::kRoundRobin,
+      [&](core::CacheNode& cache, std::size_t index) {
+        core::SOptimalOptions opts;
+        opts.cache_capacity = Bytes{10'000'000};
+        opts.query_assignment = &assignment;
+        opts.endpoint = static_cast<std::uint32_t>(index);
+        auto policy = std::make_unique<core::SOptimalPolicy>(&cache, &trace,
+                                                             opts);
+        chosen[index] = policy->chosen();
+        return policy;
+      });
+
+  // Each endpoint chose exactly its own object — the cross-shard queries
+  // did not inflate its hindsight.
+  EXPECT_EQ(chosen[0], std::unordered_set<ObjectId>{ObjectId{0}});
+  EXPECT_EQ(chosen[1], std::unordered_set<ObjectId>{ObjectId{1}});
+  // All queries answered at their shard's cache; the only figure traffic
+  // is each endpoint loading its own object once (no duplicate loads).
+  const Bytes one_load =
+      Bytes{1000} + core::ServerNode::kLoadOverheadBytes;
+  EXPECT_EQ(result.combined.total_traffic, one_load * 2);
+  EXPECT_EQ(result.combined.cache_fresh, 8);
+}
+
+// Sharding sanity: with spatial splitting each endpoint sees a narrower
+// working set, so per-endpoint caches answer queries locally too — the
+// multi-endpoint system must still beat shipping everything.
+TEST(MultiCacheSimTest, ShardedVCoverStillBeatsNoCache) {
+  const World setup{small_params(10)};
+  const RunResult nocache = run_one(PolicyKind::kNoCache, setup.trace(),
+                                    setup.cache_capacity(), setup.params());
+  const MultiRunResult sharded = run_one_multi(
+      PolicyKind::kVCover, setup.trace(), setup.cache_capacity(),
+      setup.params(), 4, workload::SplitStrategy::kHashByRegion);
+  EXPECT_LT(sharded.combined.postwarmup_traffic,
+            nocache.postwarmup_traffic);
+  EXPECT_GT(sharded.combined.cache_fresh +
+                sharded.combined.cache_after_updates,
+            0);
+}
+
+}  // namespace
+}  // namespace delta::sim
