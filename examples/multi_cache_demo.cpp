@@ -4,6 +4,8 @@
 //
 //   ./build/examples/multi_cache_demo [key=value ...]
 //     endpoints=3 strategy=hash|rr queries=5000 updates=5000 cache_frac=0.3
+//     threads=1   (0 = one per hardware core; >1 runs the parallel engine,
+//                  which produces byte-identical results to threads=1)
 //
 // This walks the multi-endpoint API surface: trace -> split strategy ->
 // run_one_multi -> per-endpoint RunResults + combined figures, and checks
@@ -59,17 +61,27 @@ int main(int argc, char** argv) {
   const double frac = cfg.get_double("cache_frac", 0.3);
   const Bytes per_endpoint{
       static_cast<std::int64_t>(setup.server_bytes().as_double() * frac)};
+  const std::int64_t threads_arg = cfg.get_int("threads", 1);
+  if (threads_arg < 0 || threads_arg > 1024) {
+    std::cerr << "threads must be in [0, 1024], got " << threads_arg << "\n";
+    return 2;
+  }
+  sim::ParallelOptions parallel;
+  parallel.num_threads = static_cast<std::size_t>(threads_arg);
 
   std::cout << "world: " << setup.map()->object_count() << " objects, "
             << util::human_bytes(setup.server_bytes()) << " repository; "
             << endpoints << " cache endpoints ("
             << util::human_bytes(per_endpoint) << " each), split="
-            << workload::to_string(strategy) << "\n\n";
+            << workload::to_string(strategy) << ", threads="
+            << (parallel.num_threads == 0 ? std::string{"auto"}
+                                          : std::to_string(threads_arg))
+            << "\n\n";
 
   // 2. One ServerNode + N CacheNodes, a VCover policy per endpoint.
-  const sim::MultiRunResult result =
-      sim::run_one_multi(sim::PolicyKind::kVCover, setup.trace(),
-                         per_endpoint, params, endpoints, strategy);
+  const sim::MultiRunResult result = sim::run_one_multi(
+      sim::PolicyKind::kVCover, setup.trace(), per_endpoint, params,
+      endpoints, strategy, sim::PolicyOverrides{}, 2000, parallel);
 
   // 3. Per-endpoint report.
   std::cout << "endpoint      queries  at-cache  post-warm-up traffic\n";

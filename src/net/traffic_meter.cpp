@@ -7,28 +7,50 @@
 
 namespace delta::net {
 
+// Relaxed ordering throughout: the counters are pure accumulators with no
+// inter-variable invariants to publish; cross-thread visibility at read
+// time is provided by the engine's join/merge barrier.
+
+TrafficMeter::TrafficMeter(const TrafficMeter& other) { *this = other; }
+
+TrafficMeter& TrafficMeter::operator=(const TrafficMeter& other) {
+  for (std::size_t i = 0; i < kMechanismCount; ++i) {
+    totals_[i].store(other.totals_[i].load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    counts_[i].store(other.counts_[i].load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  }
+  return *this;
+}
+
 void TrafficMeter::record(Mechanism mechanism, Bytes bytes) {
   DELTA_CHECK(bytes.count() >= 0);
   const auto i = static_cast<std::size_t>(mechanism);
-  totals_[i] += bytes;
-  ++counts_[i];
+  totals_[i].fetch_add(bytes.count(), std::memory_order_relaxed);
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
 }
 
 Bytes TrafficMeter::total(Mechanism mechanism) const {
-  return totals_[static_cast<std::size_t>(mechanism)];
+  return Bytes{totals_[static_cast<std::size_t>(mechanism)].load(
+      std::memory_order_relaxed)};
 }
 
 Bytes TrafficMeter::figure_total() const {
-  return totals_[0] + totals_[1] + totals_[2];
+  return Bytes{totals_[0].load(std::memory_order_relaxed) +
+               totals_[1].load(std::memory_order_relaxed) +
+               totals_[2].load(std::memory_order_relaxed)};
 }
 
 std::int64_t TrafficMeter::message_count(Mechanism mechanism) const {
-  return counts_[static_cast<std::size_t>(mechanism)];
+  return counts_[static_cast<std::size_t>(mechanism)].load(
+      std::memory_order_relaxed);
 }
 
 void TrafficMeter::reset() {
-  totals_ = {};
-  counts_ = {};
+  for (std::size_t i = 0; i < kMechanismCount; ++i) {
+    totals_[i].store(0, std::memory_order_relaxed);
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
 }
 
 std::string TrafficMeter::summary() const {
@@ -36,7 +58,8 @@ std::string TrafficMeter::summary() const {
   for (std::size_t i = 0; i < kMechanismCount; ++i) {
     if (i > 0) os << ", ";
     os << to_string(static_cast<Mechanism>(i)) << "="
-       << util::human_bytes(totals_[i]) << " (" << counts_[i] << " msgs)";
+       << util::human_bytes(total(static_cast<Mechanism>(i))) << " ("
+       << message_count(static_cast<Mechanism>(i)) << " msgs)";
   }
   os << ", figure_total=" << util::human_bytes(figure_total());
   return os.str();

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -35,8 +36,22 @@ inline constexpr std::size_t kMechanismCount = 4;
   return "?";
 }
 
+/// Thread-safety contract: record() may be called concurrently — each
+/// (mechanism, bytes, count) accumulation is atomic, so totals over any set
+/// of concurrent recorders are exact. Readers see individually-atomic
+/// counters; a *consistent snapshot across mechanisms* (e.g. the warm-up
+/// boundary captures in sim/) additionally requires that no writer is
+/// concurrent, which the simulation engines guarantee by confining each
+/// meter to one worker between merge barriers. reset() has the same
+/// quiescence requirement.
 class TrafficMeter {
  public:
+  TrafficMeter() = default;
+  // Copies are snapshots: meters are copied only while quiescent (endpoint
+  // re-registration, merge-time folding), never mid-record.
+  TrafficMeter(const TrafficMeter& other);
+  TrafficMeter& operator=(const TrafficMeter& other);
+
   void record(Mechanism mechanism, Bytes bytes);
 
   [[nodiscard]] Bytes total(Mechanism mechanism) const;
@@ -52,8 +67,8 @@ class TrafficMeter {
   [[nodiscard]] std::string summary() const;
 
  private:
-  std::array<Bytes, kMechanismCount> totals_{};
-  std::array<std::int64_t, kMechanismCount> counts_{};
+  std::array<std::atomic<std::int64_t>, kMechanismCount> totals_{};
+  std::array<std::atomic<std::int64_t>, kMechanismCount> counts_{};
 };
 
 }  // namespace delta::net

@@ -94,7 +94,8 @@ MultiRunResult run_one_multi(PolicyKind kind, const workload::Trace& trace,
                              std::size_t endpoint_count,
                              workload::SplitStrategy strategy,
                              const PolicyOverrides& overrides,
-                             std::int64_t series_stride) {
+                             std::int64_t series_stride,
+                             const ParallelOptions& parallel) {
   // Computed once and handed to both the policies and the runner, so the
   // routing and (for offline SOptimal) each endpoint's hindsight shard are
   // the same split by construction.
@@ -114,7 +115,7 @@ MultiRunResult run_one_multi(PolicyKind kind, const workload::Trace& trace,
         return make_policy(kind, cache, trace, per_endpoint_capacity, params,
                            endpoint_overrides);
       },
-      series_stride, LatencyModel{}, &assignment);
+      series_stride, LatencyModel{}, &assignment, parallel);
 }
 
 std::vector<RunResult> run_all_policies(const workload::Trace& trace,

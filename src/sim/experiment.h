@@ -97,7 +97,9 @@ RunResult run_one(PolicyKind kind, const workload::Trace& trace,
 /// Runs one policy kind over the trace with N cache endpoints sharing a
 /// fresh repository; queries are routed per `strategy`, and every endpoint
 /// gets its own policy instance with `per_endpoint_capacity` of cache.
-/// With endpoint_count == 1 this reproduces run_one byte-for-byte.
+/// With endpoint_count == 1 this reproduces run_one byte-for-byte, and any
+/// `parallel` engine/thread-count choice yields the same RunResults (see
+/// sim::ParallelOptions).
 MultiRunResult run_one_multi(PolicyKind kind, const workload::Trace& trace,
                              Bytes per_endpoint_capacity,
                              const SetupParams& params,
@@ -105,7 +107,9 @@ MultiRunResult run_one_multi(PolicyKind kind, const workload::Trace& trace,
                              workload::SplitStrategy strategy,
                              const PolicyOverrides& overrides =
                                  PolicyOverrides{},
-                             std::int64_t series_stride = 2000);
+                             std::int64_t series_stride = 2000,
+                             const ParallelOptions& parallel =
+                                 ParallelOptions{});
 
 /// Runs the two algorithms and three yardsticks (Fig. 7b's cast).
 std::vector<RunResult> run_all_policies(const workload::Trace& trace,

@@ -34,19 +34,58 @@ struct MultiRunResult {
 };
 
 /// Builds the policy driving endpoint `index` (already attached to `cache`).
+/// The factory is always invoked on the calling thread, in endpoint order —
+/// it never needs to be thread-safe, even in parallel runs.
 using CachePolicyFactory = std::function<std::unique_ptr<core::CachePolicy>(
     core::CacheNode& cache, std::size_t index)>;
+
+/// How the replay executes.
+///
+/// With num_threads <= 1 the engine is the original sequential one: a single
+/// shared LoopbackTransport/ServerNode drives all N endpoints in merged
+/// event order on the calling thread.
+///
+/// With num_threads > 1 each endpoint becomes an independent worker holding
+/// its own transport + repository replica + cache, and the workers replay
+/// the event sequence concurrently on a util::ThreadPool. This is sound
+/// because the only cross-endpoint state in the sequential run is the
+/// repository object sizes, which depend on updates alone — and every worker
+/// applies every update at the same point of the sequence — while each
+/// cache's registration row, meter, and policy are confined to its worker.
+/// A merge step then folds the per-endpoint results in endpoint order;
+/// byte totals are exact integer sums, so they are independent of worker
+/// timing by construction.
+///
+/// `deterministic` (default) additionally makes the merged *combined* view
+/// bit-identical to the sequential engine's: workers record their
+/// post-warm-up latency samples tagged with the global event position and
+/// the merge re-adds them in merged-event order, and the combined cumulative
+/// series is reconstructed as the pointwise sum of the per-worker aggregate
+/// series (which sample at identical event indices). Setting it to false
+/// skips the per-query sample buffers and folds the latency stats with
+/// StreamingStats::merge instead — still repeatable run-to-run, but the
+/// combined latency mean/variance may differ from the sequential engine in
+/// the last floating-point bits.
+struct ParallelOptions {
+  /// 0 = one thread per hardware core; 1 = sequential engine; >1 = worker
+  /// pool of min(num_threads, endpoint_count) threads.
+  std::size_t num_threads = 1;
+  bool deterministic = true;
+};
 
 /// Replays the trace through N cache endpoints sharing one repository.
 /// `assignment`, when given, is the query split to route by (indexed like
 /// Trace::queries, values < endpoint_count) — pass it when a policy also
 /// needs the split (e.g. sharded SOptimal hindsight) so routing and policy
 /// provably agree; null recomputes it from `strategy`.
+/// `parallel` selects the execution engine; every engine/thread-count
+/// combination yields the same RunResults (see ParallelOptions).
 MultiRunResult run_policy_multi(
     const workload::Trace& trace, std::size_t endpoint_count,
     workload::SplitStrategy strategy, const CachePolicyFactory& factory,
     std::int64_t series_stride = 2000,
     const LatencyModel& latency = LatencyModel{},
-    const std::vector<std::uint32_t>* assignment = nullptr);
+    const std::vector<std::uint32_t>* assignment = nullptr,
+    const ParallelOptions& parallel = ParallelOptions{});
 
 }  // namespace delta::sim

@@ -14,6 +14,14 @@ class StreamingStats {
  public:
   void add(double x);
 
+  /// Folds `other` into this via the parallel-Welford combination (Chan et
+  /// al.). Count/min/max are exact; sum/mean/variance are the
+  /// mathematically correct combination but, being floating-point folds of
+  /// per-shard partials, need not be bit-equal to adding the samples one by
+  /// one in arrival order — the simulation engine's deterministic mode
+  /// therefore replays samples instead.
+  void merge(const StreamingStats& other);
+
   [[nodiscard]] std::int64_t count() const { return count_; }
   [[nodiscard]] double mean() const { return count_ > 0 ? mean_ : 0.0; }
   [[nodiscard]] double variance() const;

@@ -1,0 +1,60 @@
+// A small fixed-size worker pool for the parallel simulation engine.
+//
+// Design constraints, in order: (1) deterministic callers — the pool runs
+// opaque jobs and reports completion/exceptions through std::future, it
+// never reorders results for the caller; (2) sanitizer-clean — plain
+// mutex/condition_variable handoff, no lock-free cleverness; (3) zero
+// dependencies beyond the standard library.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace delta::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `thread_count` workers (at least 1).
+  explicit ThreadPool(std::size_t thread_count);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue (pending jobs still run) and joins all workers.
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a job; the future resolves when it finishes and rethrows
+  /// anything the job threw.
+  std::future<void> submit(std::function<void()> job);
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows it to report 0).
+  [[nodiscard]] static std::size_t hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs jobs 0..job_count-1 by calling `job(index)` on up to `num_threads`
+/// pool workers, blocks until all complete, and rethrows the first job
+/// exception (by job index) after every job has finished. With
+/// num_threads <= 1 the jobs run inline on the calling thread — no pool is
+/// created, so single-threaded callers pay nothing.
+void parallel_for(std::size_t job_count, std::size_t num_threads,
+                  const std::function<void(std::size_t)>& job);
+
+}  // namespace delta::util

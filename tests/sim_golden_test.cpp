@@ -1,0 +1,206 @@
+// Golden regression test: the full simulation output for a fixed-seed trace
+// is pinned, per policy, so a refactor anywhere in the stack (htm → workload
+// → cache → core → sim) cannot silently change simulation results. All
+// randomness flows through util::Rng (xoshiro256**), so these numbers are
+// stable across platforms and standard libraries.
+//
+// The parallel engine must reproduce the same goldens for every thread
+// count — that is asserted here too, not just sequential-vs-parallel
+// equality, so a bug that shifted BOTH engines the same way still trips.
+//
+// To regenerate after an *intentional* behavior change:
+//   ./build/tests/sim_golden_test \
+//       --gtest_also_run_disabled_tests --gtest_filter='*PrintGoldenTables*'
+// and paste the printed rows below.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "sim/experiment.h"
+#include "sim/multi_cache.h"
+#include "workload/trace_split.h"
+
+namespace delta::sim {
+namespace {
+
+using World = Setup;  // ::testing::Test::Setup shadows sim::Setup in TESTs
+
+/// The pinned world: small enough to replay five policies in seconds, big
+/// enough that every mechanism (shipping, update pull, loading, eviction)
+/// fires for every policy.
+SetupParams golden_params() {
+  SetupParams p;
+  p.base_level = 4;
+  p.total_rows = 4e7;
+  p.object_target = 30;
+  p.trace_seed = 2718;
+  p.trace.query_count = 2000;
+  p.trace.update_count = 2000;
+  p.trace.postwarmup_query_gb = 8.0;
+  p.trace.mean_postwarmup_update_mb = 2.0;
+  p.trace.hotspot_max_object_gb = 1.0;
+  p.benefit_window = 500;
+  return p;
+}
+
+constexpr PolicyKind kAllKinds[] = {PolicyKind::kNoCache,
+                                    PolicyKind::kReplica,
+                                    PolicyKind::kBenefit, PolicyKind::kVCover,
+                                    PolicyKind::kSOptimal};
+
+struct GoldenRun {
+  const char* policy;
+  std::int64_t queries;
+  std::int64_t cache_fresh;
+  std::int64_t cache_after_updates;
+  std::int64_t shipped;
+  std::int64_t objects_loaded;
+  std::int64_t total_traffic;
+  std::int64_t postwarmup_traffic;
+  std::int64_t by_query_ship;
+  std::int64_t by_update_ship;
+  std::int64_t by_object_load;
+  std::int64_t overhead;
+};
+
+void expect_matches(const RunResult& r, const GoldenRun& g) {
+  SCOPED_TRACE(g.policy);
+  EXPECT_EQ(r.policy_name, g.policy);
+  EXPECT_EQ(r.queries, g.queries);
+  EXPECT_EQ(r.cache_fresh, g.cache_fresh);
+  EXPECT_EQ(r.cache_after_updates, g.cache_after_updates);
+  EXPECT_EQ(r.shipped, g.shipped);
+  EXPECT_EQ(r.objects_loaded, g.objects_loaded);
+  EXPECT_EQ(r.total_traffic.count(), g.total_traffic);
+  EXPECT_EQ(r.postwarmup_traffic.count(), g.postwarmup_traffic);
+  EXPECT_EQ(r.postwarmup_by_mechanism[0].count(), g.by_query_ship);
+  EXPECT_EQ(r.postwarmup_by_mechanism[1].count(), g.by_update_ship);
+  EXPECT_EQ(r.postwarmup_by_mechanism[2].count(), g.by_object_load);
+  EXPECT_EQ(r.overhead_traffic.count(), g.overhead);
+}
+
+void print_row(const RunResult& r) {
+  std::cout << "    {\"" << r.policy_name << "\", " << r.queries << ", "
+            << r.cache_fresh << ", " << r.cache_after_updates << ", "
+            << r.shipped << ", " << r.objects_loaded << ", "
+            << r.total_traffic.count() << ", " << r.postwarmup_traffic.count()
+            << ", " << r.postwarmup_by_mechanism[0].count() << ", "
+            << r.postwarmup_by_mechanism[1].count() << ", "
+            << r.postwarmup_by_mechanism[2].count() << ", "
+            << r.overhead_traffic.count() << "},\n";
+}
+
+// ----------------------------------------------------------- golden tables
+
+// Single-cache run_one over the golden trace, one row per policy.
+constexpr GoldenRun kSingleCacheGolden[] = {
+    {"NoCache", 2000, 0, 0, 2000, 0, 14635445515, 7999999508, 7999999508, 0, 0, 256000},
+    {"Replica", 2000, 2000, 0, 0, 0, 3544553626, 2723999319, 0, 2723999319, 0, 384000},
+    {"Benefit", 2000, 286, 0, 1714, 0, 14878100589, 7634332058, 7633086983, 1245075, 0, 347904},
+    {"VCover", 2000, 1328, 2, 670, 3, 7707438424, 1238688276, 1218079838, 20608438, 0, 93824},
+    {"SOptimal", 2000, 1854, 0, 146, 0, 4874712980, 1256046449, 1208306382, 47740067, 0, 39616},
+};
+
+// Multi-endpoint run_one_multi (VCover, N=4) combined + per-endpoint rows,
+// one table per split strategy. The same tables must hold for the
+// sequential engine and the parallel engine at every thread count.
+struct GoldenMulti {
+  workload::SplitStrategy strategy;
+  GoldenRun combined;
+  std::array<GoldenRun, 4> per_endpoint;
+};
+
+const GoldenMulti kMultiGolden[] = {
+    {workload::SplitStrategy::kRoundRobin,
+     {"VCover", 2000, 440, 2, 1558, 8, 18700273193, 11249914867, 5501706060, 354266, 5747854541, 201344},
+     {{
+         {"VCover", 500, 118, 0, 382, 2, 4923170220, 3066485943, 1422983716, 0, 1643502227, 24704},
+         {"VCover", 500, 110, 1, 389, 2, 4575325703, 2981865224, 1338362997, 177133, 1643325094, 25280},
+         {"VCover", 500, 95, 0, 405, 2, 4751133805, 3023776003, 1380273776, 0, 1643502227, 26176},
+         {"VCover", 500, 117, 1, 382, 2, 4450643465, 2177787697, 1360085571, 177133, 817524993, 24832},
+     }}},
+    {workload::SplitStrategy::kHashByRegion,
+     {"VCover", 2000, 709, 3, 1288, 5, 13030291767, 5573712881, 3028062329, 20785571, 2524864981, 175872},
+     {{
+         {"VCover", 315, 0, 0, 315, 0, 875668499, 534687299, 534687299, 0, 0, 20160},
+         {"VCover", 20, 0, 0, 20, 0, 7947222, 3399751, 3399751, 0, 0, 1280},
+         {"VCover", 1097, 366, 2, 729, 2, 5057927325, 2273469278, 1000644002, 20608438, 1252216838, 52736},
+         {"VCover", 568, 343, 1, 224, 3, 7088748721, 2762156553, 1489331277, 177133, 1272648143, 17152},
+     }}},
+};
+
+// ----------------------------------------------------------------- tests
+
+TEST(SimGoldenTest, SingleCachePolicyRunsMatchGoldenTable) {
+  const World setup{golden_params()};
+  for (std::size_t i = 0; i < std::size(kAllKinds); ++i) {
+    const RunResult r = run_one(kAllKinds[i], setup.trace(),
+                                setup.cache_capacity(), setup.params());
+    expect_matches(r, kSingleCacheGolden[i]);
+  }
+}
+
+TEST(SimGoldenTest, MultiEndpointRunsMatchGoldenTable) {
+  const World setup{golden_params()};
+  for (const GoldenMulti& golden : kMultiGolden) {
+    const MultiRunResult multi = run_one_multi(
+        PolicyKind::kVCover, setup.trace(), setup.cache_capacity(),
+        setup.params(), 4, golden.strategy);
+    SCOPED_TRACE(workload::to_string(golden.strategy));
+    expect_matches(multi.combined, golden.combined);
+    ASSERT_EQ(multi.per_endpoint.size(), golden.per_endpoint.size());
+    for (std::size_t e = 0; e < golden.per_endpoint.size(); ++e) {
+      expect_matches(multi.per_endpoint[e], golden.per_endpoint[e]);
+    }
+  }
+}
+
+// The parallel engine reproduces the pinned goldens for every thread count
+// (not merely "matches sequential": if both engines drifted together, this
+// still fails).
+TEST(SimGoldenTest, ParallelEngineReproducesGoldensForEveryThreadCount) {
+  const World setup{golden_params()};
+  for (const GoldenMulti& golden : kMultiGolden) {
+    for (const std::size_t threads : {2u, 4u, 8u}) {
+      const MultiRunResult multi = run_one_multi(
+          PolicyKind::kVCover, setup.trace(), setup.cache_capacity(),
+          setup.params(), 4, golden.strategy, PolicyOverrides{}, 2000,
+          ParallelOptions{threads, true});
+      SCOPED_TRACE(::testing::Message()
+                   << workload::to_string(golden.strategy) << " T=" << threads);
+      expect_matches(multi.combined, golden.combined);
+      ASSERT_EQ(multi.per_endpoint.size(), golden.per_endpoint.size());
+      for (std::size_t e = 0; e < golden.per_endpoint.size(); ++e) {
+        expect_matches(multi.per_endpoint[e], golden.per_endpoint[e]);
+      }
+    }
+  }
+}
+
+// Regeneration helper, not a test: prints the golden tables in source form.
+TEST(SimGoldenTest, DISABLED_PrintGoldenTables) {
+  const World setup{golden_params()};
+  std::cout << "constexpr GoldenRun kSingleCacheGolden[] = {\n";
+  for (const PolicyKind kind : kAllKinds) {
+    print_row(run_one(kind, setup.trace(), setup.cache_capacity(),
+                      setup.params()));
+  }
+  std::cout << "};\n\nkMultiGolden rows:\n";
+  for (const auto strategy : {workload::SplitStrategy::kRoundRobin,
+                              workload::SplitStrategy::kHashByRegion}) {
+    const MultiRunResult multi =
+        run_one_multi(PolicyKind::kVCover, setup.trace(),
+                      setup.cache_capacity(), setup.params(), 4, strategy);
+    std::cout << "  // strategy = " << workload::to_string(strategy)
+              << "\n  combined:\n";
+    print_row(multi.combined);
+    std::cout << "  per_endpoint:\n";
+    for (const RunResult& r : multi.per_endpoint) print_row(r);
+  }
+}
+
+}  // namespace
+}  // namespace delta::sim

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "core/yardsticks.h"
+#include "meter_invariants.h"
 #include "sim/experiment.h"
 #include "sim/multi_cache.h"
 #include "trace_builder.h"
@@ -133,38 +134,16 @@ TEST(MultiCacheSimTest, PerEndpointTrafficSumsToCombined) {
           run_one_multi(PolicyKind::kVCover, setup.trace(),
                         setup.cache_capacity(), setup.params(), n, strategy);
       ASSERT_EQ(multi.per_endpoint.size(), n);
-      Bytes total_sum;
-      Bytes postwarmup_sum;
-      std::array<Bytes, 3> by_mechanism_sum{};
-      std::int64_t queries_sum = 0;
-      for (const RunResult& r : multi.per_endpoint) {
-        total_sum += r.total_traffic;
-        postwarmup_sum += r.postwarmup_traffic;
-        for (std::size_t m = 0; m < 3; ++m) {
-          by_mechanism_sum[m] += r.postwarmup_by_mechanism[m];
-        }
-        queries_sum += r.queries;
-      }
       // All figure traffic is delivered to cache endpoints, so the
-      // per-endpoint meters partition the combined figures exactly.
-      EXPECT_EQ(total_sum, multi.combined.total_traffic)
-          << workload::to_string(strategy) << " n=" << n;
-      EXPECT_EQ(postwarmup_sum, multi.combined.postwarmup_traffic);
-      for (std::size_t m = 0; m < 3; ++m) {
-        EXPECT_EQ(by_mechanism_sum[m],
-                  multi.combined.postwarmup_by_mechanism[m]);
-      }
+      // per-endpoint meters partition the combined figures exactly (and
+      // request/invalidation overhead, landing partly on the server
+      // endpoint, only under-counts) — the shared invariant helper.
+      SCOPED_TRACE(std::string{workload::to_string(strategy)} +
+                   " n=" + std::to_string(n));
+      delta::testing::ExpectPerEndpointResultsPartitionCombined(multi);
       // Every query was routed to exactly one endpoint.
-      EXPECT_EQ(queries_sum, multi.combined.queries);
-      EXPECT_EQ(queries_sum,
+      EXPECT_EQ(multi.combined.queries,
                 static_cast<std::int64_t>(setup.trace().queries.size()));
-      // Request/invalidation overhead lands partly on the server endpoint,
-      // so per-endpoint overhead under-counts the combined total.
-      Bytes overhead_sum;
-      for (const RunResult& r : multi.per_endpoint) {
-        overhead_sum += r.overhead_traffic;
-      }
-      EXPECT_LE(overhead_sum, multi.combined.overhead_traffic);
     }
   }
 }

@@ -1,0 +1,148 @@
+// Property-based tests for workload::SplitStrategy: over randomized traces,
+// the per-endpoint shards must form a disjoint exact partition of the query
+// stream — every query routed exactly once, arrival order preserved within
+// each shard — for every strategy and endpoint count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "trace_builder.h"
+#include "util/rng.h"
+#include "workload/trace_split.h"
+
+namespace delta::workload {
+namespace {
+
+constexpr SplitStrategy kStrategies[] = {SplitStrategy::kRoundRobin,
+                                         SplitStrategy::kHashByRegion};
+constexpr std::size_t kEndpointCounts[] = {1, 2, 3, 5, 8};
+
+/// A random trace: `object_count` objects with random sizes, a random
+/// interleaving of queries (random object subsets — the subset's first
+/// object is the spatial anchor) and updates.
+Trace random_trace(util::Rng& rng) {
+  const auto object_count =
+      static_cast<std::size_t>(rng.uniform_int(2, 20));
+  std::vector<std::int64_t> sizes;
+  sizes.reserve(object_count);
+  for (std::size_t i = 0; i < object_count; ++i) {
+    sizes.push_back(rng.uniform_int(1'000, 1'000'000));
+  }
+  delta::testing::TraceBuilder builder{sizes};
+  const std::int64_t events = rng.uniform_int(1, 300);
+  for (std::int64_t e = 0; e < events; ++e) {
+    if (rng.bernoulli(0.3)) {
+      builder.update(
+          rng.uniform_int(0, static_cast<std::int64_t>(object_count) - 1),
+          rng.uniform_int(1, 10'000));
+    } else {
+      const auto span = rng.uniform_int(
+          1, std::min<std::int64_t>(4, static_cast<std::int64_t>(object_count)));
+      const auto first = rng.uniform_int(
+          0, static_cast<std::int64_t>(object_count) - span);
+      std::vector<std::int64_t> objects;
+      for (std::int64_t o = first; o < first + span; ++o) objects.push_back(o);
+      builder.query(objects, rng.uniform_int(1, 100'000));
+    }
+  }
+  return builder.build();
+}
+
+/// Rebuilds the per-endpoint shards exactly as the simulation engine routes
+/// them and asserts the partition properties.
+void expect_exact_partition(const Trace& trace,
+                            const std::vector<std::uint32_t>& assignment,
+                            std::size_t endpoint_count) {
+  ASSERT_EQ(assignment.size(), trace.queries.size());
+  std::vector<std::vector<std::size_t>> shards(endpoint_count);
+  for (std::size_t qi = 0; qi < assignment.size(); ++qi) {
+    ASSERT_LT(assignment[qi], endpoint_count) << "query " << qi;
+    shards[assignment[qi]].push_back(qi);
+  }
+  // Disjoint exact cover: each query index lands in exactly one shard, and
+  // within a shard the arrival order is preserved (strictly increasing
+  // indices — the engine replays each shard in trace order).
+  std::set<std::size_t> seen;
+  std::size_t total = 0;
+  for (std::size_t e = 0; e < endpoint_count; ++e) {
+    for (std::size_t k = 0; k < shards[e].size(); ++k) {
+      if (k > 0) {
+        EXPECT_LT(shards[e][k - 1], shards[e][k])
+            << "order broken in shard " << e;
+      }
+      EXPECT_TRUE(seen.insert(shards[e][k]).second)
+          << "query " << shards[e][k] << " routed twice";
+    }
+    total += shards[e].size();
+  }
+  EXPECT_EQ(total, trace.queries.size());
+}
+
+TEST(SplitStrategyPropertyTest, ShardsAreADisjointExactPartition) {
+  util::Rng rng{20260730};
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    const Trace trace = random_trace(rng);
+    for (const SplitStrategy strategy : kStrategies) {
+      for (const std::size_t n : kEndpointCounts) {
+        SCOPED_TRACE(::testing::Message()
+                     << "iteration " << iteration << " strategy "
+                     << to_string(strategy) << " endpoints " << n);
+        expect_exact_partition(trace, assign_queries(trace, n, strategy), n);
+      }
+    }
+  }
+}
+
+TEST(SplitStrategyPropertyTest, AssignmentIsAPureFunctionOfTheTrace) {
+  util::Rng rng{77};
+  for (int iteration = 0; iteration < 20; ++iteration) {
+    const Trace trace = random_trace(rng);
+    for (const SplitStrategy strategy : kStrategies) {
+      for (const std::size_t n : kEndpointCounts) {
+        EXPECT_EQ(assign_queries(trace, n, strategy),
+                  assign_queries(trace, n, strategy))
+            << to_string(strategy) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SplitStrategyPropertyTest, RoundRobinDealsInArrivalOrder) {
+  util::Rng rng{123};
+  for (int iteration = 0; iteration < 20; ++iteration) {
+    const Trace trace = random_trace(rng);
+    for (const std::size_t n : kEndpointCounts) {
+      const auto assignment =
+          assign_queries(trace, n, SplitStrategy::kRoundRobin);
+      for (std::size_t qi = 0; qi < assignment.size(); ++qi) {
+        ASSERT_EQ(assignment[qi], qi % n) << "query " << qi << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SplitStrategyPropertyTest, HashByRegionKeepsAnchorsTogether) {
+  util::Rng rng{456};
+  for (int iteration = 0; iteration < 20; ++iteration) {
+    const Trace trace = random_trace(rng);
+    for (const std::size_t n : kEndpointCounts) {
+      const auto assignment =
+          assign_queries(trace, n, SplitStrategy::kHashByRegion);
+      std::unordered_map<std::int32_t, std::uint32_t> anchor_endpoint;
+      for (std::size_t qi = 0; qi < trace.queries.size(); ++qi) {
+        const auto& q = trace.queries[qi];
+        if (q.base_cover.empty()) continue;
+        const auto [it, inserted] =
+            anchor_endpoint.emplace(q.base_cover.front(), assignment[qi]);
+        EXPECT_EQ(it->second, assignment[qi])
+            << "anchor " << q.base_cover.front() << " split across endpoints";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace delta::workload
