@@ -1,0 +1,205 @@
+// Perf-trajectory harness: measures the replay hot loop and the incremental
+// cover solver at a pinned configuration and emits the numbers as JSON, so
+// each PR can record a comparable BENCH_<PR>.json next to the previous one.
+//
+// Headline metrics:
+//   * single-cache events/sec — the trace's merged query/update sequence
+//     replayed through VCover (micro_multi_endpoint's single-cache config:
+//     objects=68 cache_frac=0.3 seed=1), best of `repeats` runs;
+//   * multi-endpoint events/sec over an N×T (endpoints × worker threads)
+//     sweep of the parallel engine;
+//   * solver augment counts (BFS searches, covers computed) from the
+//     single-cache run — the cost of the incremental min-cut;
+//   * post-warm-up latency percentiles (p50/p90/p99) of the response-time
+//     proxy.
+//
+//   ./build/bench/bench_trajectory [key=value ...]
+//     smoke=0        1 = tiny trace (CI smoke run; numbers not comparable)
+//     repeats=3      timed repetitions per cell (best run is reported)
+//     queries=40000 updates=40000 objects=68 cache_frac=0.3 seed=1
+//     out=-          output path ('-' = stdout)
+//
+// scripts/bench_trajectory.sh wraps this into the committed BENCH_*.json
+// trajectory files (see README "Performance").
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/vcover_policy.h"
+#include "sim/experiment.h"
+#include "sim/multi_cache.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace delta;
+
+struct SingleResult {
+  double events_per_sec = 0.0;
+  double wall_seconds_best = 0.0;
+  std::int64_t events = 0;
+  std::int64_t postwarmup_traffic = 0;  // sanity pin: must not drift
+  std::int64_t cache_answers = 0;
+  std::int64_t solver_bfs = 0;
+  std::int64_t covers_computed = 0;
+  double latency_p50 = 0.0;
+  double latency_p90 = 0.0;
+  double latency_p99 = 0.0;
+};
+
+struct MultiCell {
+  std::size_t endpoints = 0;
+  std::size_t threads = 0;
+  double events_per_sec = 0.0;
+  double wall_seconds_best = 0.0;
+};
+
+/// One timed single-cache VCover replay; returns the run plus solver stats.
+SingleResult measure_single(const sim::Setup& setup, int repeats) {
+  SingleResult out;
+  const workload::Trace& trace = setup.trace();
+  out.events = static_cast<std::int64_t>(trace.order.size());
+  for (int rep = 0; rep < repeats; ++rep) {
+    core::DeltaSystem system{&trace};
+    core::VCoverOptions options;
+    options.cache_capacity = setup.cache_capacity();
+    core::VCoverPolicy policy{&system, options};
+    util::QuantileSketch sketch;
+    const sim::RunResult r = sim::run_policy(trace, system, policy, 5000,
+                                             sim::LatencyModel{}, &sketch);
+    if (rep == 0 || r.wall_seconds < out.wall_seconds_best) {
+      out.wall_seconds_best = r.wall_seconds;
+    }
+    if (rep == 0) {
+      out.postwarmup_traffic = r.postwarmup_traffic.count();
+      out.cache_answers = r.cache_fresh + r.cache_after_updates;
+      out.solver_bfs = policy.update_manager().flow_bfs_count();
+      out.covers_computed = policy.update_manager().covers_computed();
+      out.latency_p50 = sketch.quantile(0.50);
+      out.latency_p90 = sketch.quantile(0.90);
+      out.latency_p99 = sketch.quantile(0.99);
+    }
+  }
+  out.events_per_sec =
+      static_cast<double>(out.events) / std::max(out.wall_seconds_best, 1e-9);
+  return out;
+}
+
+MultiCell measure_multi(const sim::Setup& setup, std::size_t endpoints,
+                        std::size_t threads, int repeats) {
+  MultiCell cell;
+  cell.endpoints = endpoints;
+  cell.threads = threads;
+  const Bytes per_endpoint{static_cast<std::int64_t>(
+      setup.cache_capacity().as_double() / static_cast<double>(endpoints))};
+  for (int rep = 0; rep < repeats; ++rep) {
+    sim::ParallelOptions parallel;
+    parallel.num_threads = threads;
+    const sim::MultiRunResult r = sim::run_one_multi(
+        sim::PolicyKind::kVCover, setup.trace(), per_endpoint, setup.params(),
+        endpoints, workload::SplitStrategy::kHashByRegion,
+        sim::PolicyOverrides{}, /*series_stride=*/5000, parallel);
+    if (rep == 0 || r.combined.wall_seconds < cell.wall_seconds_best) {
+      cell.wall_seconds_best = r.combined.wall_seconds;
+    }
+  }
+  cell.events_per_sec =
+      static_cast<double>(setup.trace().order.size()) /
+      std::max(cell.wall_seconds_best, 1e-9);
+  return cell;
+}
+
+void emit_json(std::ostream& os, const sim::SetupParams& params, int repeats,
+               bool smoke, const SingleResult& single,
+               const std::vector<MultiCell>& multi) {
+  os << "{\n";
+  os << "  \"bench\": \"bench_trajectory\",\n";
+  os << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  os << "  \"config\": {\"queries\": " << params.trace.query_count
+     << ", \"updates\": " << params.trace.update_count
+     << ", \"objects\": " << params.object_target
+     << ", \"cache_frac\": " << params.cache_fraction
+     << ", \"seed\": " << params.trace_seed << ", \"repeats\": " << repeats
+     << "},\n";
+  os << "  \"single_cache\": {\n"
+     << "    \"events\": " << single.events << ",\n"
+     << "    \"wall_seconds_best\": " << single.wall_seconds_best << ",\n"
+     << "    \"events_per_sec\": " << single.events_per_sec << ",\n"
+     << "    \"postwarmup_traffic_bytes\": " << single.postwarmup_traffic
+     << ",\n"
+     << "    \"cache_answers\": " << single.cache_answers << ",\n"
+     << "    \"solver\": {\"bfs_searches\": " << single.solver_bfs
+     << ", \"covers_computed\": " << single.covers_computed << "},\n"
+     << "    \"postwarmup_latency_seconds\": {\"p50\": " << single.latency_p50
+     << ", \"p90\": " << single.latency_p90
+     << ", \"p99\": " << single.latency_p99 << "}\n"
+     << "  },\n";
+  os << "  \"multi_endpoint\": [\n";
+  for (std::size_t i = 0; i < multi.size(); ++i) {
+    os << "    {\"endpoints\": " << multi[i].endpoints
+       << ", \"threads\": " << multi[i].threads
+       << ", \"wall_seconds_best\": " << multi[i].wall_seconds_best
+       << ", \"events_per_sec\": " << multi[i].events_per_sec << "}"
+       << (i + 1 < multi.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cfg = util::Config::from_args(argc, argv);
+  const bool smoke = cfg.get_bool("smoke", false);
+  const int repeats = static_cast<int>(cfg.get_int("repeats", smoke ? 1 : 3));
+
+  sim::SetupParams params = bench::setup_from_config(cfg);
+  if (!cfg.has("queries")) {
+    params.trace.query_count = smoke ? 2'000 : 40'000;
+  }
+  if (!cfg.has("updates")) {
+    params.trace.update_count = smoke ? 2'000 : 40'000;
+  }
+  params.trace.postwarmup_query_gb =
+      cfg.get_double("query_gb", 300.0) *
+      static_cast<double>(params.trace.query_count) / 250'000.0;
+
+  const sim::Setup setup{params};
+  std::cerr << "bench_trajectory: " << setup.trace().order.size()
+            << " events, repeats=" << repeats << (smoke ? " (smoke)" : "")
+            << "\n";
+
+  const SingleResult single = measure_single(setup, repeats);
+  std::cerr << "  single-cache: "
+            << util::fixed(single.events_per_sec / 1000.0, 1) << "k events/s ("
+            << util::fixed(single.wall_seconds_best, 3) << " s best)\n";
+
+  std::vector<MultiCell> multi;
+  const std::vector<std::pair<std::size_t, std::size_t>> cells =
+      smoke ? std::vector<std::pair<std::size_t, std::size_t>>{{2, 2}}
+            : std::vector<std::pair<std::size_t, std::size_t>>{
+                  {2, 1}, {2, 4}, {4, 1}, {4, 4}};
+  for (const auto& [n, t] : cells) {
+    multi.push_back(measure_multi(setup, n, t, repeats));
+    std::cerr << "  multi N=" << n << " T=" << t << ": "
+              << util::fixed(multi.back().events_per_sec / 1000.0, 1)
+              << "k events/s\n";
+  }
+
+  const std::string out = cfg.get_string("out", "-");
+  if (out == "-") {
+    emit_json(std::cout, params, repeats, smoke, single, multi);
+  } else {
+    std::ofstream file{out};
+    if (!file) {
+      std::cerr << "cannot open " << out << " for writing\n";
+      return 1;
+    }
+    emit_json(file, params, repeats, smoke, single, multi);
+    std::cerr << "wrote " << out << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Micro benchmark: util::FlatMap vs std::unordered_map on the hot-path
+// shapes the middleware actually has — ObjectId-keyed tables of a few dozen
+// to a few thousand entries (cache stores, eviction bookkeeping, preship
+// heat, load counters), exercised by point lookups, mixed churn
+// (insert/erase under backward-shift deletion), and full iteration (the
+// GDS batch scan).
+//
+//   ./build/bench/micro_flat_map [--benchmark_filter=...]
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/flat_map.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace {
+
+using namespace delta;
+
+/// Key stream matching the replay loop: a small hot id space with skew.
+std::vector<ObjectId> make_keys(std::size_t universe, std::size_t n,
+                                std::uint64_t seed) {
+  util::Rng rng{seed};
+  std::vector<ObjectId> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back(ObjectId{
+        rng.uniform_int(0, static_cast<std::int64_t>(universe) - 1)});
+  }
+  return keys;
+}
+
+template <typename Map>
+void insert_key(Map& m, ObjectId k, std::int64_t v);
+template <>
+void insert_key(util::FlatMap<ObjectId, std::int64_t>& m, ObjectId k,
+                std::int64_t v) {
+  m.insert_or_assign(k, v);
+}
+template <>
+void insert_key(std::unordered_map<ObjectId, std::int64_t>& m, ObjectId k,
+                std::int64_t v) {
+  m[k] = v;
+}
+
+template <typename Map>
+const std::int64_t* find_key(const Map& m, ObjectId k);
+template <>
+const std::int64_t* find_key(const util::FlatMap<ObjectId, std::int64_t>& m,
+                             ObjectId k) {
+  return m.find(k);
+}
+template <>
+const std::int64_t* find_key(const std::unordered_map<ObjectId, std::int64_t>& m,
+                             ObjectId k) {
+  const auto it = m.find(k);
+  return it == m.end() ? nullptr : &it->second;
+}
+
+// ---- find: resident-check shape (CacheStore::contains per query object)
+
+template <typename Map>
+void BM_Find(benchmark::State& state) {
+  const auto universe = static_cast<std::size_t>(state.range(0));
+  Map map;
+  for (std::size_t i = 0; i < universe; i += 2) {  // 50% resident
+    insert_key(map, ObjectId{static_cast<std::int64_t>(i)},
+               static_cast<std::int64_t>(i));
+  }
+  const auto probes = make_keys(universe, 4096, 42);
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    const ObjectId k = probes[cursor++ & 4095];
+    benchmark::DoNotOptimize(find_key(map, k));
+  }
+}
+BENCHMARK_TEMPLATE(BM_Find, delta::util::FlatMap<delta::ObjectId, std::int64_t>)
+    ->Arg(68)
+    ->Arg(1024)
+    ->Arg(16384);
+BENCHMARK_TEMPLATE(BM_Find,
+                   std::unordered_map<delta::ObjectId, std::int64_t>)
+    ->Arg(68)
+    ->Arg(1024)
+    ->Arg(16384);
+
+// ---- churn: load/evict shape (insert + erase at a steady load factor)
+
+template <typename Map>
+void BM_Churn(benchmark::State& state) {
+  const auto universe = static_cast<std::size_t>(state.range(0));
+  const auto keys = make_keys(universe, 8192, 7);
+  Map map;
+  // Warm to ~half occupancy.
+  for (std::size_t i = 0; i < universe; i += 2) {
+    insert_key(map, ObjectId{static_cast<std::int64_t>(i)},
+               static_cast<std::int64_t>(i));
+  }
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    const ObjectId k = keys[cursor++ & 8191];
+    if (find_key(map, k) != nullptr) {
+      map.erase(k);
+    } else {
+      insert_key(map, k, k.value());
+    }
+  }
+}
+BENCHMARK_TEMPLATE(BM_Churn,
+                   delta::util::FlatMap<delta::ObjectId, std::int64_t>)
+    ->Arg(68)
+    ->Arg(1024)
+    ->Arg(16384);
+BENCHMARK_TEMPLATE(BM_Churn,
+                   std::unordered_map<delta::ObjectId, std::int64_t>)
+    ->Arg(68)
+    ->Arg(1024)
+    ->Arg(16384);
+
+// ---- iterate: the GDS decide_batch scan over every tracked object
+
+void BM_IterateFlat(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::FlatMap<ObjectId, std::int64_t> map;
+  for (std::size_t i = 0; i < n; ++i) {
+    map.insert_or_assign(ObjectId{static_cast<std::int64_t>(i)},
+                         static_cast<std::int64_t>(i));
+  }
+  for (auto _ : state) {
+    std::int64_t sum = 0;
+    map.for_each([&sum](ObjectId, std::int64_t v) { sum += v; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_IterateFlat)->Arg(68)->Arg(1024)->Arg(16384);
+
+void BM_IterateUnordered(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::unordered_map<ObjectId, std::int64_t> map;
+  for (std::size_t i = 0; i < n; ++i) {
+    map[ObjectId{static_cast<std::int64_t>(i)}] =
+        static_cast<std::int64_t>(i);
+  }
+  for (auto _ : state) {
+    std::int64_t sum = 0;
+    for (const auto& [k, v] : map) sum += v;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_IterateUnordered)->Arg(68)->Arg(1024)->Arg(16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

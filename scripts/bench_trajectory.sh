@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Runs the perf-trajectory bench and writes BENCH_<label>.json at the repo
+# root, so each PR can commit a comparable measurement next to the previous
+# one (see README "Performance").
+#
+#   scripts/bench_trajectory.sh [label] [extra bench args...]
+#
+#   label     suffix for the output file (default: the short git revision),
+#             e.g. "PR4" -> BENCH_PR4.json
+#   extra     forwarded to bench_trajectory (e.g. smoke=1 repeats=5)
+#
+# The build directory defaults to ./build (Release); override with
+# BUILD_DIR=... . The bench must already be built:
+#   cmake -B build -S . && cmake --build build -j --target bench_trajectory
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+BENCH="${BUILD_DIR}/bench/bench_trajectory"
+
+if [[ ! -x "${BENCH}" ]]; then
+  echo "error: ${BENCH} not built; run:" >&2
+  echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j --target bench_trajectory" >&2
+  exit 1
+fi
+
+LABEL="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo local)}"
+shift || true
+
+OUT="BENCH_${LABEL}.json"
+"${BENCH}" out="${OUT}" "$@"
+echo "trajectory written to ${OUT}"

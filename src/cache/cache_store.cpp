@@ -8,15 +8,13 @@ CacheStore::CacheStore(Bytes capacity) : capacity_(capacity) {
   DELTA_CHECK(capacity.count() >= 0);
 }
 
-bool CacheStore::contains(ObjectId id) const {
-  return entries_.find(id) != entries_.end();
-}
+bool CacheStore::contains(ObjectId id) const { return entries_.contains(id); }
 
 const CacheStore::Entry& CacheStore::checked(ObjectId id) const {
-  const auto it = entries_.find(id);
-  DELTA_CHECK_MSG(it != entries_.end(),
+  const Entry* entry = entries_.find(id);
+  DELTA_CHECK_MSG(entry != nullptr,
                   "object " << id.value() << " not resident");
-  return it->second;
+  return *entry;
 }
 
 Bytes CacheStore::bytes_of(ObjectId id) const { return checked(id).size; }
@@ -24,49 +22,51 @@ Bytes CacheStore::bytes_of(ObjectId id) const { return checked(id).size; }
 void CacheStore::load(ObjectId id, Bytes size) {
   DELTA_CHECK(id.valid());
   DELTA_CHECK(size.count() >= 0);
-  DELTA_CHECK_MSG(!contains(id), "object " << id.value() << " already cached");
+  DELTA_CHECK_MSG(!entries_.contains(id),
+                  "object " << id.value() << " already cached");
   DELTA_CHECK_MSG(used_ + size <= capacity_,
                   "load would exceed cache capacity");
-  entries_.emplace(id, Entry{size, false});
+  entries_.try_emplace(id, size, false);
   used_ += size;
 }
 
 void CacheStore::evict(ObjectId id) {
-  const auto it = entries_.find(id);
-  DELTA_CHECK_MSG(it != entries_.end(),
+  Entry* entry = entries_.find(id);
+  DELTA_CHECK_MSG(entry != nullptr,
                   "evicting non-resident object " << id.value());
-  used_ -= it->second.size;
-  entries_.erase(it);
+  used_ -= entry->size;
+  entries_.erase(id);
   DELTA_CHECK(used_.count() >= 0);
 }
 
 void CacheStore::grow(ObjectId id, Bytes delta) {
   DELTA_CHECK(delta.count() >= 0);
-  const auto it = entries_.find(id);
-  DELTA_CHECK_MSG(it != entries_.end(),
+  Entry* entry = entries_.find(id);
+  DELTA_CHECK_MSG(entry != nullptr,
                   "growing non-resident object " << id.value());
-  it->second.size += delta;
+  entry->size += delta;
   used_ += delta;
 }
 
 bool CacheStore::is_stale(ObjectId id) const { return checked(id).stale; }
 
 void CacheStore::mark_stale(ObjectId id) {
-  const auto it = entries_.find(id);
-  DELTA_CHECK(it != entries_.end());
-  it->second.stale = true;
+  Entry* entry = entries_.find(id);
+  DELTA_CHECK(entry != nullptr);
+  entry->stale = true;
 }
 
 void CacheStore::mark_fresh(ObjectId id) {
-  const auto it = entries_.find(id);
-  DELTA_CHECK(it != entries_.end());
-  it->second.stale = false;
+  Entry* entry = entries_.find(id);
+  DELTA_CHECK(entry != nullptr);
+  entry->stale = false;
 }
 
 std::vector<ObjectId> CacheStore::resident_objects() const {
   std::vector<ObjectId> out;
   out.reserve(entries_.size());
-  for (const auto& [id, entry] : entries_) out.push_back(id);
+  entries_.for_each(
+      [&out](ObjectId id, const Entry&) { out.push_back(id); });
   return out;
 }
 

@@ -4,9 +4,9 @@
 // transiently through grow(), which the owning policy must rebalance).
 #pragma once
 
-#include <unordered_map>
 #include <vector>
 
+#include "util/flat_map.h"
 #include "util/types.h"
 
 namespace delta::cache {
@@ -41,8 +41,21 @@ class CacheStore {
   void mark_stale(ObjectId id);
   void mark_fresh(ObjectId id);
 
-  /// Snapshot of resident object ids (unordered).
+  /// Snapshot of resident object ids (unordered). Allocates; hot paths use
+  /// for_each_resident instead.
   [[nodiscard]] std::vector<ObjectId> resident_objects() const;
+
+  /// Visits every resident object as fn(ObjectId, Bytes size) without
+  /// allocating. Visit order is the store's slot order (insertion-history
+  /// dependent): callers must not let observable decisions depend on it —
+  /// reduce with an order-independent fold or an explicit tie-broken
+  /// arg-min (see the determinism audit in ISSUE 3, pinned by
+  /// tests/iteration_order_test.cpp).
+  template <typename Fn>
+  void for_each_resident(Fn&& fn) const {
+    entries_.for_each(
+        [&fn](ObjectId id, const Entry& entry) { fn(id, entry.size); });
+  }
 
   /// Drops everything (cache-node restart in failure tests).
   void clear();
@@ -55,7 +68,7 @@ class CacheStore {
 
   Bytes capacity_;
   Bytes used_;
-  std::unordered_map<ObjectId, Entry> entries_;
+  util::FlatMap<ObjectId, Entry> entries_;
 
   [[nodiscard]] const Entry& checked(ObjectId id) const;
 };

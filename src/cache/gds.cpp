@@ -20,29 +20,24 @@ GreedyDualSize::GreedyDualSize(const CacheStore* store) : store_(store) {
 }
 
 void GreedyDualSize::on_access(ObjectId id) {
-  const auto it = states_.find(id);
-  DELTA_CHECK_MSG(it != states_.end(),
+  State* state = states_.find(id);
+  DELTA_CHECK_MSG(state != nullptr,
                   "GDS access to untracked object " << id.value());
-  it->second.credit = inflation_ + it->second.cost_ratio;
+  state->credit = inflation_ + state->cost_ratio;
 }
 
 double GreedyDualSize::credit_of(ObjectId id) const {
-  const auto it = states_.find(id);
-  DELTA_CHECK(it != states_.end());
-  return it->second.credit;
+  const State* state = states_.find(id);
+  DELTA_CHECK(state != nullptr);
+  return state->credit;
 }
 
-BatchDecision GreedyDualSize::decide_batch(
+const BatchDecision& GreedyDualSize::decide_batch(
     const std::vector<LoadCandidate>& candidates) {
-  struct Item {
-    ObjectId id;
-    Bytes size;
-    double credit;
-    double cost_ratio;
-    bool is_candidate;
-  };
-  std::vector<Item> items;
-  items.reserve(states_.size() + candidates.size());
+  decision_.load.clear();
+  decision_.evict.clear();
+  items_.clear();
+  items_.reserve(states_.size() + candidates.size());
 
   Bytes total = store_->used();
   for (const LoadCandidate& c : candidates) {
@@ -50,65 +45,69 @@ BatchDecision GreedyDualSize::decide_batch(
                     "load candidate " << c.id.value() << " already resident");
     if (c.size > store_->capacity()) continue;  // can never fit
     const double r = ratio(c.load_cost, c.size);
-    items.push_back({c.id, c.size, inflation_ + r, r, true});
+    items_.push_back({c.id, c.size, inflation_ + r, r, true});
     total += c.size;
   }
-  for (const auto& [id, state] : states_) {
-    items.push_back(
+  states_.for_each([this](ObjectId id, const State& state) {
+    items_.push_back(
         {id, store_->bytes_of(id), state.credit, state.cost_ratio, false});
-  }
+  });
 
   // Lazy GDS: decide the whole batch at once by evicting in increasing
   // credit order until the tentative set fits. A candidate "evicted" here is
   // simply never loaded — exactly the inefficiency the lazy variant removes.
-  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+  // The (credit, id) sort is a total order, so the outcome is independent of
+  // the map's visit order above.
+  std::sort(items_.begin(), items_.end(), [](const Item& a, const Item& b) {
     if (a.credit != b.credit) return a.credit < b.credit;
     return a.id < b.id;  // deterministic tie-break
   });
 
-  BatchDecision decision;
   std::size_t cursor = 0;
-  std::vector<bool> dropped(items.size(), false);
-  while (total > store_->capacity() && cursor < items.size()) {
-    const Item& victim = items[cursor];
-    dropped[cursor] = true;
+  dropped_.assign(items_.size(), false);
+  while (total > store_->capacity() && cursor < items_.size()) {
+    const Item& victim = items_[cursor];
+    dropped_[cursor] = true;
     total -= victim.size;
     inflation_ = std::max(inflation_, victim.credit);
     if (!victim.is_candidate) {
-      decision.evict.push_back(victim.id);
+      decision_.evict.push_back(victim.id);
       states_.erase(victim.id);
     }
     ++cursor;
   }
   DELTA_CHECK(total <= store_->capacity());
 
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    if (dropped[i] || !items[i].is_candidate) continue;
-    decision.load.push_back(items[i].id);
-    states_[items[i].id] = State{items[i].credit, items[i].cost_ratio};
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (dropped_[i] || !items_[i].is_candidate) continue;
+    decision_.load.push_back(items_[i].id);
+    states_[items_[i].id] = State{items_[i].credit, items_[i].cost_ratio};
   }
-  return decision;
+  return decision_;
 }
 
-std::vector<ObjectId> GreedyDualSize::shed_overflow() {
-  std::vector<ObjectId> victims;
+const std::vector<ObjectId>& GreedyDualSize::shed_overflow() {
+  shed_victims_.clear();
   Bytes used = store_->used();
   while (used > store_->capacity()) {
     DELTA_CHECK_MSG(!states_.empty(), "cannot shed: no resident objects");
-    auto victim = states_.begin();
-    for (auto it = states_.begin(); it != states_.end(); ++it) {
-      if (it->second.credit < victim->second.credit ||
-          (it->second.credit == victim->second.credit &&
-           it->first < victim->first)) {
-        victim = it;
+    // Deterministic arg-min over (credit, id): victim choice is independent
+    // of the map's visit order.
+    ObjectId victim = ObjectId::invalid();
+    double victim_credit = 0.0;
+    states_.for_each([&](ObjectId id, const State& state) {
+      if (!victim.valid() || state.credit < victim_credit ||
+          (state.credit == victim_credit && id < victim)) {
+        victim = id;
+        victim_credit = state.credit;
       }
-    }
-    used -= store_->bytes_of(victim->first);
-    inflation_ = std::max(inflation_, victim->second.credit);
-    victims.push_back(victim->first);
+    });
+    used -= store_->bytes_of(victim);
+    inflation_ = std::max(inflation_, victim_credit);
+    shed_victims_.push_back(victim);
     states_.erase(victim);
   }
-  return victims;
+  return shed_victims_;
 }
 
 void GreedyDualSize::forget(ObjectId id) { states_.erase(id); }

@@ -9,9 +9,8 @@
 // while still favoring objects that are expensive to re-load per byte.
 #pragma once
 
-#include <unordered_map>
-
 #include "cache/eviction_policy.h"
+#include "util/flat_map.h"
 
 namespace delta::cache {
 
@@ -22,9 +21,9 @@ class GreedyDualSize final : public EvictionPolicy {
   explicit GreedyDualSize(const CacheStore* store);
 
   void on_access(ObjectId id) override;
-  BatchDecision decide_batch(
+  const BatchDecision& decide_batch(
       const std::vector<LoadCandidate>& candidates) override;
-  std::vector<ObjectId> shed_overflow() override;
+  const std::vector<ObjectId>& shed_overflow() override;
   void forget(ObjectId id) override;
   [[nodiscard]] const char* name() const override { return "gds-lazy"; }
 
@@ -36,10 +35,23 @@ class GreedyDualSize final : public EvictionPolicy {
     double credit = 0.0;
     double cost_ratio = 1.0;  // load cost / size, cached for refreshes
   };
+  struct Item {
+    ObjectId id;
+    Bytes size;
+    double credit;
+    double cost_ratio;
+    bool is_candidate;
+  };
 
   const CacheStore* store_;
   double inflation_ = 0.0;
-  std::unordered_map<ObjectId, State> states_;
+  util::FlatMap<ObjectId, State> states_;
+
+  // Reused scratch for the batch interface (see EvictionPolicy contract).
+  BatchDecision decision_;
+  std::vector<ObjectId> shed_victims_;
+  std::vector<Item> items_;
+  std::vector<bool> dropped_;
 };
 
 }  // namespace delta::cache

@@ -11,33 +11,38 @@ LruPolicy::LruPolicy(const CacheStore* store) : store_(store) {
 }
 
 void LruPolicy::on_access(ObjectId id) {
-  const auto it = last_use_.find(id);
-  DELTA_CHECK_MSG(it != last_use_.end(),
+  std::int64_t* stamp = last_use_.find(id);
+  DELTA_CHECK_MSG(stamp != nullptr,
                   "LRU access to untracked object " << id.value());
-  it->second = ++clock_;
+  *stamp = ++clock_;
 }
 
 ObjectId LruPolicy::oldest() const {
   DELTA_CHECK(!last_use_.empty());
-  auto victim = last_use_.begin();
-  for (auto it = last_use_.begin(); it != last_use_.end(); ++it) {
-    if (it->second < victim->second ||
-        (it->second == victim->second && it->first < victim->first)) {
-      victim = it;
+  // Deterministic arg-min (tie-broken by id), so the victim choice is
+  // independent of the map's visit order.
+  ObjectId victim = ObjectId::invalid();
+  std::int64_t victim_stamp = 0;
+  last_use_.for_each([&](ObjectId id, std::int64_t stamp) {
+    if (!victim.valid() || stamp < victim_stamp ||
+        (stamp == victim_stamp && id < victim)) {
+      victim = id;
+      victim_stamp = stamp;
     }
-  }
-  return victim->first;
+  });
+  return victim;
 }
 
-BatchDecision LruPolicy::decide_batch(
+const BatchDecision& LruPolicy::decide_batch(
     const std::vector<LoadCandidate>& candidates) {
-  BatchDecision decision;
+  decision_.load.clear();
+  decision_.evict.clear();
+  admitted_.clear();
   Bytes total = store_->used();
-  std::vector<LoadCandidate> admitted;
   for (const LoadCandidate& c : candidates) {
     DELTA_CHECK(!store_->contains(c.id));
     if (c.size > store_->capacity()) continue;
-    admitted.push_back(c);
+    admitted_.push_back(c);
     total += c.size;
   }
   // Evict stale residents oldest-first until the batch fits; if the batch
@@ -46,31 +51,31 @@ BatchDecision LruPolicy::decide_batch(
     const ObjectId victim = oldest();
     total -= store_->bytes_of(victim);
     last_use_.erase(victim);
-    decision.evict.push_back(victim);
+    decision_.evict.push_back(victim);
   }
-  while (total > store_->capacity() && !admitted.empty()) {
-    total -= admitted.back().size;
-    admitted.pop_back();
+  while (total > store_->capacity() && !admitted_.empty()) {
+    total -= admitted_.back().size;
+    admitted_.pop_back();
   }
   DELTA_CHECK(total <= store_->capacity());
-  for (const LoadCandidate& c : admitted) {
-    decision.load.push_back(c.id);
+  for (const LoadCandidate& c : admitted_) {
+    decision_.load.push_back(c.id);
     last_use_[c.id] = ++clock_;
   }
-  return decision;
+  return decision_;
 }
 
-std::vector<ObjectId> LruPolicy::shed_overflow() {
-  std::vector<ObjectId> victims;
+const std::vector<ObjectId>& LruPolicy::shed_overflow() {
+  shed_victims_.clear();
   Bytes used = store_->used();
   while (used > store_->capacity()) {
     DELTA_CHECK_MSG(!last_use_.empty(), "cannot shed: no resident objects");
     const ObjectId victim = oldest();
     used -= store_->bytes_of(victim);
     last_use_.erase(victim);
-    victims.push_back(victim);
+    shed_victims_.push_back(victim);
   }
-  return victims;
+  return shed_victims_;
 }
 
 void LruPolicy::forget(ObjectId id) { last_use_.erase(id); }

@@ -4,9 +4,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "cache/eviction_policy.h"
+#include "util/flat_map.h"
 
 namespace delta::cache {
 
@@ -15,16 +15,21 @@ class LruPolicy final : public EvictionPolicy {
   explicit LruPolicy(const CacheStore* store);
 
   void on_access(ObjectId id) override;
-  BatchDecision decide_batch(
+  const BatchDecision& decide_batch(
       const std::vector<LoadCandidate>& candidates) override;
-  std::vector<ObjectId> shed_overflow() override;
+  const std::vector<ObjectId>& shed_overflow() override;
   void forget(ObjectId id) override;
   [[nodiscard]] const char* name() const override { return "lru"; }
 
  private:
   const CacheStore* store_;
   std::int64_t clock_ = 0;
-  std::unordered_map<ObjectId, std::int64_t> last_use_;
+  util::FlatMap<ObjectId, std::int64_t> last_use_;
+
+  // Reused scratch for the batch interface (see EvictionPolicy contract).
+  BatchDecision decision_;
+  std::vector<ObjectId> shed_victims_;
+  std::vector<LoadCandidate> admitted_;
 
   [[nodiscard]] ObjectId oldest() const;
 };

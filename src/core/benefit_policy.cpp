@@ -81,17 +81,19 @@ void BenefitPolicy::tick() {
 
 void BenefitPolicy::evict_lowest_forecast_until_fits() {
   while (store_.over_capacity()) {
-    const auto resident = store_.resident_objects();
-    DELTA_CHECK(!resident.empty());
-    ObjectId victim = resident.front();
-    double victim_mu = forecast_[static_cast<std::size_t>(victim.value())];
-    for (const ObjectId o : resident) {
+    // Allocation-free arg-min over the residents; the (forecast, id)
+    // tie-break makes the victim independent of the store's visit order.
+    ObjectId victim = ObjectId::invalid();
+    double victim_mu = 0.0;
+    store_.for_each_resident([&](ObjectId o, Bytes) {
       const double mu = forecast_[static_cast<std::size_t>(o.value())];
-      if (mu < victim_mu || (mu == victim_mu && o < victim)) {
+      if (!victim.valid() || mu < victim_mu ||
+          (mu == victim_mu && o < victim)) {
         victim = o;
         victim_mu = mu;
       }
-    }
+    });
+    DELTA_CHECK(victim.valid());
     store_.evict(victim);
     system_->notify_eviction(victim);
     ++evictions_;
@@ -122,7 +124,7 @@ void BenefitPolicy::close_window() {
                    [&](std::size_t a, std::size_t b) {
                      return forecast_[a] > forecast_[b];
                    });
-  std::unordered_set<ObjectId> selected;
+  util::FlatSet<ObjectId> selected;
   Bytes budget = store_.capacity();
   for (const std::size_t i : ranked) {
     if (forecast_[i] <= 0.0) break;
@@ -133,21 +135,25 @@ void BenefitPolicy::close_window() {
     budget -= size;
   }
   // Evict residents that fell out of the selection (no network traffic).
-  for (const ObjectId o : store_.resident_objects()) {
-    if (selected.count(o) == 0) {
-      store_.evict(o);
-      system_->notify_eviction(o);
-      ++evictions_;
-    }
+  // Victims are collected first: the store must not be mutated while its
+  // entries are being visited.
+  victims_.clear();
+  store_.for_each_resident([&](ObjectId o, Bytes) {
+    if (selected.count(o) == 0) victims_.push_back(o);
+  });
+  for (const ObjectId o : victims_) {
+    store_.evict(o);
+    system_->notify_eviction(o);
+    ++evictions_;
   }
   // Load newcomers; already-resident selections stay ("don't have to be
-  // reloaded", §5).
-  for (const ObjectId o : selected) {
-    if (store_.contains(o)) continue;
+  // reloaded", §5). Visit order only affects message order, never totals.
+  selected.for_each([this](ObjectId o) {
+    if (store_.contains(o)) return;
     system_->load_object(o);
     store_.load(o, system_->server_object_bytes(o));
     ++loads_;
-  }
+  });
 }
 
 }  // namespace delta::core

@@ -10,13 +10,13 @@
 // Cached objects receive updates eagerly (shipped on arrival).
 #pragma once
 
-#include <unordered_set>
 #include <vector>
 
 #include "cache/cache_store.h"
 #include "core/cache_node.h"
 #include "core/delta_system.h"
 #include "core/policy.h"
+#include "util/flat_map.h"
 
 namespace delta::core {
 
@@ -58,6 +58,7 @@ class BenefitPolicy final : public CachePolicy {
   std::int64_t loads_ = 0;
   std::int64_t evictions_ = 0;
   std::int64_t windows_closed_ = 0;
+  std::vector<ObjectId> victims_;  // eviction-sweep scratch (close_window)
 
   void tick();
   void close_window();

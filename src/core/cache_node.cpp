@@ -16,9 +16,16 @@ CacheNode::CacheNode(const workload::Trace* trace, ServerNode* server,
   DELTA_CHECK(trace != nullptr);
   DELTA_CHECK(server != nullptr);
   DELTA_CHECK(transport != nullptr);
-  slot_ = server_->attach_cache(name_);
-  transport_->register_endpoint(
+  // Validate the attach BEFORE registering the transport handler: a
+  // failing construction must not leave a handler capturing this soon-
+  // destroyed node. Registration then precedes attach_cache, which records
+  // our transport slot so the server can address replies without
+  // per-message name lookups.
+  server_->validate_cache_name(name_);
+  const std::size_t transport_slot = transport_->register_endpoint(
       name_, [this](const net::Message& m) { handle_message(m); });
+  slot_ = server_->attach_cache(name_, transport_slot);
+  server_transport_slot_ = server_->transport_slot();
 }
 
 net::Message CacheNode::request(net::MessageKind kind,
@@ -29,6 +36,7 @@ net::Message CacheNode::request(net::MessageKind kind,
   msg.subject_id = subject_id;
   msg.sent_at = sent_at;
   msg.sender = name_;
+  msg.sender_slot = static_cast<std::int32_t>(slot_);
   return msg;
 }
 
@@ -53,32 +61,33 @@ void CacheNode::set_invalidation_handler(
 }
 
 Bytes CacheNode::ship_query(const workload::Query& q) {
-  transport_->send(server_->name(),
-                   request(net::MessageKind::kQueryRequest, q.id.value(),
-                           q.time),
-                   net::Mechanism::kOverhead);
+  transport_->send_to(server_transport_slot_,
+                      request(net::MessageKind::kQueryRequest, q.id.value(),
+                              q.time),
+                      net::Mechanism::kOverhead);
   return q.cost;  // the QueryResult reply carried ν(q) bytes
 }
 
 Bytes CacheNode::ship_update(const workload::Update& u) {
-  transport_->send(server_->name(),
-                   request(net::MessageKind::kControl, u.id.value(), u.time),
-                   net::Mechanism::kOverhead);
+  transport_->send_to(server_transport_slot_,
+                      request(net::MessageKind::kControl, u.id.value(),
+                              u.time),
+                      net::Mechanism::kOverhead);
   return u.cost;
 }
 
 Bytes CacheNode::load_object(ObjectId o) {
-  transport_->send(server_->name(),
-                   request(net::MessageKind::kLoadRequest, o.value(), 0),
-                   net::Mechanism::kOverhead);
+  transport_->send_to(server_transport_slot_,
+                      request(net::MessageKind::kLoadRequest, o.value(), 0),
+                      net::Mechanism::kOverhead);
   DELTA_CHECK(is_registered(o));
   return server_->load_cost(o);
 }
 
 void CacheNode::notify_eviction(ObjectId o) {
-  transport_->send(server_->name(),
-                   request(net::MessageKind::kInvalidation, o.value(), 0),
-                   net::Mechanism::kOverhead);
+  transport_->send_to(server_transport_slot_,
+                      request(net::MessageKind::kInvalidation, o.value(), 0),
+                      net::Mechanism::kOverhead);
   DELTA_CHECK(!is_registered(o));
 }
 

@@ -89,6 +89,7 @@ class CacheNode {
   net::Transport* transport_;
   std::string name_;
   std::size_t slot_;  // this cache's row in the server registration table
+  std::size_t server_transport_slot_ = 0;  // fast-path reply address
   net::LinkModel link_;
   std::function<void(const workload::Update&)> invalidation_handler_;
 

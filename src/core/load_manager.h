@@ -15,10 +15,10 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/eviction_policy.h"
+#include "util/flat_map.h"
 #include "util/rng.h"
 #include "util/types.h"
 #include "workload/events.h"
@@ -42,21 +42,18 @@ class LoadManager {
   LoadManager(Options options, util::Rng rng)
       : options_(options), rng_(rng) {}
 
-  struct Proposal {
-    /// Candidate batches to hand to the eviction policy: one batch in lazy
-    /// mode, one per candidate in eager mode.
-    std::vector<std::vector<cache::LoadCandidate>> batches;
-  };
-
-  /// Runs the attribution walk over the query's missing objects and
-  /// returns the candidate batches. The caller applies each batch through
-  /// the eviction policy and performs the actual loads/evictions.
+  /// Runs the attribution walk over the query's missing objects (shuffled
+  /// in place) and returns the proposed load candidates. In lazy mode the
+  /// caller hands the whole batch to the eviction policy at once; in eager
+  /// mode it applies each candidate as its own single-element batch. The
+  /// returned reference points at reused scratch, valid until the next
+  /// consider() call (keeps the per-query replay path allocation-free).
   template <typename SizeFn, typename CostFn>
-  Proposal consider(const workload::Query& q,
-                    std::vector<ObjectId> missing, SizeFn&& size_of,
-                    CostFn&& load_cost_of) {
-    Proposal proposal;
-    std::vector<cache::LoadCandidate> candidates;
+  const std::vector<cache::LoadCandidate>& consider(
+      const workload::Query& q, std::vector<ObjectId>& missing,
+      SizeFn&& size_of, CostFn&& load_cost_of) {
+    std::vector<cache::LoadCandidate>& candidates = candidates_;
+    candidates.clear();
     rng_.shuffle(missing);
     double budget = q.cost.as_double();
     for (const ObjectId o : missing) {
@@ -88,15 +85,7 @@ class LoadManager {
         candidates.push_back(cache::LoadCandidate{o, size_of(o), load_cost});
       }
     }
-    if (candidates.empty()) return proposal;
-    if (options_.lazy) {
-      proposal.batches.push_back(std::move(candidates));
-    } else {
-      for (const auto& c : candidates) {
-        proposal.batches.push_back({c});
-      }
-    }
-    return proposal;
+    return candidates;
   }
 
   [[nodiscard]] const Options& options() const { return options_; }
@@ -107,7 +96,8 @@ class LoadManager {
  private:
   Options options_;
   util::Rng rng_;
-  std::unordered_map<ObjectId, double> counters_;  // counter mode only
+  util::FlatMap<ObjectId, double> counters_;  // counter mode only
+  std::vector<cache::LoadCandidate> candidates_;  // consider() scratch
 };
 
 }  // namespace delta::core

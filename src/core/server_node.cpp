@@ -10,18 +10,24 @@ ServerNode::ServerNode(const workload::Trace* trace,
   DELTA_CHECK(trace != nullptr);
   DELTA_CHECK(transport != nullptr);
   object_bytes_ = trace->initial_object_bytes;
-  transport_->register_endpoint(
+  transport_slot_ = transport_->register_endpoint(
       name_, [this](const net::Message& m) { handle_message(m); });
 }
 
-std::size_t ServerNode::attach_cache(const std::string& cache_name) {
+void ServerNode::validate_cache_name(const std::string& cache_name) const {
   DELTA_CHECK_MSG(slot_by_name_.count(cache_name) == 0,
                   "cache '" << cache_name << "' attached twice");
   DELTA_CHECK_MSG(cache_name != name_,
                   "cache endpoint cannot reuse the server name");
+}
+
+std::size_t ServerNode::attach_cache(const std::string& cache_name,
+                                     std::size_t cache_transport_slot) {
+  validate_cache_name(cache_name);
   const std::size_t slot = caches_.size();
   CacheEntry entry;
   entry.name = cache_name;
+  entry.transport_slot = cache_transport_slot;
   entry.registered.assign(object_bytes_.size(), 0);
   caches_.push_back(std::move(entry));
   slot_by_name_.emplace(cache_name, slot);
@@ -42,6 +48,15 @@ std::size_t ServerNode::checked(ObjectId o) const {
 }
 
 ServerNode::CacheEntry& ServerNode::sender_entry(const net::Message& m) {
+  // Fast path: requests from attached CacheNodes carry their assigned slot.
+  if (m.sender_slot >= 0 &&
+      static_cast<std::size_t>(m.sender_slot) < caches_.size()) {
+    CacheEntry& entry = caches_[static_cast<std::size_t>(m.sender_slot)];
+    // A slot from another server instance (or a forged one) must not be
+    // silently attributed to the wrong cache.
+    DELTA_DCHECK(entry.name == m.sender);
+    return entry;
+  }
   const auto it = slot_by_name_.find(m.sender);
   DELTA_CHECK_MSG(it != slot_by_name_.end(),
                   "request from unattached cache '" << m.sender << "'");
@@ -60,8 +75,8 @@ void ServerNode::handle_message(const net::Message& m) {
       const auto& q = trace_->queries[static_cast<std::size_t>(m.subject_id)];
       reply.kind = net::MessageKind::kQueryResult;
       reply.payload = q.cost;
-      transport_->send(sender_entry(m).name, reply,
-                       net::Mechanism::kQueryShip);
+      transport_->send_to(sender_entry(m).transport_slot, reply,
+                          net::Mechanism::kQueryShip);
       break;
     }
     case net::MessageKind::kControl: {
@@ -69,8 +84,8 @@ void ServerNode::handle_message(const net::Message& m) {
       const auto& u = trace_->updates[static_cast<std::size_t>(m.subject_id)];
       reply.kind = net::MessageKind::kUpdateShip;
       reply.payload = u.cost;
-      transport_->send(sender_entry(m).name, reply,
-                       net::Mechanism::kUpdateShip);
+      transport_->send_to(sender_entry(m).transport_slot, reply,
+                          net::Mechanism::kUpdateShip);
       break;
     }
     case net::MessageKind::kLoadRequest: {
@@ -79,7 +94,8 @@ void ServerNode::handle_message(const net::Message& m) {
       reply.kind = net::MessageKind::kLoadData;
       reply.payload = object_bytes_[idx] + kLoadOverheadBytes;
       cache.registered[idx] = 1;
-      transport_->send(cache.name, reply, net::Mechanism::kObjectLoad);
+      transport_->send_to(cache.transport_slot, reply,
+                          net::Mechanism::kObjectLoad);
       break;
     }
     case net::MessageKind::kInvalidation: {
@@ -118,7 +134,8 @@ void ServerNode::ingest_update(const workload::Update& u) {
     msg.subject_id = u.id.value();
     msg.sent_at = u.time;
     msg.sender = name_;
-    transport_->send(cache.name, msg, net::Mechanism::kOverhead);
+    transport_->send_to(cache.transport_slot, msg,
+                        net::Mechanism::kOverhead);
   }
 }
 

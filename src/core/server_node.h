@@ -41,10 +41,22 @@ class ServerNode {
 
   [[nodiscard]] const std::string& name() const { return name_; }
 
+  /// This endpoint's transport slot (for send_to-style fast addressing).
+  [[nodiscard]] std::size_t transport_slot() const { return transport_slot_; }
+
+  /// Checked-failure unless `cache_name` is attachable (not a duplicate,
+  /// not the server's own name). CacheNode calls this BEFORE registering
+  /// its transport handler so a failing construction cannot leave a
+  /// handler bound to a destroyed node.
+  void validate_cache_name(const std::string& cache_name) const;
+
   /// Adds a cache endpoint to the registration table and returns its slot
-  /// index (the handle CacheNode uses for cheap metadata reads). The cache
-  /// must already be registered on the transport by the time updates flow.
-  std::size_t attach_cache(const std::string& cache_name);
+  /// index (the handle CacheNode uses for cheap metadata reads, and the
+  /// sender_slot its requests carry). The cache must already be registered
+  /// on the transport: replies and invalidations are addressed by its
+  /// transport slot.
+  std::size_t attach_cache(const std::string& cache_name,
+                           std::size_t cache_transport_slot);
 
   void set_subscription(std::size_t cache_slot,
                         MetadataSubscription subscription);
@@ -67,6 +79,7 @@ class ServerNode {
  private:
   struct CacheEntry {
     std::string name;
+    std::size_t transport_slot = 0;  // where replies/invalidations go
     MetadataSubscription subscription = MetadataSubscription::kNone;
     std::vector<std::uint8_t> registered;  // objects resident at this cache
   };
@@ -74,6 +87,7 @@ class ServerNode {
   const workload::Trace* trace_;
   net::Transport* transport_;
   std::string name_;
+  std::size_t transport_slot_ = 0;
   std::vector<Bytes> object_bytes_;  // server-side current sizes
   std::vector<CacheEntry> caches_;
   std::unordered_map<std::string, std::size_t> slot_by_name_;

@@ -16,34 +16,34 @@ void UpdateManager::add_outstanding(const workload::Update& u) {
 }
 
 bool UpdateManager::is_stale(ObjectId o) const {
-  const auto pit = pending_.find(o);
-  if (pit != pending_.end() && !pit->second.empty()) return true;
-  return groups_.find(o) != groups_.end();
+  const auto* pend = pending_.find(o);
+  if (pend != nullptr && !pend->empty()) return true;
+  return groups_.contains(o);
 }
 
 void UpdateManager::forget_signature(QueryNode node) {
-  const auto it = node_to_sig_.find(node.index);
-  if (it == node_to_sig_.end()) return;
-  const auto sit = sig_to_node_.find(it->second);
+  Signature* sig = node_to_sig_.find(node.index);
+  if (sig == nullptr) return;
+  const auto sit = sig_to_node_.find(*sig);
   if (sit != sig_to_node_.end() && sit->second == node) {
     sig_to_node_.erase(sit);
   }
-  node_to_sig_.erase(it);
+  node_to_sig_.erase(node.index);
 }
 
 void UpdateManager::remove_group(UpdateGroup& group,
                                  std::vector<QueryNode>* affected_queries) {
   if (affected_queries != nullptr) {
-    const auto adjacent = solver_.neighbors(group.node);
-    affected_queries->insert(affected_queries->end(), adjacent.begin(),
-                             adjacent.end());
+    solver_.for_each_neighbor(group.node, [affected_queries](QueryNode q) {
+      affected_queries->push_back(q);
+    });
   }
   node_to_group_.erase(group.node.index);
   solver_.remove_update(group.node);
   groups_.erase(group.object);  // destroys `group`
 }
 
-void UpdateManager::rekey_queries(std::vector<QueryNode> affected) {
+void UpdateManager::rekey_queries(std::vector<QueryNode>& affected) {
   std::sort(affected.begin(), affected.end(),
             [](const QueryNode& a, const QueryNode& b) {
               return a.index < b.index;
@@ -53,55 +53,59 @@ void UpdateManager::rekey_queries(std::vector<QueryNode> affected) {
   for (const QueryNode qn : affected) {
     if (!solver_.alive(qn)) continue;  // already pruned or merged away
     forget_signature(qn);
-    const auto neighbours = solver_.neighbors(qn);
-    if (neighbours.empty()) {
+    Signature& sig = sig_scratch_;
+    sig.clear();
+    solver_.for_each_neighbor(
+        qn, [&sig](UpdateNode un) { sig.push_back(un.index); });
+    if (sig.empty()) {
       // Isolated: the remainder rule discards it.
       solver_.remove_query(qn);
       continue;
     }
-    Signature sig;
-    sig.reserve(neighbours.size());
-    for (const UpdateNode un : neighbours) sig.push_back(un.index);
     std::sort(sig.begin(), sig.end());
     const auto [it, inserted] = sig_to_node_.try_emplace(sig, qn);
     if (inserted) {
-      node_to_sig_[qn.index] = std::move(sig);
+      node_to_sig_[qn.index] = sig;
     } else if (solver_.alive(it->second) && !(it->second == qn)) {
       // Same neighborhood as an existing vertex: merge (cover-exact).
       solver_.add_weight(it->second, solver_.weight(qn));
       solver_.remove_query_force(qn);
     } else {
       it->second = qn;
-      node_to_sig_[qn.index] = std::move(sig);
+      node_to_sig_[qn.index] = sig;
     }
   }
 }
 
 void UpdateManager::drop_object(ObjectId o) {
   pending_.erase(o);
-  const auto git = groups_.find(o);
-  if (git == groups_.end()) return;
-  std::vector<QueryNode> affected;
-  remove_group(*git->second, &affected);
-  rekey_queries(std::move(affected));
+  auto* group = groups_.find(o);
+  if (group == nullptr) return;
+  affected_.clear();
+  remove_group(**group, &affected_);
+  rekey_queries(affected_);
 }
 
-UpdateManager::Decision UpdateManager::decide(const workload::Query& q) {
-  Decision decision;
+const UpdateManager::Decision& UpdateManager::decide(
+    const workload::Query& q) {
+  Decision& decision = decision_;
+  decision.ship_query = false;
+  decision.ship_updates.clear();
 
   // Updates this query interacts with: outstanding updates on its objects
   // that are older than its staleness tolerance (paper §3: answers must
   // incorporate all updates except those in the last t(q) time units).
   const EventTime needed_before = q.time - q.staleness_tolerance;
 
-  Signature connect;  // group vertices to link to q (sorted below)
+  Signature& connect = connect_;  // group vertices to link to q
+  connect.clear();
   for (const ObjectId o : q.objects) {
     // Materialize the needed prefix of the object's pending updates into
     // its group vertex (pending lists are in arrival = time order).
-    const auto pit = pending_.find(o);
-    if (pit != pending_.end() && !pit->second.empty() &&
-        pit->second.front()->time <= needed_before) {
-      auto& pend = pit->second;
+    auto* pend_slot = pending_.find(o);
+    if (pend_slot != nullptr && !pend_slot->empty() &&
+        pend_slot->front()->time <= needed_before) {
+      auto& pend = *pend_slot;
       const auto split = std::upper_bound(
           pend.begin(), pend.end(), needed_before,
           [](EventTime t, const workload::Update* u) { return t < u->time; });
@@ -109,25 +113,25 @@ UpdateManager::Decision UpdateManager::decide(const workload::Query& q) {
       for (auto it = pend.begin(); it != split; ++it) {
         batch_cost += (*it)->cost;
       }
-      auto git = groups_.find(o);
-      if (git == groups_.end()) {
+      auto* existing = groups_.find(o);
+      if (existing == nullptr) {
         auto group = std::make_unique<UpdateGroup>();
         group->object = o;
         group->members.assign(pend.begin(), split);
         group->min_time = group->members.front()->time;
         group->node = solver_.add_update(batch_cost.count());
         node_to_group_[group->node.index] = group.get();
-        groups_.emplace(o, std::move(group));
+        groups_.try_emplace(o, std::move(group));
       } else {
-        UpdateGroup& group = *git->second;
+        UpdateGroup& group = **existing;
         group.members.insert(group.members.end(), pend.begin(), split);
         solver_.add_weight(group.node, batch_cost.count());
       }
       pend.erase(pend.begin(), split);
     }
-    const auto git = groups_.find(o);
-    if (git != groups_.end() && git->second->min_time <= needed_before) {
-      connect.push_back(git->second->node.index);
+    const auto* group = groups_.find(o);
+    if (group != nullptr && (*group)->min_time <= needed_before) {
+      connect.push_back((*group)->node.index);
     }
   }
   if (connect.empty()) {
@@ -152,38 +156,42 @@ UpdateManager::Decision UpdateManager::decide(const workload::Query& q) {
   if (!reused) {
     qnode = solver_.add_query(q.cost.count());
     for (const std::int32_t node_index : connect) {
-      solver_.connect(node_to_group_.at(node_index)->node, qnode);
+      UpdateGroup* const* group = node_to_group_.find(node_index);
+      DELTA_CHECK_MSG(group != nullptr, "connect target has no group");
+      solver_.connect((*group)->node, qnode);
     }
   }
   peak_graph_nodes_ = std::max(
       peak_graph_nodes_, solver_.query_count() + solver_.update_count());
 
   // Minimum-weight vertex cover via incremental max-flow (Fig. 5).
-  const auto cover = solver_.compute();
+  const auto& cover = solver_.compute();
   ++covers_computed_;
   decision.ship_query = solver_.in_last_cover(qnode);
 
   // Remainder rule: ship every covered group and remove it; prune/re-key
   // affected query vertices.
-  std::vector<QueryNode> affected;
+  affected_.clear();
   for (const UpdateNode un : cover.updates) {
-    UpdateGroup& group = *node_to_group_.at(un.index);
+    UpdateGroup* const* slot = node_to_group_.find(un.index);
+    DELTA_CHECK_MSG(slot != nullptr, "covered update node has no group");
+    UpdateGroup& group = **slot;
     decision.ship_updates.insert(decision.ship_updates.end(),
                                  group.members.begin(), group.members.end());
-    remove_group(group, &affected);
+    remove_group(group, &affected_);
   }
   if (!decision.ship_query) {
     // All of q's neighbours were covered groups, now shipped: q runs at the
     // cache and its (isolated) vertex is pruned by the re-key pass.
-    affected.push_back(qnode);
+    affected_.push_back(qnode);
   } else if (!remember_shipped_queries_) {
     // Ablation A4: forget the shipped query immediately — future covers
     // lose the accumulated justification for shipping its updates.
     solver_.remove_query_force(qnode);
   } else if (!reused) {
-    affected.push_back(qnode);  // register its (possibly shrunk) signature
+    affected_.push_back(qnode);  // register its (possibly shrunk) signature
   }
-  rekey_queries(std::move(affected));
+  rekey_queries(affected_);
   return decision;
 }
 

@@ -32,10 +32,10 @@
 
 #include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "flow/bipartite_cover.h"
+#include "util/flat_map.h"
 #include "util/types.h"
 #include "workload/events.h"
 
@@ -63,8 +63,10 @@ class UpdateManager {
 
   /// Decides for a query with all B(q) cached. Precondition enforced by the
   /// caller. Pure decision: the caller performs the shipping and applies
-  /// update growth.
-  Decision decide(const workload::Query& q);
+  /// update growth. The returned reference points at reused scratch, valid
+  /// until the next decide() call (keeps the per-query replay path
+  /// allocation-free).
+  const Decision& decide(const workload::Query& q);
 
   // ---- introspection (ablation A4 / micro benches) ----
   [[nodiscard]] std::size_t graph_query_count() const {
@@ -103,22 +105,29 @@ class UpdateManager {
   bool remember_shipped_queries_;
   flow::BipartiteCoverSolver solver_;
   /// Outstanding updates not yet in the graph, per object, arrival order.
-  std::unordered_map<ObjectId, std::vector<const workload::Update*>>
-      pending_;
+  util::FlatMap<ObjectId, std::vector<const workload::Update*>> pending_;
   /// At most one materialized group per object.
-  std::unordered_map<ObjectId, std::unique_ptr<UpdateGroup>> groups_;
-  std::unordered_map<std::int32_t, UpdateGroup*> node_to_group_;
-  /// Shipped-query merging state.
+  util::FlatMap<ObjectId, std::unique_ptr<UpdateGroup>> groups_;
+  util::FlatMap<std::int32_t, UpdateGroup*> node_to_group_;
+  /// Shipped-query merging state. sig_to_node_ is keyed by the (variable-
+  /// length) signature itself, so it stays an ordered std::map; the
+  /// fixed-key side lives in a FlatMap.
   std::map<Signature, QueryNode> sig_to_node_;
-  std::unordered_map<std::int32_t, Signature> node_to_sig_;
+  util::FlatMap<std::int32_t, Signature> node_to_sig_;
   std::size_t peak_graph_nodes_ = 0;
   std::int64_t covers_computed_ = 0;
+
+  // Reused per-decide() scratch (see Decision lifetime contract).
+  Decision decision_;
+  Signature connect_;
+  Signature sig_scratch_;
+  std::vector<QueryNode> affected_;
 
   void remove_group(UpdateGroup& group,
                     std::vector<QueryNode>* affected_queries);
   /// Prunes isolated query vertices and re-keys/merges the rest after
-  /// group removals.
-  void rekey_queries(std::vector<QueryNode> affected);
+  /// group removals. Consumes `affected` in place (sorts + dedups).
+  void rekey_queries(std::vector<QueryNode>& affected);
   void forget_signature(QueryNode node);
 };
 

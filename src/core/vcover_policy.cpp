@@ -30,9 +30,8 @@ void VCoverPolicy::on_update(const workload::Update& u) {
   DELTA_CHECK_MSG(store_.contains(u.object),
                   "invalidation for non-resident object");
   if (options_.preship) {
-    const auto it = heat_.find(u.object);
-    if (it != heat_.end() &&
-        it->second >= options_.preship_heat_threshold) {
+    const double* heat = heat_.find(u.object);
+    if (heat != nullptr && *heat >= options_.preship_heat_threshold) {
       // Hot object: push the content proactively so the next
       // currency-constrained query needn't wait.
       system_->ship_update(u);
@@ -66,7 +65,7 @@ void VCoverPolicy::shed_overflow() {
 
 void VCoverPolicy::apply_batch(
     const std::vector<cache::LoadCandidate>& batch, QueryOutcome& outcome) {
-  const cache::BatchDecision decision = evictor_->decide_batch(batch);
+  const cache::BatchDecision& decision = evictor_->decide_batch(batch);
   for (const ObjectId victim : decision.evict) {
     evict_object(victim);
   }
@@ -84,15 +83,15 @@ void VCoverPolicy::apply_batch(
 QueryOutcome VCoverPolicy::on_query(const workload::Query& q) {
   now_ = q.time;
   QueryOutcome outcome;
-  std::vector<ObjectId> missing;
+  missing_.clear();
   for (const ObjectId o : q.objects) {
-    if (!store_.contains(o)) missing.push_back(o);
+    if (!store_.contains(o)) missing_.push_back(o);
   }
 
-  if (missing.empty()) {
+  if (missing_.empty()) {
     // All objects cached: UpdateManager chooses between shipping the query
     // and shipping its interacting updates (Fig. 4).
-    const UpdateManager::Decision decision = update_manager_.decide(q);
+    const UpdateManager::Decision& decision = update_manager_.decide(q);
     for (const workload::Update* u : decision.ship_updates) {
       system_->ship_update(*u);
       store_.grow(u->object, u->cost);
@@ -127,12 +126,21 @@ QueryOutcome VCoverPolicy::on_query(const workload::Query& q) {
   // background (Fig. 3 lines 6-8).
   outcome.path = QueryOutcome::Path::kShipped;
   outcome.result_bytes = system_->ship_query(q);
-  const LoadManager::Proposal proposal = load_manager_.consider(
-      q, std::move(missing),
-      [this](ObjectId o) { return system_->server_object_bytes(o); },
-      [this](ObjectId o) { return system_->load_cost(o); });
-  for (const auto& batch : proposal.batches) {
-    apply_batch(batch, outcome);
+  const std::vector<cache::LoadCandidate>& candidates =
+      load_manager_.consider(
+          q, missing_,
+          [this](ObjectId o) { return system_->server_object_bytes(o); },
+          [this](ObjectId o) { return system_->load_cost(o); });
+  if (!candidates.empty()) {
+    if (load_manager_.options().lazy) {
+      apply_batch(candidates, outcome);
+    } else {
+      // Eager mode (ablation A3): each candidate is its own batch.
+      for (const cache::LoadCandidate& c : candidates) {
+        eager_batch_.assign(1, c);
+        apply_batch(eager_batch_, outcome);
+      }
+    }
   }
   return outcome;
 }

@@ -10,7 +10,6 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 
 #include "cache/cache_store.h"
 #include "cache/eviction_policy.h"
@@ -19,6 +18,7 @@
 #include "core/load_manager.h"
 #include "core/policy.h"
 #include "core/update_manager.h"
+#include "util/flat_map.h"
 #include "util/rng.h"
 
 namespace delta::core {
@@ -76,7 +76,9 @@ class VCoverPolicy final : public CachePolicy {
   std::unique_ptr<cache::EvictionPolicy> evictor_;
   UpdateManager update_manager_;
   LoadManager load_manager_;
-  std::unordered_map<ObjectId, double> heat_;  // preship popularity signal
+  util::FlatMap<ObjectId, double> heat_;  // preship popularity signal
+  std::vector<ObjectId> missing_;         // per-query scratch
+  std::vector<cache::LoadCandidate> eager_batch_;  // eager-mode scratch
   std::int64_t loads_ = 0;
   std::int64_t evictions_ = 0;
   std::int64_t cache_answers_ = 0;

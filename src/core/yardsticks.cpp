@@ -157,7 +157,7 @@ class StaticSetEvaluator {
 
 }  // namespace
 
-std::unordered_set<ObjectId> SOptimalPolicy::choose_set(
+util::FlatSet<ObjectId> SOptimalPolicy::choose_set(
     const workload::Trace& trace, const SOptimalOptions& options) {
   DELTA_CHECK(options.query_assignment == nullptr ||
               options.query_assignment->size() == trace.queries.size());
@@ -180,7 +180,7 @@ std::unordered_set<ObjectId> SOptimalPolicy::choose_set(
 
   // Greedy fill by final sizes (the set must fit even after growth; the
   // static yardstick never evicts).
-  std::unordered_set<ObjectId> chosen;
+  util::FlatSet<ObjectId> chosen;
   std::vector<bool> selected(n, false);
   Bytes budget = options.cache_capacity;
   for (const std::size_t i : ranked) {
@@ -243,10 +243,9 @@ SOptimalPolicy::SOptimalPolicy(CacheNode* system,
   system_->set_invalidation_handler(
       [this](const workload::Update& u) { on_update(u); });
   // Load the static set up front — at event zero, inside the warm-up
-  // window, exactly as the paper implements it.
-  for (const ObjectId o : chosen_) {
-    system_->load_object(o);
-  }
+  // window, exactly as the paper implements it. (Visit order only affects
+  // the order of the load messages, never the byte totals.)
+  chosen_.for_each([this](ObjectId o) { system_->load_object(o); });
 }
 
 void SOptimalPolicy::on_update(const workload::Update& u) {

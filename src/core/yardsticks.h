@@ -8,12 +8,12 @@
 //              algorithm close to it is outstanding.
 #pragma once
 
-#include <unordered_set>
 #include <vector>
 
 #include "core/cache_node.h"
 #include "core/delta_system.h"
 #include "core/policy.h"
+#include "util/flat_map.h"
 #include "workload/trace.h"
 
 namespace delta::core {
@@ -80,16 +80,16 @@ class SOptimalPolicy final : public CachePolicy {
   QueryOutcome on_query(const workload::Query& q) override;
   [[nodiscard]] const char* name() const override { return "SOptimal"; }
 
-  [[nodiscard]] const std::unordered_set<ObjectId>& chosen() const {
+  [[nodiscard]] const util::FlatSet<ObjectId>& chosen() const {
     return chosen_;
   }
 
  private:
   CacheNode* system_;
-  std::unordered_set<ObjectId> chosen_;
+  util::FlatSet<ObjectId> chosen_;
 
-  static std::unordered_set<ObjectId> choose_set(
-      const workload::Trace& trace, const SOptimalOptions& options);
+  static util::FlatSet<ObjectId> choose_set(const workload::Trace& trace,
+                                            const SOptimalOptions& options);
 };
 
 }  // namespace delta::core

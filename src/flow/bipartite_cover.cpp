@@ -4,7 +4,8 @@
 
 namespace delta::flow {
 
-BipartiteCoverSolver::BipartiteCoverSolver()
+template <typename Engine>
+BasicBipartiteCoverSolver<Engine>::BasicBipartiteCoverSolver()
     : source_(net_.add_node()),
       sink_(net_.add_node()),
       solver_(net_, source_, sink_) {
@@ -13,7 +14,8 @@ BipartiteCoverSolver::BipartiteCoverSolver()
   side_[static_cast<std::size_t>(sink_)] = Side::kFree;
 }
 
-void BipartiteCoverSolver::ensure_slot(NodeIndex v) {
+template <typename Engine>
+void BasicBipartiteCoverSolver<Engine>::ensure_slot(NodeIndex v) {
   const auto need = static_cast<std::size_t>(v) + 1;
   if (side_.size() < need) {
     side_.resize(need, Side::kFree);
@@ -22,8 +24,10 @@ void BipartiteCoverSolver::ensure_slot(NodeIndex v) {
   }
 }
 
-void BipartiteCoverSolver::check_handle(NodeIndex v, std::uint32_t gen,
-                                        Side side) const {
+template <typename Engine>
+void BasicBipartiteCoverSolver<Engine>::check_handle(NodeIndex v,
+                                                     std::uint32_t gen,
+                                                     Side side) const {
   DELTA_CHECK_MSG(v >= 0 && static_cast<std::size_t>(v) < side_.size(),
                   "stale or invalid vertex handle");
   DELTA_CHECK_MSG(side_[static_cast<std::size_t>(v)] == side,
@@ -32,20 +36,23 @@ void BipartiteCoverSolver::check_handle(NodeIndex v, std::uint32_t gen,
                   "vertex handle generation mismatch (node was removed)");
 }
 
-BipartiteCoverSolver::UpdateNode BipartiteCoverSolver::add_update(
-    Capacity weight) {
+template <typename Engine>
+typename BasicBipartiteCoverSolver<Engine>::UpdateNode
+BasicBipartiteCoverSolver<Engine>::add_update(Capacity weight) {
   DELTA_CHECK(weight > 0);
   const NodeIndex v = net_.add_node();
   ensure_slot(v);
   side_[static_cast<std::size_t>(v)] = Side::kUpdate;
-  anchor_edge_[static_cast<std::size_t>(v)] = net_.add_edge(source_, v, weight);
+  anchor_edge_[static_cast<std::size_t>(v)] =
+      net_.add_edge(source_, v, weight);
   ++update_count_;
   cover_fresh_ = false;
   return UpdateNode{v, generation_[static_cast<std::size_t>(v)]};
 }
 
-BipartiteCoverSolver::QueryNode BipartiteCoverSolver::add_query(
-    Capacity weight) {
+template <typename Engine>
+typename BasicBipartiteCoverSolver<Engine>::QueryNode
+BasicBipartiteCoverSolver<Engine>::add_query(Capacity weight) {
   DELTA_CHECK(weight > 0);
   const NodeIndex v = net_.add_node();
   ensure_slot(v);
@@ -56,14 +63,17 @@ BipartiteCoverSolver::QueryNode BipartiteCoverSolver::add_query(
   return QueryNode{v, generation_[static_cast<std::size_t>(v)]};
 }
 
-void BipartiteCoverSolver::connect(UpdateNode u, QueryNode q) {
+template <typename Engine>
+void BasicBipartiteCoverSolver<Engine>::connect(UpdateNode u, QueryNode q) {
   check_handle(u.index, u.generation, Side::kUpdate);
   check_handle(q.index, q.generation, Side::kQuery);
   net_.add_edge(u.index, q.index, kInfiniteCapacity);
   cover_fresh_ = false;
 }
 
-void BipartiteCoverSolver::add_weight(QueryNode q, Capacity delta) {
+template <typename Engine>
+void BasicBipartiteCoverSolver<Engine>::add_weight(QueryNode q,
+                                                   Capacity delta) {
   check_handle(q.index, q.generation, Side::kQuery);
   DELTA_CHECK(delta > 0);
   const EdgeId anchor = anchor_edge_[static_cast<std::size_t>(q.index)];
@@ -71,7 +81,9 @@ void BipartiteCoverSolver::add_weight(QueryNode q, Capacity delta) {
   cover_fresh_ = false;
 }
 
-void BipartiteCoverSolver::add_weight(UpdateNode u, Capacity delta) {
+template <typename Engine>
+void BasicBipartiteCoverSolver<Engine>::add_weight(UpdateNode u,
+                                                   Capacity delta) {
   check_handle(u.index, u.generation, Side::kUpdate);
   DELTA_CHECK(delta > 0);
   const EdgeId anchor = anchor_edge_[static_cast<std::size_t>(u.index)];
@@ -79,17 +91,20 @@ void BipartiteCoverSolver::add_weight(UpdateNode u, Capacity delta) {
   cover_fresh_ = false;
 }
 
-Capacity BipartiteCoverSolver::weight(QueryNode q) const {
+template <typename Engine>
+Capacity BasicBipartiteCoverSolver<Engine>::weight(QueryNode q) const {
   check_handle(q.index, q.generation, Side::kQuery);
   return net_.edge(anchor_edge_[static_cast<std::size_t>(q.index)]).cap;
 }
 
-Capacity BipartiteCoverSolver::weight(UpdateNode u) const {
+template <typename Engine>
+Capacity BasicBipartiteCoverSolver<Engine>::weight(UpdateNode u) const {
   check_handle(u.index, u.generation, Side::kUpdate);
   return net_.edge(anchor_edge_[static_cast<std::size_t>(u.index)]).cap;
 }
 
-std::size_t BipartiteCoverSolver::degree(QueryNode q) const {
+template <typename Engine>
+std::size_t BasicBipartiteCoverSolver<Engine>::degree(QueryNode q) const {
   check_handle(q.index, q.generation, Side::kQuery);
   std::size_t n = 0;
   for (EdgeId e = net_.first_edge(q.index); e != kNoEdge;
@@ -101,7 +116,8 @@ std::size_t BipartiteCoverSolver::degree(QueryNode q) const {
   return n;
 }
 
-std::size_t BipartiteCoverSolver::degree(UpdateNode u) const {
+template <typename Engine>
+std::size_t BasicBipartiteCoverSolver<Engine>::degree(UpdateNode u) const {
   check_handle(u.index, u.generation, Side::kUpdate);
   std::size_t n = 0;
   for (EdgeId e = net_.first_edge(u.index); e != kNoEdge;
@@ -113,19 +129,22 @@ std::size_t BipartiteCoverSolver::degree(UpdateNode u) const {
   return n;
 }
 
-bool BipartiteCoverSolver::alive(QueryNode q) const {
+template <typename Engine>
+bool BasicBipartiteCoverSolver<Engine>::alive(QueryNode q) const {
   return q.index >= 0 && static_cast<std::size_t>(q.index) < side_.size() &&
          side_[static_cast<std::size_t>(q.index)] == Side::kQuery &&
          generation_[static_cast<std::size_t>(q.index)] == q.generation;
 }
 
-bool BipartiteCoverSolver::alive(UpdateNode u) const {
+template <typename Engine>
+bool BasicBipartiteCoverSolver<Engine>::alive(UpdateNode u) const {
   return u.index >= 0 && static_cast<std::size_t>(u.index) < side_.size() &&
          side_[static_cast<std::size_t>(u.index)] == Side::kUpdate &&
          generation_[static_cast<std::size_t>(u.index)] == u.generation;
 }
 
-void BipartiteCoverSolver::remove_update(UpdateNode u) {
+template <typename Engine>
+void BasicBipartiteCoverSolver<Engine>::remove_update(UpdateNode u) {
   check_handle(u.index, u.generation, Side::kUpdate);
   const EdgeId anchor = anchor_edge_[static_cast<std::size_t>(u.index)];
   // Cancel the flow routed through u: every unit entering via s->u leaves on
@@ -155,7 +174,8 @@ void BipartiteCoverSolver::remove_update(UpdateNode u) {
   cover_fresh_ = false;
 }
 
-void BipartiteCoverSolver::remove_query(QueryNode q) {
+template <typename Engine>
+void BasicBipartiteCoverSolver<Engine>::remove_query(QueryNode q) {
   check_handle(q.index, q.generation, Side::kQuery);
   DELTA_CHECK_MSG(degree(q) == 0,
                   "remove_query requires an isolated query vertex");
@@ -170,7 +190,8 @@ void BipartiteCoverSolver::remove_query(QueryNode q) {
   cover_fresh_ = false;
 }
 
-void BipartiteCoverSolver::remove_query_force(QueryNode q) {
+template <typename Engine>
+void BasicBipartiteCoverSolver<Engine>::remove_query_force(QueryNode q) {
   check_handle(q.index, q.generation, Side::kQuery);
   const EdgeId anchor = anchor_edge_[static_cast<std::size_t>(q.index)];
   // Cancel flow along every s -> u -> q path through this vertex.
@@ -198,40 +219,32 @@ void BipartiteCoverSolver::remove_query_force(QueryNode q) {
   cover_fresh_ = false;
 }
 
-std::vector<BipartiteCoverSolver::QueryNode> BipartiteCoverSolver::neighbors(
-    UpdateNode u) const {
-  check_handle(u.index, u.generation, Side::kUpdate);
+template <typename Engine>
+std::vector<typename BasicBipartiteCoverSolver<Engine>::QueryNode>
+BasicBipartiteCoverSolver<Engine>::neighbors(UpdateNode u) const {
   std::vector<QueryNode> out;
-  for (EdgeId e = net_.first_edge(u.index); e != kNoEdge;
-       e = net_.edge(e).next) {
-    const auto& ed = net_.edge(e);
-    if (ed.cap == 0) continue;  // the u->s anchor reverse
-    out.push_back(
-        QueryNode{ed.to, generation_[static_cast<std::size_t>(ed.to)]});
-  }
+  for_each_neighbor(u, [&out](QueryNode q) { out.push_back(q); });
   return out;
 }
 
-std::vector<BipartiteCoverSolver::UpdateNode> BipartiteCoverSolver::neighbors(
-    QueryNode q) const {
-  check_handle(q.index, q.generation, Side::kQuery);
+template <typename Engine>
+std::vector<typename BasicBipartiteCoverSolver<Engine>::UpdateNode>
+BasicBipartiteCoverSolver<Engine>::neighbors(QueryNode q) const {
   std::vector<UpdateNode> out;
-  for (EdgeId e = net_.first_edge(q.index); e != kNoEdge;
-       e = net_.edge(e).next) {
-    const auto& ed = net_.edge(e);
-    if (ed.cap > 0) continue;  // the q->t anchor
-    out.push_back(
-        UpdateNode{ed.to, generation_[static_cast<std::size_t>(ed.to)]});
-  }
+  for_each_neighbor(q, [&out](UpdateNode u) { out.push_back(u); });
   return out;
 }
 
-BipartiteCoverSolver::Cover BipartiteCoverSolver::compute() {
+template <typename Engine>
+const typename BasicBipartiteCoverSolver<Engine>::Cover&
+BasicBipartiteCoverSolver<Engine>::compute() {
   solver_.run_to_max();
   solver_.compute_reachability();
   cover_fresh_ = true;
 
-  Cover cover;
+  cover_.updates.clear();
+  cover_.queries.clear();
+  cover_.weight = 0;
   // Update vertices hang off the source's adjacency list (forward anchors).
   for (EdgeId e = net_.first_edge(source_); e != kNoEdge;
        e = net_.edge(e).next) {
@@ -239,9 +252,9 @@ BipartiteCoverSolver::Cover BipartiteCoverSolver::compute() {
     DELTA_DCHECK(ed.cap > 0);
     const NodeIndex u = ed.to;
     if (!solver_.reachable(u)) {
-      cover.updates.push_back(
+      cover_.updates.push_back(
           UpdateNode{u, generation_[static_cast<std::size_t>(u)]});
-      cover.weight += ed.cap;
+      cover_.weight += ed.cap;
     }
   }
   // Query vertices hang off the sink's adjacency list (anchor reverses).
@@ -252,38 +265,43 @@ BipartiteCoverSolver::Cover BipartiteCoverSolver::compute() {
     const NodeIndex q = ed.to;
     if (solver_.reachable(q)) {
       const EdgeId anchor = anchor_edge_[static_cast<std::size_t>(q)];
-      cover.queries.push_back(
+      cover_.queries.push_back(
           QueryNode{q, generation_[static_cast<std::size_t>(q)]});
-      cover.weight += net_.edge(anchor).cap;
+      cover_.weight += net_.edge(anchor).cap;
     }
   }
-  DELTA_CHECK_MSG(cover.weight == current_flow(),
+  DELTA_CHECK_MSG(cover_.weight == current_flow(),
                   "min-cut/max-flow duality violated: cover weight "
-                      << cover.weight << " vs flow " << current_flow());
-  return cover;
+                      << cover_.weight << " vs flow " << current_flow());
+  return cover_;
 }
 
-bool BipartiteCoverSolver::in_last_cover(UpdateNode u) const {
+template <typename Engine>
+bool BasicBipartiteCoverSolver<Engine>::in_last_cover(UpdateNode u) const {
   DELTA_CHECK_MSG(cover_fresh_, "cover queried after the graph changed");
   check_handle(u.index, u.generation, Side::kUpdate);
   return !solver_.reachable(u.index);
 }
 
-bool BipartiteCoverSolver::in_last_cover(QueryNode q) const {
+template <typename Engine>
+bool BasicBipartiteCoverSolver<Engine>::in_last_cover(QueryNode q) const {
   DELTA_CHECK_MSG(cover_fresh_, "cover queried after the graph changed");
   check_handle(q.index, q.generation, Side::kQuery);
   return solver_.reachable(q.index);
 }
 
-std::size_t BipartiteCoverSolver::interaction_count() const {
+template <typename Engine>
+std::size_t BasicBipartiteCoverSolver<Engine>::interaction_count() const {
   return net_.active_edge_count() - update_count_ - query_count_;
 }
 
-Capacity BipartiteCoverSolver::current_flow() const {
+template <typename Engine>
+Capacity BasicBipartiteCoverSolver<Engine>::current_flow() const {
   return net_.outflow(source_);
 }
 
-bool BipartiteCoverSolver::last_cover_is_valid() const {
+template <typename Engine>
+bool BasicBipartiteCoverSolver<Engine>::last_cover_is_valid() const {
   if (!cover_fresh_) return false;
   Capacity weight = 0;
   for (EdgeId e = net_.first_edge(source_); e != kNoEdge;
@@ -309,5 +327,8 @@ bool BipartiteCoverSolver::last_cover_is_valid() const {
   }
   return weight == net_.outflow(source_);
 }
+
+template class BasicBipartiteCoverSolver<Dinic>;
+template class BasicBipartiteCoverSolver<EdmondsKarp>;
 
 }  // namespace delta::flow

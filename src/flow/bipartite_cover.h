@@ -17,17 +17,28 @@
 //  * removals (the remainder-subgraph rule, object eviction/loading) cancel
 //    the flow routed through the removed vertex before deleting it, leaving
 //    a smaller but still feasible flow.
+//
+// The max-flow engine is a template parameter. The default is flow::Dinic
+// (level-graph blocking flow; its final failed BFS doubles as the min-cut
+// reachability pass). flow::EdmondsKarp is retained as an alternative
+// engine for differential testing — the two must produce identical covers,
+// not merely equal weights: the reachable set S is the *minimal* source-side
+// min cut, which is a flow-independent property of the network, so every
+// correct max-flow engine extracts the same cover
+// (tests/flow_property_test.cpp pins this).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "flow/dinic.h"
 #include "flow/edmonds_karp.h"
 #include "flow/network.h"
 
 namespace delta::flow {
 
-class BipartiteCoverSolver {
+template <typename Engine>
+class BasicBipartiteCoverSolver {
  public:
   /// Opaque handle to an update-side vertex.
   struct UpdateNode {
@@ -44,12 +55,13 @@ class BipartiteCoverSolver {
     friend bool operator==(QueryNode, QueryNode) = default;
   };
 
-  BipartiteCoverSolver();
+  BasicBipartiteCoverSolver();
 
   // The internal max-flow engine points into the owned network; copying or
   // moving would leave it dangling.
-  BipartiteCoverSolver(const BipartiteCoverSolver&) = delete;
-  BipartiteCoverSolver& operator=(const BipartiteCoverSolver&) = delete;
+  BasicBipartiteCoverSolver(const BasicBipartiteCoverSolver&) = delete;
+  BasicBipartiteCoverSolver& operator=(const BasicBipartiteCoverSolver&) =
+      delete;
 
   /// Adds an update vertex with weight w(u) (its network shipping cost).
   UpdateNode add_update(Capacity weight);
@@ -85,12 +97,34 @@ class BipartiteCoverSolver {
   /// ablation — disabling the remainder rule's memory).
   void remove_query_force(QueryNode q);
 
-  /// Query vertices currently adjacent to u (needed to prune queries that
-  /// become isolated when u is shipped and removed).
-  [[nodiscard]] std::vector<QueryNode> neighbors(UpdateNode u) const;
+  /// Visits the query vertices currently adjacent to u without allocating
+  /// (needed on the replay hot path when u is shipped and removed).
+  template <typename Fn>
+  void for_each_neighbor(UpdateNode u, Fn&& fn) const {
+    check_handle(u.index, u.generation, Side::kUpdate);
+    for (EdgeId e = net_.first_edge(u.index); e != kNoEdge;
+         e = net_.edge(e).next) {
+      const auto& ed = net_.edge(e);
+      if (ed.cap == 0) continue;  // the u->s anchor reverse
+      fn(QueryNode{ed.to, generation_[static_cast<std::size_t>(ed.to)]});
+    }
+  }
 
-  /// Update vertices currently adjacent to q (for neighborhood-signature
-  /// maintenance when merging query vertices).
+  /// Visits the update vertices currently adjacent to q without allocating
+  /// (for neighborhood-signature maintenance when merging query vertices).
+  template <typename Fn>
+  void for_each_neighbor(QueryNode q, Fn&& fn) const {
+    check_handle(q.index, q.generation, Side::kQuery);
+    for (EdgeId e = net_.first_edge(q.index); e != kNoEdge;
+         e = net_.edge(e).next) {
+      const auto& ed = net_.edge(e);
+      if (ed.cap > 0) continue;  // the q->t anchor
+      fn(UpdateNode{ed.to, generation_[static_cast<std::size_t>(ed.to)]});
+    }
+  }
+
+  /// Allocating snapshots of the adjacency (tests / non-hot callers).
+  [[nodiscard]] std::vector<QueryNode> neighbors(UpdateNode u) const;
   [[nodiscard]] std::vector<UpdateNode> neighbors(QueryNode q) const;
 
   /// Number of interaction edges currently incident to q.
@@ -109,8 +143,10 @@ class BipartiteCoverSolver {
   };
 
   /// Computes the minimum-weight vertex cover of the current graph,
-  /// augmenting incrementally from the previous flow.
-  Cover compute();
+  /// augmenting incrementally from the previous flow. The returned
+  /// reference points at solver-owned scratch, valid until the next
+  /// compute() call.
+  const Cover& compute();
 
   /// True when the given vertex was selected by the most recent compute().
   /// (Convenience for membership checks without scanning the Cover lists.)
@@ -134,7 +170,7 @@ class BipartiteCoverSolver {
   FlowNetwork net_;
   NodeIndex source_;
   NodeIndex sink_;
-  EdmondsKarp solver_;
+  Engine solver_;
 
   enum class Side : std::uint8_t { kFree, kUpdate, kQuery };
   std::vector<Side> side_;                // indexed by NodeIndex
@@ -143,9 +179,17 @@ class BipartiteCoverSolver {
   std::size_t update_count_ = 0;
   std::size_t query_count_ = 0;
   bool cover_fresh_ = false;
+  Cover cover_;  // compute() scratch, reused across calls
 
   void ensure_slot(NodeIndex v);
   void check_handle(NodeIndex v, std::uint32_t gen, Side side) const;
 };
+
+/// The production solver: Dinic-powered.
+using BipartiteCoverSolver = BasicBipartiteCoverSolver<Dinic>;
+
+// Both engines are compiled once in bipartite_cover.cpp.
+extern template class BasicBipartiteCoverSolver<Dinic>;
+extern template class BasicBipartiteCoverSolver<EdmondsKarp>;
 
 }  // namespace delta::flow

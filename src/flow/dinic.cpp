@@ -1,92 +1,98 @@
 #include "flow/dinic.h"
 
 #include <algorithm>
-#include <vector>
 
 namespace delta::flow {
 
-namespace {
-
-class DinicSolver {
- public:
-  DinicSolver(FlowNetwork& net, NodeIndex source, NodeIndex sink)
-      : net_(net),
-        source_(source),
-        sink_(sink),
-        level_(net.node_bound(), -1),
-        current_arc_(net.node_bound(), kNoEdge) {}
-
-  Capacity run() {
-    while (build_levels()) {
-      for (std::size_t v = 0; v < current_arc_.size(); ++v) {
-        current_arc_[v] =
-            net_.is_active(static_cast<NodeIndex>(v))
-                ? net_.first_edge(static_cast<NodeIndex>(v))
-                : kNoEdge;
-      }
-      while (push_blocking(source_, kInfiniteCapacity) > 0) {
-      }
-    }
-    return net_.outflow(source_);
-  }
-
- private:
-  FlowNetwork& net_;
-  NodeIndex source_;
-  NodeIndex sink_;
-  std::vector<int> level_;
-  std::vector<EdgeId> current_arc_;
-  std::vector<NodeIndex> queue_;
-
-  bool build_levels() {
-    std::fill(level_.begin(), level_.end(), -1);
-    queue_.clear();
-    queue_.push_back(source_);
-    level_[static_cast<std::size_t>(source_)] = 0;
-    for (std::size_t qi = 0; qi < queue_.size(); ++qi) {
-      const NodeIndex v = queue_[qi];
-      for (EdgeId e = net_.first_edge(v); e != kNoEdge;
-           e = net_.edge(e).next) {
-        if (net_.residual(e) <= 0) continue;
-        const NodeIndex w = net_.edge(e).to;
-        if (level_[static_cast<std::size_t>(w)] != -1) continue;
-        level_[static_cast<std::size_t>(w)] =
-            level_[static_cast<std::size_t>(v)] + 1;
-        queue_.push_back(w);
-      }
-    }
-    return level_[static_cast<std::size_t>(sink_)] != -1;
-  }
-
-  Capacity push_blocking(NodeIndex v, Capacity limit) {
-    if (v == sink_) return limit;
-    auto& arc = current_arc_[static_cast<std::size_t>(v)];
-    while (arc != kNoEdge) {
-      const auto& ed = net_.edge(arc);
-      const NodeIndex w = ed.to;
-      if (net_.residual(arc) > 0 &&
-          level_[static_cast<std::size_t>(w)] ==
-              level_[static_cast<std::size_t>(v)] + 1) {
-        const Capacity pushed =
-            push_blocking(w, std::min(limit, net_.residual(arc)));
-        if (pushed > 0) {
-          net_.add_flow(arc, pushed);
-          return pushed;
-        }
-      }
-      arc = ed.next;
-    }
-    return 0;
-  }
-};
-
-}  // namespace
-
-Capacity max_flow_dinic(FlowNetwork& net, NodeIndex source, NodeIndex sink) {
+Dinic::Dinic(FlowNetwork& net, NodeIndex source, NodeIndex sink)
+    : net_(&net), source_(source), sink_(sink) {
   DELTA_CHECK(net.is_active(source));
   DELTA_CHECK(net.is_active(sink));
   DELTA_CHECK(source != sink);
-  return DinicSolver{net, source, sink}.run();
+}
+
+bool Dinic::build_levels() {
+  const std::size_t bound = net_->node_bound();
+  if (level_.size() < bound) {
+    level_.resize(bound, -1);
+    current_arc_.resize(bound, kNoEdge);
+  }
+  std::fill(level_.begin(), level_.end(), -1);
+  ++bfs_count_;
+  queue_.clear();
+  queue_.push_back(source_);
+  level_[static_cast<std::size_t>(source_)] = 0;
+  for (std::size_t qi = 0; qi < queue_.size(); ++qi) {
+    const NodeIndex v = queue_[qi];
+    for (EdgeId e = net_->first_edge(v); e != kNoEdge;
+         e = net_->edge(e).next) {
+      if (net_->residual(e) <= 0) continue;
+      const NodeIndex w = net_->edge(e).to;
+      if (level_[static_cast<std::size_t>(w)] != -1) continue;
+      level_[static_cast<std::size_t>(w)] =
+          level_[static_cast<std::size_t>(v)] + 1;
+      queue_.push_back(w);
+    }
+  }
+  return level_[static_cast<std::size_t>(sink_)] != -1;
+}
+
+Capacity Dinic::push_blocking(NodeIndex v, Capacity limit) {
+  if (v == sink_) return limit;
+  EdgeId& arc = current_arc_[static_cast<std::size_t>(v)];
+  while (arc != kNoEdge) {
+    const auto& ed = net_->edge(arc);
+    const NodeIndex w = ed.to;
+    if (net_->residual(arc) > 0 &&
+        level_[static_cast<std::size_t>(w)] ==
+            level_[static_cast<std::size_t>(v)] + 1) {
+      const Capacity pushed =
+          push_blocking(w, std::min(limit, net_->residual(arc)));
+      if (pushed > 0) {
+        net_->add_flow(arc, pushed);
+        return pushed;
+      }
+    }
+    arc = ed.next;
+  }
+  return 0;
+}
+
+Capacity Dinic::run_to_max() {
+  levels_current_ = false;
+  const Capacity before = net_->outflow(source_);
+  while (build_levels()) {
+    // Reset the per-node arc cursors only for nodes the BFS reached — the
+    // blocking-flow DFS never leaves the level graph.
+    for (const NodeIndex v : queue_) {
+      current_arc_[static_cast<std::size_t>(v)] = net_->first_edge(v);
+    }
+    while (push_blocking(source_, kInfiniteCapacity) > 0) {
+    }
+  }
+  // The failed build marks exactly the residual-reachable nodes: this is
+  // the min-cut reachability compute_reachability() hands out.
+  levels_current_ = true;
+  return net_->outflow(source_) - before;
+}
+
+Capacity Dinic::total_flow() const { return net_->outflow(source_); }
+
+void Dinic::compute_reachability() {
+  if (levels_current_) return;  // run_to_max's final BFS already did it
+  build_levels();
+  levels_current_ = true;
+}
+
+bool Dinic::reachable(NodeIndex v) const {
+  DELTA_DCHECK(v >= 0 && static_cast<std::size_t>(v) < level_.size());
+  return level_[static_cast<std::size_t>(v)] != -1;
+}
+
+Capacity max_flow_dinic(FlowNetwork& net, NodeIndex source, NodeIndex sink) {
+  Dinic dinic{net, source, sink};
+  dinic.run_to_max();
+  return dinic.total_flow();
 }
 
 }  // namespace delta::flow

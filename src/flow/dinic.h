@@ -1,12 +1,70 @@
-// Dinic's max-flow algorithm (level graph + blocking flow). Not used on the
-// middleware hot path — the incremental Edmonds–Karp is — but kept as an
-// independently-implemented oracle for correctness tests and as the
-// comparison point in the flow micro benchmark (ablation A6).
+// Dinic's max-flow algorithm (level graph + blocking flow), in two forms:
+//
+//  * class Dinic — the incremental engine behind BipartiteCoverSolver's
+//    cover computation. Like EdmondsKarp it augments whatever feasible flow
+//    the network currently carries, so additions since the last compute()
+//    only cost the difference; unlike EdmondsKarp it saturates whole level
+//    graphs per BFS (O(V^2 E) worst case vs O(V E^2)), and its final failed
+//    level build doubles as the min-cut reachability pass, so a cover
+//    computation that is already maximal costs exactly one BFS. All scratch
+//    (level array, queue, current-arc cursors) is owned by the engine and
+//    reused across calls — no per-compute() allocation once warm.
+//
+//  * max_flow_dinic — the one-shot free function, kept as the
+//    independently-implemented oracle for correctness tests and the flow
+//    micro benchmark (ablation A6).
 #pragma once
+
+#include <cstdint>
+#include <vector>
 
 #include "flow/network.h"
 
 namespace delta::flow {
+
+class Dinic {
+ public:
+  /// Binds to a network whose flow it will maintain. The network may gain
+  /// and lose nodes/edges between calls as long as the flow stays feasible.
+  Dinic(FlowNetwork& net, NodeIndex source, NodeIndex sink);
+
+  /// Augments the current flow to a maximum flow; returns the flow added by
+  /// this call (zero when the existing flow was already maximum).
+  Capacity run_to_max();
+
+  /// Current total flow out of the source.
+  [[nodiscard]] Capacity total_flow() const;
+
+  /// Makes `reachable(v)` answer membership in the source side of a min
+  /// cut. Must be called after run_to_max() with the network unchanged in
+  /// between (the only state in which residual reachability defines a min
+  /// cut); in that state the final level build of run_to_max() already
+  /// holds the answer, so this is O(1).
+  void compute_reachability();
+  [[nodiscard]] bool reachable(NodeIndex v) const;
+
+  /// Cumulative number of level-graph BFS builds (the engine's unit of
+  /// search work, comparable to EdmondsKarp::bfs_count's augmenting-path
+  /// searches in the incremental-cover micro benchmark).
+  [[nodiscard]] std::int64_t bfs_count() const { return bfs_count_; }
+
+ private:
+  FlowNetwork* net_;
+  NodeIndex source_;
+  NodeIndex sink_;
+
+  // Scratch reused across calls; resized (never shrunk) to node_bound().
+  std::vector<int> level_;
+  std::vector<EdgeId> current_arc_;
+  std::vector<NodeIndex> queue_;
+  std::int64_t bfs_count_ = 0;
+  /// True while level_ reflects a BFS over the *final* residual graph of
+  /// the last run_to_max() (i.e. the one that failed to reach the sink).
+  bool levels_current_ = false;
+
+  bool build_levels();
+  Capacity push_blocking(NodeIndex v, Capacity limit);
+};
 
 /// Augments the network's current flow to a maximum flow using Dinic's
 /// algorithm and returns the final total flow out of `source`.

@@ -62,6 +62,11 @@ struct Message {
   /// Originating endpoint, so a multi-endpoint server can address its reply
   /// (part of the modeled fixed-size header, not extra payload).
   std::string sender;
+  /// Fast-path sender identity: the server-assigned cache slot
+  /// (ServerNode::attach_cache) carried by cache->server requests so the
+  /// server resolves the sender without a name lookup. -1 = unset; the
+  /// receiver then falls back to resolving `sender` by name.
+  std::int32_t sender_slot = -1;
 };
 
 }  // namespace delta::net

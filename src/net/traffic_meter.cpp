@@ -9,7 +9,8 @@ namespace delta::net {
 
 // Relaxed ordering throughout: the counters are pure accumulators with no
 // inter-variable invariants to publish; cross-thread visibility at read
-// time is provided by the engine's join/merge barrier.
+// time is provided by the engine's join/merge barrier. record() lives in
+// the header (hot path).
 
 TrafficMeter::TrafficMeter(const TrafficMeter& other) { *this = other; }
 
@@ -21,13 +22,6 @@ TrafficMeter& TrafficMeter::operator=(const TrafficMeter& other) {
                      std::memory_order_relaxed);
   }
   return *this;
-}
-
-void TrafficMeter::record(Mechanism mechanism, Bytes bytes) {
-  DELTA_CHECK(bytes.count() >= 0);
-  const auto i = static_cast<std::size_t>(mechanism);
-  totals_[i].fetch_add(bytes.count(), std::memory_order_relaxed);
-  counts_[i].fetch_add(1, std::memory_order_relaxed);
 }
 
 Bytes TrafficMeter::total(Mechanism mechanism) const {

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "net/message.h"
+#include "util/check.h"
 #include "util/types.h"
 
 namespace delta::net {
@@ -36,14 +37,19 @@ inline constexpr std::size_t kMechanismCount = 4;
   return "?";
 }
 
-/// Thread-safety contract: record() may be called concurrently — each
-/// (mechanism, bytes, count) accumulation is atomic, so totals over any set
-/// of concurrent recorders are exact. Readers see individually-atomic
-/// counters; a *consistent snapshot across mechanisms* (e.g. the warm-up
-/// boundary captures in sim/) additionally requires that no writer is
-/// concurrent, which the simulation engines guarantee by confining each
-/// meter to one worker between merge barriers. reset() has the same
-/// quiescence requirement.
+/// Thread-safety contract: single writer, concurrent readers. At most one
+/// thread may call record()/reset() on a meter at a time — exactly how the
+/// simulation engines use meters (each replica's meters are confined to one
+/// worker between the launch and join barriers). Under that contract the
+/// counters are written with plain (non-read-modify-write) relaxed atomic
+/// stores, so recording costs ordinary loads and stores on the replay hot
+/// path; storage stays atomic so a concurrent *reader* (e.g. a progress
+/// observer) sees untorn, monotonically-growing values. A consistent
+/// snapshot across mechanisms (the warm-up boundary captures in sim/)
+/// additionally requires writer quiescence, which the engines' barriers
+/// provide. Totals over concurrent writers to the SAME meter are NOT exact
+/// — give each writer its own meter and fold after the barrier, as the
+/// parallel engine does (tests/net_test.cpp pins this model).
 class TrafficMeter {
  public:
   TrafficMeter() = default;
@@ -52,7 +58,18 @@ class TrafficMeter {
   TrafficMeter(const TrafficMeter& other);
   TrafficMeter& operator=(const TrafficMeter& other);
 
-  void record(Mechanism mechanism, Bytes bytes);
+  /// Inline: this is the single hottest call in the replay loop (four per
+  /// delivered message across the aggregate and endpoint meters).
+  void record(Mechanism mechanism, Bytes bytes) {
+    DELTA_CHECK(bytes.count() >= 0);
+    const auto i = static_cast<std::size_t>(mechanism);
+    // Single-writer contract: load+store, not fetch_add (see class docs).
+    totals_[i].store(totals_[i].load(std::memory_order_relaxed) +
+                         bytes.count(),
+                     std::memory_order_relaxed);
+    counts_[i].store(counts_[i].load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+  }
 
   [[nodiscard]] Bytes total(Mechanism mechanism) const;
 

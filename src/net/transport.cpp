@@ -16,15 +16,18 @@ const LoopbackTransport::Endpoint* LoopbackTransport::find(
   return it == index_.end() ? nullptr : &endpoints_[it->second];
 }
 
-void LoopbackTransport::register_endpoint(const std::string& name,
-                                          MessageHandler handler) {
+std::size_t LoopbackTransport::register_endpoint(const std::string& name,
+                                                 MessageHandler handler) {
   DELTA_CHECK(handler != nullptr);
-  if (Endpoint* existing = find(name)) {
-    existing->handler = std::move(handler);  // meter survives re-wiring
-  } else {
-    index_.emplace(name, endpoints_.size());
-    endpoints_.push_back(Endpoint{name, std::move(handler), TrafficMeter{}});
+  const auto it = index_.find(name);
+  if (it != index_.end()) {
+    endpoints_[it->second].handler = std::move(handler);  // meter survives
+    return it->second;
   }
+  const std::size_t slot = endpoints_.size();
+  index_.emplace(name, slot);
+  endpoints_.push_back(Endpoint{name, std::move(handler), TrafficMeter{}});
+  return slot;
 }
 
 void LoopbackTransport::send(const std::string& destination,
@@ -32,12 +35,30 @@ void LoopbackTransport::send(const std::string& destination,
   Endpoint* endpoint = find(destination);
   DELTA_CHECK_MSG(endpoint != nullptr,
                   "unknown endpoint '" << destination << "'");
+  deliver(*endpoint, message, mechanism);
+}
+
+std::size_t LoopbackTransport::endpoint_slot(const std::string& name) const {
+  const auto it = index_.find(name);
+  DELTA_CHECK_MSG(it != index_.end(), "unknown endpoint '" << name << "'");
+  return it->second;
+}
+
+void LoopbackTransport::send_to(std::size_t destination_slot,
+                                const Message& message, Mechanism mechanism) {
+  DELTA_CHECK_MSG(destination_slot < endpoints_.size(),
+                  "unknown endpoint slot " << destination_slot);
+  deliver(endpoints_[destination_slot], message, mechanism);
+}
+
+void LoopbackTransport::deliver(Endpoint& endpoint, const Message& message,
+                                Mechanism mechanism) {
   meter_.record(mechanism, message.payload);
   meter_.record(Mechanism::kOverhead, kMessageHeaderBytes);
-  endpoint->meter.record(mechanism, message.payload);
-  endpoint->meter.record(Mechanism::kOverhead, kMessageHeaderBytes);
+  endpoint.meter.record(mechanism, message.payload);
+  endpoint.meter.record(Mechanism::kOverhead, kMessageHeaderBytes);
   ++delivered_;
-  endpoint->handler(message);
+  endpoint.handler(message);
 }
 
 bool LoopbackTransport::has_endpoint(const std::string& name) const {

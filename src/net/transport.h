@@ -34,15 +34,26 @@ class Transport {
   virtual ~Transport() = default;
 
   /// Registers (or replaces) the handler for a destination endpoint.
-  /// Re-registration keeps the endpoint's accumulated meter.
-  virtual void register_endpoint(const std::string& name,
-                                 MessageHandler handler) = 0;
+  /// Re-registration keeps the endpoint's accumulated meter (and slot).
+  /// Returns the endpoint's stable slot, usable with send_to().
+  virtual std::size_t register_endpoint(const std::string& name,
+                                        MessageHandler handler) = 0;
 
   /// Delivers `message` to `destination`, accounting `message.payload`
   /// under `mechanism` and the header under overhead. Delivery to an
   /// unregistered endpoint is a checked failure.
   virtual void send(const std::string& destination, const Message& message,
                     Mechanism mechanism) = 0;
+
+  /// Slot of a registered endpoint (checked failure if unknown). Resolve
+  /// once, then address messages with send_to — the per-message name hash
+  /// is measurable on the replay hot path.
+  [[nodiscard]] virtual std::size_t endpoint_slot(
+      const std::string& name) const = 0;
+
+  /// send() addressed by slot instead of name: O(1), no hashing.
+  virtual void send_to(std::size_t destination_slot, const Message& message,
+                       Mechanism mechanism) = 0;
 
   /// Aggregate accounting across all endpoints.
   [[nodiscard]] virtual const TrafficMeter& meter() const = 0;
@@ -64,11 +75,17 @@ class Transport {
 /// Synchronous in-process transport with deterministic delivery order.
 class LoopbackTransport final : public Transport {
  public:
-  void register_endpoint(const std::string& name,
-                         MessageHandler handler) override;
+  std::size_t register_endpoint(const std::string& name,
+                                MessageHandler handler) override;
 
   void send(const std::string& destination, const Message& message,
             Mechanism mechanism) override;
+
+  [[nodiscard]] std::size_t endpoint_slot(
+      const std::string& name) const override;
+
+  void send_to(std::size_t destination_slot, const Message& message,
+               Mechanism mechanism) override;
 
   [[nodiscard]] const TrafficMeter& meter() const override { return meter_; }
   TrafficMeter& meter() override { return meter_; }
@@ -89,6 +106,8 @@ class LoopbackTransport final : public Transport {
 
   [[nodiscard]] Endpoint* find(const std::string& name);
   [[nodiscard]] const Endpoint* find(const std::string& name) const;
+  void deliver(Endpoint& endpoint, const Message& message,
+               Mechanism mechanism);
 
   /// Deque so endpoint meters stay at stable addresses as later endpoints
   /// register — callers may hold endpoint_meter() references long-term.

@@ -11,10 +11,20 @@ namespace delta::sim {
 // N endpoints, and MultiCacheSimTest.OneEndpointReproducesSingleCache-
 // ByteForByte pins the two loops to byte-identical results — change replay
 // semantics in both places together.
+//
+// DETERMINISM CONSTRAINT (golden tables): tests/sim_golden_test.cpp pins
+// this loop's figures byte-for-byte. The policies it drives keep hot state
+// in util::FlatMap, whose visit order depends on insertion history — so no
+// policy decision may depend on map iteration order. Where a fold over a
+// map picks a winner it must carry an explicit (value, id) tie-break, and
+// batch decisions must be totally ordered by an explicit sort (see the
+// audit notes at each for_each call site; regression-pinned by
+// tests/iteration_order_test.cpp).
 RunResult run_policy(const workload::Trace& trace,
                      core::DeltaSystem& system, core::CachePolicy& policy,
                      std::int64_t series_stride,
-                     const LatencyModel& latency) {
+                     const LatencyModel& latency,
+                     util::QuantileSketch* latency_sink) {
   const auto start = std::chrono::steady_clock::now();
 
   RunResult result;
@@ -73,6 +83,7 @@ RunResult run_policy(const workload::Trace& trace,
       result.objects_loaded += outcome.objects_loaded;
       if (now >= trace.info.warmup_end_event) {
         result.postwarmup_latency.add(seconds);
+        if (latency_sink != nullptr) latency_sink->add(seconds);
       }
     }
     result.series.observe(now, meter.figure_total().as_double());

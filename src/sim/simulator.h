@@ -56,10 +56,13 @@ struct LatencyModel {
 
 /// Replays the trace through the policy. The system must have been freshly
 /// constructed from the same trace (server sizes start at the initial
-/// state).
+/// state). When `latency_sink` is non-null every post-warm-up per-query
+/// latency sample is also appended to it (the perf-trajectory bench uses
+/// this for percentiles; RunResult itself only carries streaming moments).
 RunResult run_policy(const workload::Trace& trace,
                      core::DeltaSystem& system, core::CachePolicy& policy,
                      std::int64_t series_stride = 2000,
-                     const LatencyModel& latency = LatencyModel{});
+                     const LatencyModel& latency = LatencyModel{},
+                     util::QuantileSketch* latency_sink = nullptr);
 
 }  // namespace delta::sim

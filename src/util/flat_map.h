@@ -1,0 +1,235 @@
+// Open-addressing hash containers for the middleware's small-key hot state.
+//
+// Every per-event lookup in the replay loop — cache residency, LRU/GDS
+// bookkeeping, load-manager counters, preship heat, the UpdateManager's
+// object/node maps — is keyed by an ObjectId or a small int. node-based
+// std::unordered_map pays a heap allocation per insert and a pointer chase
+// per find on exactly this state; FlatMap keeps keys and values in flat
+// arrays (struct-of-arrays, so probing touches only the key lane), probes
+// linearly over a power-of-two table, and erases by backward shifting, so
+// the table never accumulates tombstones and memory stays proportional to
+// live entries.
+//
+// Contract:
+//  * Key is an integral type or a strong id exposing `.value()` (see
+//    util/types.h); hashing is a fixed Fibonacci mix of that raw value, so
+//    slot order is deterministic across platforms and standard libraries —
+//    unlike std::unordered_map, whose iteration order is
+//    implementation-defined.
+//  * Value must be default-constructible and movable (moved on growth and
+//    on backward-shift deletion).
+//  * Iteration (`for_each`) visits live entries in slot order, which
+//    depends on the insertion/erasure history. Callers whose observable
+//    decisions could depend on visit order must impose an explicit order
+//    (see the determinism audit notes at each call site; pinned by
+//    tests/iteration_order_test.cpp).
+//  * Pointers returned by find()/operator[] are invalidated by any insert
+//    or erase (the table may grow or shift).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace delta::util {
+
+namespace detail {
+
+template <typename Key>
+[[nodiscard]] constexpr std::uint64_t flat_raw_key(Key key) {
+  if constexpr (std::is_integral_v<Key>) {
+    return static_cast<std::uint64_t>(key);
+  } else {
+    return static_cast<std::uint64_t>(key.value());
+  }
+}
+
+}  // namespace detail
+
+template <typename Key, typename Value>
+class FlatMap {
+ public:
+  FlatMap() = default;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  void clear() {
+    std::fill(used_.begin(), used_.end(), std::uint8_t{0});
+    for (Value& v : values_) v = Value{};
+    size_ = 0;
+  }
+
+  /// Ensures capacity for `n` entries without rehashing.
+  void reserve(std::size_t n) {
+    std::size_t cap = kMinCapacity;
+    while (cap * 3 < n * 4) cap <<= 1;  // target load factor <= 0.75
+    if (cap > capacity()) rehash(cap);
+  }
+
+  [[nodiscard]] bool contains(Key key) const { return find(key) != nullptr; }
+
+  [[nodiscard]] Value* find(Key key) {
+    const std::size_t i = find_slot(key);
+    return i == kNoSlot ? nullptr : &values_[i];
+  }
+  [[nodiscard]] const Value* find(Key key) const {
+    const std::size_t i = find_slot(key);
+    return i == kNoSlot ? nullptr : &values_[i];
+  }
+
+  /// Inserts a default-constructed value if the key is absent.
+  Value& operator[](Key key) { return *try_emplace(key).first; }
+
+  /// Inserts `Value{args...}` if absent; returns (value pointer, inserted).
+  template <typename... Args>
+  std::pair<Value*, bool> try_emplace(Key key, Args&&... args) {
+    if ((size_ + 1) * 4 > capacity() * 3) rehash(capacity() * 2);
+    std::size_t i = home(key);
+    while (used_[i]) {
+      if (keys_[i] == key) return {&values_[i], false};
+      i = (i + 1) & mask_;
+    }
+    used_[i] = 1;
+    keys_[i] = key;
+    values_[i] = Value{std::forward<Args>(args)...};
+    ++size_;
+    return {&values_[i], true};
+  }
+
+  void insert_or_assign(Key key, Value value) {
+    *try_emplace(key).first = std::move(value);
+  }
+
+  /// Removes the key if present (backward-shift deletion: subsequent probe
+  /// chains are compacted, never tombstoned). Returns true when erased.
+  bool erase(Key key) {
+    std::size_t i = find_slot(key);
+    if (i == kNoSlot) return false;
+    // Walk the probe chain after i; any entry whose home slot lies
+    // cyclically outside (i, j] can legally move back to fill the hole.
+    std::size_t j = i;
+    while (true) {
+      j = (j + 1) & mask_;
+      if (!used_[j]) break;
+      const std::size_t h = home(keys_[j]);
+      const bool home_in_gap =
+          i <= j ? (i < h && h <= j) : (h > i || h <= j);
+      if (!home_in_gap) {
+        keys_[i] = keys_[j];
+        values_[i] = std::move(values_[j]);
+        i = j;
+      }
+    }
+    used_[i] = 0;
+    values_[i] = Value{};  // release held resources promptly
+    --size_;
+    return true;
+  }
+
+  /// Visits every live (key, value) pair in slot order. The order depends
+  /// on insertion history: callers must not let observable decisions depend
+  /// on it (see the header contract).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < used_.size(); ++i) {
+      if (used_[i]) fn(keys_[i], values_[i]);
+    }
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (std::size_t i = 0; i < used_.size(); ++i) {
+      if (used_[i]) fn(keys_[i], values_[i]);
+    }
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return keys_.size(); }
+
+ private:
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kMinCapacity = 16;
+  // Fibonacci multiplicative hashing: a fixed odd multiplier spreads
+  // consecutive ids across the table while staying allocation- and
+  // platform-independent.
+  static constexpr std::uint64_t kMix = 0x9E3779B97F4A7C15ULL;
+
+  std::vector<Key> keys_;
+  std::vector<Value> values_;
+  std::vector<std::uint8_t> used_;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+  int shift_ = 64;
+
+  [[nodiscard]] std::size_t home(Key key) const {
+    return static_cast<std::size_t>(
+        (detail::flat_raw_key(key) * kMix) >> shift_);
+  }
+
+  [[nodiscard]] std::size_t find_slot(Key key) const {
+    if (size_ == 0) return kNoSlot;
+    std::size_t i = home(key);
+    while (used_[i]) {
+      if (keys_[i] == key) return i;
+      i = (i + 1) & mask_;
+    }
+    return kNoSlot;
+  }
+
+  void rehash(std::size_t new_capacity) {
+    if (new_capacity < kMinCapacity) new_capacity = kMinCapacity;
+    DELTA_DCHECK((new_capacity & (new_capacity - 1)) == 0);
+    std::vector<Key> old_keys = std::move(keys_);
+    std::vector<Value> old_values = std::move(values_);
+    std::vector<std::uint8_t> old_used = std::move(used_);
+    keys_.assign(new_capacity, Key{});
+    values_.clear();
+    values_.resize(new_capacity);
+    used_.assign(new_capacity, 0);
+    mask_ = new_capacity - 1;
+    shift_ = 64;
+    for (std::size_t c = new_capacity; c > 1; c >>= 1) --shift_;
+    for (std::size_t i = 0; i < old_used.size(); ++i) {
+      if (!old_used[i]) continue;
+      std::size_t j = home(old_keys[i]);
+      while (used_[j]) j = (j + 1) & mask_;
+      used_[j] = 1;
+      keys_[j] = old_keys[i];
+      values_[j] = std::move(old_values[i]);
+    }
+  }
+};
+
+/// FlatMap with no payload: membership only.
+template <typename Key>
+class FlatSet {
+ public:
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] bool empty() const { return map_.empty(); }
+  void clear() { map_.clear(); }
+  void reserve(std::size_t n) { map_.reserve(n); }
+
+  /// Returns true when newly inserted.
+  bool insert(Key key) { return map_.try_emplace(key).second; }
+  bool erase(Key key) { return map_.erase(key); }
+  [[nodiscard]] bool contains(Key key) const { return map_.contains(key); }
+  /// std::set-compatible membership count (0 or 1).
+  [[nodiscard]] std::size_t count(Key key) const {
+    return map_.contains(key) ? 1 : 0;
+  }
+
+  /// Visits members in slot order (same caveats as FlatMap::for_each).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    map_.for_each([&fn](Key key, const Empty&) { fn(key); });
+  }
+
+ private:
+  struct Empty {};
+  FlatMap<Key, Empty> map_;
+};
+
+}  // namespace delta::util

@@ -10,19 +10,6 @@ CumulativeSeries::CumulativeSeries(std::int64_t stride) : stride_(stride) {
   DELTA_CHECK(stride > 0);
 }
 
-void CumulativeSeries::observe(std::int64_t event_index,
-                               double cumulative_value) {
-  DELTA_CHECK(event_index >= last_index_);
-  last_index_ = event_index;
-  last_value_ = cumulative_value;
-  last_recorded_ = false;
-  if (event_index >= next_sample_) {
-    points_.push_back({event_index, cumulative_value});
-    next_sample_ = event_index + stride_;
-    last_recorded_ = true;
-  }
-}
-
 void CumulativeSeries::finalize() {
   if (!last_recorded_ && last_index_ >= 0) {
     points_.push_back({last_index_, last_value_});

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/check.h"
 #include "util/types.h"
 
 namespace delta::util {
@@ -16,8 +17,19 @@ class CumulativeSeries {
   explicit CumulativeSeries(std::int64_t stride = 1000);
 
   /// Observe the cumulative value at the given event index. Indices must be
-  /// non-decreasing across calls.
-  void observe(std::int64_t event_index, double cumulative_value);
+  /// non-decreasing across calls. Inline: called once per replayed event
+  /// per tracked series.
+  void observe(std::int64_t event_index, double cumulative_value) {
+    DELTA_CHECK(event_index >= last_index_);
+    last_index_ = event_index;
+    last_value_ = cumulative_value;
+    last_recorded_ = false;
+    if (event_index >= next_sample_) {
+      points_.push_back({event_index, cumulative_value});
+      next_sample_ = event_index + stride_;
+      last_recorded_ = true;
+    }
+  }
 
   /// Force-record the latest observed point (call once at end of run).
   void finalize();

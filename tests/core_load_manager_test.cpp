@@ -29,12 +29,14 @@ struct Sizes {
   }
 };
 
-std::int64_t proposals_in(const LoadManager::Proposal& p) {
-  std::int64_t n = 0;
-  for (const auto& batch : p.batches) {
-    n += static_cast<std::int64_t>(batch.size());
-  }
-  return n;
+/// Runs one attribution walk and returns the number of proposed candidates.
+/// (consider() shuffles the missing list in place, so feed it a copy.)
+template <typename SizeFn, typename CostFn>
+std::int64_t propose(LoadManager& lm, const workload::Query& q,
+                     std::vector<ObjectId> missing, SizeFn&& size_fn,
+                     CostFn&& cost_fn) {
+  return static_cast<std::int64_t>(
+      lm.consider(q, missing, size_fn, cost_fn).size());
 }
 
 // Counter mode: the object is proposed exactly once per l(o) bytes of
@@ -46,9 +48,8 @@ TEST(LoadManagerTest, CounterModeProposesExactlyOncePerLoadCost) {
   const ObjectId o{0};
   std::int64_t proposals = 0;
   for (int i = 1; i <= 20; ++i) {
-    const auto p = lm.consider(query_costing(250), {o}, sizes.size_fn(),
-                               sizes.cost_fn());
-    proposals += proposals_in(p);
+    proposals += propose(lm, query_costing(250), {o}, sizes.size_fn(),
+                         sizes.cost_fn());
     // 250 bytes per query against l=1000: a proposal exactly at every
     // 4th query, i.e. exactly once per 1000 attributed bytes.
     EXPECT_EQ(proposals, i / 4) << "after query " << i;
@@ -61,9 +62,9 @@ TEST(LoadManagerTest, CounterModeAttributionIsCappedByQueryCost) {
   const Sizes sizes;
   // One query shipping more than 2*l(o) still proposes the object once:
   // attribution per query is capped at l(o) (share = min(budget, l)).
-  const auto p = lm.consider(query_costing(5000), {ObjectId{0}},
-                             sizes.size_fn(), sizes.cost_fn());
-  EXPECT_EQ(proposals_in(p), 1);
+  EXPECT_EQ(propose(lm, query_costing(5000), {ObjectId{0}}, sizes.size_fn(),
+                    sizes.cost_fn()),
+            1);
 }
 
 TEST(LoadManagerTest, BudgetWalksAcrossMissingObjects) {
@@ -72,15 +73,13 @@ TEST(LoadManagerTest, BudgetWalksAcrossMissingObjects) {
   // Cost 1000 over two missing objects of l=1000 each: the walk funds the
   // first object in (shuffled) order fully; the second accrues nothing
   // (budget exhausted). Exactly one proposal either way.
-  const auto p =
-      lm.consider(query_costing(1000), {ObjectId{0}, ObjectId{1}},
-                  sizes.size_fn(), sizes.cost_fn());
-  EXPECT_EQ(proposals_in(p), 1);
+  EXPECT_EQ(propose(lm, query_costing(1000), {ObjectId{0}, ObjectId{1}},
+                    sizes.size_fn(), sizes.cost_fn()),
+            1);
   // A second identical query funds the other object to its threshold too.
-  const auto p2 =
-      lm.consider(query_costing(1000), {ObjectId{0}, ObjectId{1}},
-                  sizes.size_fn(), sizes.cost_fn());
-  EXPECT_EQ(proposals_in(p2), 1);
+  EXPECT_EQ(propose(lm, query_costing(1000), {ObjectId{0}, ObjectId{1}},
+                    sizes.size_fn(), sizes.cost_fn()),
+            1);
 }
 
 // Randomized mode matches the counter rule in expectation: over a long
@@ -97,10 +96,10 @@ TEST(LoadManagerTest, RandomizedModeMatchesCounterModeInExpectation) {
   std::int64_t exact_count = 0;
   std::int64_t randomized_count = 0;
   for (int i = 0; i < kQueries; ++i) {
-    exact_count += proposals_in(exact.consider(
-        query_costing(kCost), {o}, sizes.size_fn(), sizes.cost_fn()));
-    randomized_count += proposals_in(randomized.consider(
-        query_costing(kCost), {o}, sizes.size_fn(), sizes.cost_fn()));
+    exact_count += propose(exact, query_costing(kCost), {o}, sizes.size_fn(),
+                           sizes.cost_fn());
+    randomized_count += propose(randomized, query_costing(kCost), {o},
+                                sizes.size_fn(), sizes.cost_fn());
   }
   // The exact rule: 5000 queries * 100 B / 1000 B = 500 proposals.
   EXPECT_EQ(exact_count, kQueries * kCost / 1000);
@@ -116,8 +115,8 @@ TEST(LoadManagerTest, ForgetDropsTheCounter) {
   const Sizes sizes;
   const ObjectId o{0};
   const auto feed = [&] {
-    return proposals_in(lm.consider(query_costing(400), {o},
-                                    sizes.size_fn(), sizes.cost_fn()));
+    return propose(lm, query_costing(400), {o}, sizes.size_fn(),
+                   sizes.cost_fn());
   };
   EXPECT_EQ(feed(), 0);  // 400
   EXPECT_EQ(feed(), 0);  // 800
@@ -127,36 +126,57 @@ TEST(LoadManagerTest, ForgetDropsTheCounter) {
   EXPECT_EQ(feed(), 1);  // 1200: the rule re-arms from zero
 }
 
-TEST(LoadManagerTest, LazyModeBatchesSiblingCandidates) {
+TEST(LoadManagerTest, SiblingCandidatesArriveAsOneBatch) {
   const Sizes sizes;
-  // A query rich enough to fund both missing objects at once.
+  // A query rich enough to fund both missing objects at once: consider()
+  // proposes them together, and the lazy/eager option (how the caller then
+  // slices the batch for the eviction policy) is carried in options().
   const workload::Query q = query_costing(2000);
 
   LoadManager lazy{{/*randomized=*/false, /*lazy=*/true}, util::Rng{3}};
-  const auto lazy_p = lazy.consider(q, {ObjectId{0}, ObjectId{1}},
-                                    sizes.size_fn(), sizes.cost_fn());
-  ASSERT_EQ(lazy_p.batches.size(), 1u);  // siblings decided together
-  EXPECT_EQ(lazy_p.batches[0].size(), 2u);
+  std::vector<ObjectId> missing{ObjectId{0}, ObjectId{1}};
+  const auto& candidates =
+      lazy.consider(q, missing, sizes.size_fn(), sizes.cost_fn());
+  EXPECT_EQ(candidates.size(), 2u);  // siblings decided together
+  EXPECT_TRUE(lazy.options().lazy);
 
   LoadManager eager{{/*randomized=*/false, /*lazy=*/false}, util::Rng{3}};
-  const auto eager_p = eager.consider(q, {ObjectId{0}, ObjectId{1}},
-                                      sizes.size_fn(), sizes.cost_fn());
-  ASSERT_EQ(eager_p.batches.size(), 2u);  // one decision per candidate
-  EXPECT_EQ(eager_p.batches[0].size(), 1u);
-  EXPECT_EQ(eager_p.batches[1].size(), 1u);
+  std::vector<ObjectId> missing2{ObjectId{0}, ObjectId{1}};
+  const auto& eager_candidates =
+      eager.consider(q, missing2, sizes.size_fn(), sizes.cost_fn());
+  EXPECT_EQ(eager_candidates.size(), 2u);
+  EXPECT_FALSE(eager.options().lazy);  // caller applies one-element batches
+}
+
+TEST(LoadManagerTest, ConsiderReusesItsScratchAcrossCalls) {
+  LoadManager lm{{/*randomized=*/false, /*lazy=*/true}, util::Rng{1}};
+  const Sizes sizes;
+  std::vector<ObjectId> missing{ObjectId{0}};
+  const auto& first =
+      lm.consider(query_costing(5000), missing, sizes.size_fn(),
+                  sizes.cost_fn());
+  ASSERT_EQ(first.size(), 1u);
+  // The same reference is refilled by the next call (documented contract).
+  std::vector<ObjectId> missing2{ObjectId{1}};
+  const auto& second =
+      lm.consider(query_costing(5000), missing2, sizes.size_fn(),
+                  sizes.cost_fn());
+  EXPECT_EQ(&first, &second);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].id, ObjectId{1});
 }
 
 TEST(LoadManagerTest, CandidatesCarrySizeAndLoadCost) {
   LoadManager lm{{/*randomized=*/false, /*lazy=*/true}, util::Rng{1}};
-  const auto p = lm.consider(
-      query_costing(5000), {ObjectId{42}},
+  std::vector<ObjectId> missing{ObjectId{42}};
+  const auto& candidates = lm.consider(
+      query_costing(5000), missing,
       [](ObjectId) { return Bytes{1234}; },
       [](ObjectId) { return Bytes{1234 + 766}; });
-  ASSERT_EQ(p.batches.size(), 1u);
-  ASSERT_EQ(p.batches[0].size(), 1u);
-  EXPECT_EQ(p.batches[0][0].id, ObjectId{42});
-  EXPECT_EQ(p.batches[0][0].size.count(), 1234);
-  EXPECT_EQ(p.batches[0][0].load_cost.count(), 1234 + 766);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].id, ObjectId{42});
+  EXPECT_EQ(candidates[0].size.count(), 1234);
+  EXPECT_EQ(candidates[0].load_cost.count(), 1234 + 766);
 }
 
 }  // namespace

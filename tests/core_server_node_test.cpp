@@ -41,8 +41,10 @@ TEST(ServerNodeTest, AttachAssignsDistinctSlots) {
 
 TEST(ServerNodeTest, DuplicateAttachIsCheckedFailure) {
   TwoCacheHarness h;
-  EXPECT_THROW(h.server.attach_cache("cache-east"), std::logic_error);
-  EXPECT_THROW(h.server.attach_cache("server"), std::logic_error);
+  const std::size_t east_slot = h.transport.endpoint_slot("cache-east");
+  EXPECT_THROW(h.server.attach_cache("cache-east", east_slot),
+               std::logic_error);
+  EXPECT_THROW(h.server.attach_cache("server", east_slot), std::logic_error);
 }
 
 TEST(ServerNodeTest, RegistrationIsPerCache) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -108,37 +110,68 @@ TEST(LoopbackTransportTest, PerEndpointMetersPartitionTheAggregate) {
   delta::testing::ExpectEndpointMetersPartitionAggregate(t);
 }
 
-// The meter's concurrency contract: record() from many threads loses
-// nothing. 8 hammer threads × 50k records × known byte patterns must land
-// on the exact closed-form totals and counts.
-TEST(TrafficMeterTest, ConcurrentRecordsAreExact) {
-  TrafficMeter m;
+// The meter's concurrency contract (single writer, concurrent readers):
+// each of 8 worker threads hammers its OWN meter — the confinement model
+// both simulation engines use — while a reader thread concurrently sums
+// all meters. After the join barrier every per-meter total is exact, and
+// the reader must only ever have seen untorn, monotonically-growing
+// values. (Concurrent writers to one meter are explicitly NOT supported;
+// the parallel engine folds per-worker meters after its barrier instead.)
+TEST(TrafficMeterTest, SingleWriterMetersAreExactUnderConcurrentReads) {
   constexpr int kThreads = 8;
   constexpr std::int64_t kPerThread = 50'000;
-  std::vector<std::thread> threads;
-  threads.reserve(kThreads);
+  std::array<TrafficMeter, kThreads> meters;
+  std::atomic<bool> done{false};
+
+  std::thread reader{[&] {
+    // Concurrent reads must see untorn values: with each writer adding
+    // bytes in 1..7, any torn read would show up as a wildly out-of-range
+    // total. Monotonicity per (meter, mechanism) is the observable
+    // guarantee of the relaxed stores.
+    std::array<std::array<std::int64_t, kMechanismCount>, kThreads> last{};
+    while (!done.load(std::memory_order_acquire)) {
+      for (int t = 0; t < kThreads; ++t) {
+        for (std::size_t i = 0; i < kMechanismCount; ++i) {
+          const auto mech = static_cast<Mechanism>(i);
+          const std::int64_t now = meters[static_cast<std::size_t>(t)]
+                                       .total(mech)
+                                       .count();
+          ASSERT_GE(now, last[static_cast<std::size_t>(t)][i]);
+          ASSERT_LE(now, kPerThread * 7);
+          last[static_cast<std::size_t>(t)][i] = now;
+        }
+      }
+    }
+  }};
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
   for (int tid = 0; tid < kThreads; ++tid) {
-    threads.emplace_back([&m, tid] {
+    writers.emplace_back([&meters, tid] {
+      TrafficMeter& m = meters[static_cast<std::size_t>(tid)];
       for (std::int64_t i = 0; i < kPerThread; ++i) {
         const auto mech = static_cast<Mechanism>((tid + i) % kMechanismCount);
         m.record(mech, Bytes{1 + (i % 7)});
       }
     });
   }
-  for (std::thread& t : threads) t.join();
+  for (std::thread& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
 
-  // Every thread cycles through the four mechanisms uniformly, recording
-  // bytes 1..7 cyclically: per-mechanism counts and the grand byte total
-  // are exact regardless of interleaving.
+  // Fold after the barrier, exactly as the parallel engine merges
+  // per-worker meters: the closed-form totals must be exact.
   std::int64_t total_bytes = 0;
   std::int64_t total_count = 0;
-  for (std::size_t i = 0; i < kMechanismCount; ++i) {
-    const auto mech = static_cast<Mechanism>(i);
-    total_bytes += m.total(mech).count();
-    total_count += m.message_count(mech);
-    EXPECT_EQ(m.message_count(mech),
-              kThreads * kPerThread / static_cast<std::int64_t>(kMechanismCount))
-        << to_string(mech);
+  for (const TrafficMeter& m : meters) {
+    for (std::size_t i = 0; i < kMechanismCount; ++i) {
+      const auto mech = static_cast<Mechanism>(i);
+      total_bytes += m.total(mech).count();
+      total_count += m.message_count(mech);
+      EXPECT_EQ(m.message_count(mech),
+                kPerThread / static_cast<std::int64_t>(kMechanismCount))
+          << to_string(mech);
+    }
   }
   std::int64_t expected_bytes = 0;
   for (std::int64_t i = 0; i < kPerThread; ++i) expected_bytes += 1 + (i % 7);

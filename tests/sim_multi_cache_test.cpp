@@ -6,6 +6,7 @@
 #include <array>
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/yardsticks.h"
 #include "meter_invariants.h"
@@ -198,7 +199,8 @@ TEST(MultiCacheSimTest, ShardedSOptimalOptimizesPerEndpointQueries) {
         opts.endpoint = static_cast<std::uint32_t>(index);
         auto policy = std::make_unique<core::SOptimalPolicy>(&cache, &trace,
                                                              opts);
-        chosen[index] = policy->chosen();
+        policy->chosen().for_each(
+            [&, index](ObjectId o) { chosen[index].insert(o); });
         return policy;
       });
 

@@ -1,0 +1,177 @@
+// util::FlatMap / FlatSet: open-addressing semantics (insert/find/erase,
+// backward-shift deletion, growth), move-only values, and differential
+// equivalence against std::unordered_map under random churn.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "util/flat_map.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace delta::util {
+namespace {
+
+TEST(FlatMapTest, InsertFindErase) {
+  FlatMap<std::int32_t, int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(7), nullptr);
+  EXPECT_FALSE(map.erase(7));
+
+  auto [v, inserted] = map.try_emplace(7, 70);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(*v, 70);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_TRUE(map.contains(7));
+
+  auto [v2, inserted2] = map.try_emplace(7, 99);
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(*v2, 70);  // try_emplace does not overwrite
+
+  map.insert_or_assign(7, 99);
+  EXPECT_EQ(*map.find(7), 99);
+
+  EXPECT_TRUE(map.erase(7));
+  EXPECT_FALSE(map.contains(7));
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(FlatMapTest, OperatorIndexDefaultConstructs) {
+  FlatMap<ObjectId, double> map;
+  double& h = map[ObjectId{5}];
+  EXPECT_EQ(h, 0.0);
+  h += 2.5;
+  EXPECT_EQ(*map.find(ObjectId{5}), 2.5);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMapTest, GrowsPastInitialCapacityAndKeepsEntries) {
+  FlatMap<std::int64_t, std::int64_t> map;
+  for (std::int64_t i = 0; i < 10'000; ++i) map[i] = i * 3;
+  EXPECT_EQ(map.size(), 10'000u);
+  for (std::int64_t i = 0; i < 10'000; ++i) {
+    ASSERT_NE(map.find(i), nullptr) << i;
+    EXPECT_EQ(*map.find(i), i * 3);
+  }
+}
+
+TEST(FlatMapTest, MoveOnlyValues) {
+  FlatMap<std::int32_t, std::unique_ptr<int>> map;
+  for (int i = 0; i < 100; ++i) {
+    map.try_emplace(i, std::make_unique<int>(i));
+  }
+  // Erase half — backward shifting must move the unique_ptrs, not copy.
+  for (int i = 0; i < 100; i += 2) EXPECT_TRUE(map.erase(i));
+  EXPECT_EQ(map.size(), 50u);
+  for (int i = 1; i < 100; i += 2) {
+    ASSERT_NE(map.find(i), nullptr) << i;
+    EXPECT_EQ(**map.find(i), i);
+  }
+}
+
+TEST(FlatMapTest, ClearReleasesAndResets) {
+  FlatMap<std::int32_t, std::unique_ptr<int>> map;
+  for (int i = 0; i < 10; ++i) map.try_emplace(i, std::make_unique<int>(i));
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(3), nullptr);
+  map.try_emplace(3, std::make_unique<int>(33));
+  EXPECT_EQ(**map.find(3), 33);
+}
+
+TEST(FlatMapTest, ForEachVisitsEveryLiveEntryExactlyOnce) {
+  FlatMap<std::int32_t, int> map;
+  for (int i = 0; i < 257; ++i) map[i] = i;
+  for (int i = 0; i < 257; i += 3) map.erase(i);
+  std::vector<bool> seen(257, false);
+  map.for_each([&](std::int32_t k, int v) {
+    EXPECT_EQ(k, v);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(k)]);
+    seen[static_cast<std::size_t>(k)] = true;
+  });
+  for (int i = 0; i < 257; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)], i % 3 != 0) << i;
+  }
+}
+
+// The load-bearing property for the hot-path migration: under arbitrary
+// interleaved insert/erase churn the table answers exactly like
+// std::unordered_map (backward-shift deletion must never strand or
+// duplicate an entry).
+TEST(FlatMapTest, DifferentialChurnAgainstUnorderedMap) {
+  util::Rng rng{20260730};
+  FlatMap<std::int64_t, std::int64_t> flat;
+  std::unordered_map<std::int64_t, std::int64_t> ref;
+  for (int step = 0; step < 50'000; ++step) {
+    const std::int64_t key = rng.uniform_int(0, 400);  // force collisions
+    const double roll = rng.next_double();
+    if (roll < 0.5) {
+      const std::int64_t value = rng.uniform_int(0, 1'000'000);
+      flat.insert_or_assign(key, value);
+      ref[key] = value;
+    } else if (roll < 0.8) {
+      EXPECT_EQ(flat.erase(key), ref.erase(key) > 0) << "step " << step;
+    } else {
+      const auto it = ref.find(key);
+      const std::int64_t* found = flat.find(key);
+      if (it == ref.end()) {
+        EXPECT_EQ(found, nullptr) << "step " << step;
+      } else {
+        ASSERT_NE(found, nullptr) << "step " << step;
+        EXPECT_EQ(*found, it->second) << "step " << step;
+      }
+    }
+    ASSERT_EQ(flat.size(), ref.size()) << "step " << step;
+  }
+  // Full final sweep.
+  std::size_t visited = 0;
+  flat.for_each([&](std::int64_t k, std::int64_t v) {
+    const auto it = ref.find(k);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(v, it->second);
+    ++visited;
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(FlatMapTest, ReserveAvoidsRehash) {
+  FlatMap<std::int32_t, int> map;
+  map.reserve(1000);
+  const std::size_t cap = map.capacity();
+  for (int i = 0; i < 1000; ++i) map[i] = i;
+  EXPECT_EQ(map.capacity(), cap);
+}
+
+TEST(FlatMapTest, StrongIdKeys) {
+  FlatMap<ObjectId, Bytes> map;
+  map.try_emplace(ObjectId{42}, Bytes{1024});
+  map.try_emplace(ObjectId{0}, Bytes{1});
+  EXPECT_EQ(map.find(ObjectId{42})->count(), 1024);
+  EXPECT_EQ(map.find(ObjectId{0})->count(), 1);
+  EXPECT_EQ(map.find(ObjectId{7}), nullptr);
+}
+
+TEST(FlatSetTest, InsertEraseContains) {
+  FlatSet<ObjectId> set;
+  EXPECT_TRUE(set.insert(ObjectId{1}));
+  EXPECT_FALSE(set.insert(ObjectId{1}));
+  EXPECT_TRUE(set.insert(ObjectId{2}));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.count(ObjectId{1}), 1u);
+  EXPECT_EQ(set.count(ObjectId{3}), 0u);
+  EXPECT_TRUE(set.erase(ObjectId{1}));
+  EXPECT_FALSE(set.erase(ObjectId{1}));
+  EXPECT_FALSE(set.contains(ObjectId{1}));
+  std::size_t n = 0;
+  set.for_each([&](ObjectId id) {
+    EXPECT_EQ(id, ObjectId{2});
+    ++n;
+  });
+  EXPECT_EQ(n, 1u);
+}
+
+}  // namespace
+}  // namespace delta::util
