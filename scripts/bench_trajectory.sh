@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Runs the perf-trajectory bench and writes BENCH_<label>.json at the repo
 # root, so each PR can commit a comparable measurement next to the previous
-# one (see README "Performance").
+# one (see README "Performance"). Since PR 4 the file also carries an
+# "event_engine" section: events/sec through the discrete-event engine and
+# the p50/p99 *simulated* response times, with the "single_cache" section
+# as the synchronous same-file baseline.
 #
 #   scripts/bench_trajectory.sh [label] [extra bench args...]
 #

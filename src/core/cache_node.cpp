@@ -1,18 +1,18 @@
 #include "core/cache_node.h"
 
+#include <utility>
+
 #include "util/check.h"
 
 namespace delta::core {
 
 CacheNode::CacheNode(const workload::Trace* trace, ServerNode* server,
-                     net::Transport* transport, std::string name,
-                     net::LinkModel link)
+                     net::Transport* transport, std::string name)
     : trace_(trace),
       server_(server),
       transport_(transport),
       name_(std::move(name)),
-      slot_(0),
-      link_(link) {
+      slot_(0) {
   DELTA_CHECK(trace != nullptr);
   DELTA_CHECK(server != nullptr);
   DELTA_CHECK(transport != nullptr);
@@ -22,32 +22,105 @@ CacheNode::CacheNode(const workload::Trace* trace, ServerNode* server,
   // our transport slot so the server can address replies without
   // per-message name lookups.
   server_->validate_cache_name(name_);
-  const std::size_t transport_slot = transport_->register_endpoint(
+  transport_slot_ = transport_->register_endpoint(
       name_, [this](const net::Message& m) { handle_message(m); });
-  slot_ = server_->attach_cache(name_, transport_slot);
+  slot_ = server_->attach_cache(name_, transport_slot_);
   server_transport_slot_ = server_->transport_slot();
+  transport_inline_ = transport_->synchronous();
 }
 
 net::Message CacheNode::request(net::MessageKind kind,
-                                std::int64_t subject_id,
-                                EventTime sent_at) const {
+                                std::int64_t subject_id, EventTime sent_at,
+                                std::int64_t correlation) const {
   net::Message msg;
   msg.kind = kind;
   msg.subject_id = subject_id;
   msg.sent_at = sent_at;
   msg.sender = name_;
   msg.sender_slot = static_cast<std::int32_t>(slot_);
+  msg.sender_transport_slot = static_cast<std::int32_t>(transport_slot_);
+  msg.correlation_id = correlation;
   return msg;
 }
 
+std::int64_t CacheNode::send_request(net::MessageKind kind,
+                                     std::int64_t subject_id,
+                                     EventTime sent_at,
+                                     net::MessageKind expected_reply,
+                                     Completion complete) {
+  DELTA_CHECK(complete != nullptr);
+  const std::int64_t correlation = next_correlation_++;
+  pending_.push_back(Pending{correlation, expected_reply,
+                             std::move(complete), nullptr, nullptr});
+  // The send may deliver (and complete the request) inline on a
+  // synchronous transport, so the pending entry must be parked first.
+  transport_->send_to(server_transport_slot_,
+                      request(kind, subject_id, sent_at, correlation),
+                      net::Mechanism::kOverhead);
+  return correlation;
+}
+
+Bytes CacheNode::request_and_wait(net::MessageKind kind,
+                                  std::int64_t subject_id, EventTime sent_at,
+                                  net::MessageKind expected_reply) {
+  // Stack locals as the completion destination: reentrancy-safe (a nested
+  // sync call during an event-queue pump gets its own pair) and free of
+  // std::function construction on the replay hot path.
+  bool done = false;
+  Bytes reply_payload{};
+  const std::int64_t correlation = next_correlation_++;
+  pending_.push_back(
+      Pending{correlation, expected_reply, Completion{}, &done,
+              &reply_payload});
+  transport_->send_to(server_transport_slot_,
+                      request(kind, subject_id, sent_at, correlation),
+                      net::Mechanism::kOverhead);
+  if (transport_inline_) {
+    // Synchronous transport: the reply was delivered inside the send.
+    DELTA_CHECK_MSG(done, "request did not complete inline on a "
+                          "synchronous transport");
+  } else {
+    transport_->wait_until([&done] { return done; });
+  }
+  return reply_payload;
+}
+
 void CacheNode::handle_message(const net::Message& m) {
-  // Data-bearing replies mutate nothing here: the calling policy applies
-  // their effects synchronously after the send() returns. Invalidations are
-  // forwarded to the policy's handler.
-  if (m.kind == net::MessageKind::kInvalidation) {
-    const auto idx = static_cast<std::size_t>(m.subject_id);
-    DELTA_CHECK(idx < trace_->updates.size());
-    if (invalidation_handler_) invalidation_handler_(trace_->updates[idx]);
+  switch (m.kind) {
+    case net::MessageKind::kInvalidation: {
+      const auto idx = static_cast<std::size_t>(m.subject_id);
+      DELTA_CHECK(idx < trace_->updates.size());
+      if (invalidation_handler_) invalidation_handler_(trace_->updates[idx]);
+      return;
+    }
+    case net::MessageKind::kQueryResult:
+    case net::MessageKind::kUpdateShip:
+    case net::MessageKind::kLoadData: {
+      for (std::size_t i = 0; i < pending_.size(); ++i) {
+        if (pending_[i].correlation != m.correlation_id) continue;
+        DELTA_CHECK_MSG(pending_[i].expected_reply == m.kind,
+                        "reply kind " << net::to_string(m.kind)
+                                      << " does not match the pending "
+                                         "request's expectation");
+        // Detach before completing: the completion may issue new requests
+        // (mutating pending_).
+        Pending done = std::move(pending_[i]);
+        pending_[i] = std::move(pending_.back());
+        pending_.pop_back();
+        if (done.sync_done != nullptr) {
+          *done.sync_done = true;
+          *done.sync_payload = m.payload;
+        } else {
+          done.complete(m.payload);
+        }
+        return;
+      }
+      DELTA_CHECK_MSG(false, "reply with unknown correlation id "
+                                 << m.correlation_id);
+      return;
+    }
+    default:
+      return;  // control chatter carries no cache-side effects
   }
 }
 
@@ -60,35 +133,50 @@ void CacheNode::set_invalidation_handler(
   invalidation_handler_ = std::move(handler);
 }
 
+void CacheNode::ship_query_async(const workload::Query& q,
+                                 Completion complete) {
+  send_request(net::MessageKind::kQueryRequest, q.id.value(), q.time,
+               net::MessageKind::kQueryResult, std::move(complete));
+}
+
+void CacheNode::ship_update_async(const workload::Update& u,
+                                  Completion complete) {
+  // "ship update <id>" request travels as control chatter.
+  send_request(net::MessageKind::kControl, u.id.value(), u.time,
+               net::MessageKind::kUpdateShip, std::move(complete));
+}
+
+void CacheNode::load_object_async(ObjectId o, Completion complete) {
+  send_request(net::MessageKind::kLoadRequest, o.value(), 0,
+               net::MessageKind::kLoadData, std::move(complete));
+}
+
 Bytes CacheNode::ship_query(const workload::Query& q) {
-  transport_->send_to(server_transport_slot_,
-                      request(net::MessageKind::kQueryRequest, q.id.value(),
-                              q.time),
-                      net::Mechanism::kOverhead);
-  return q.cost;  // the QueryResult reply carried ν(q) bytes
+  return request_and_wait(net::MessageKind::kQueryRequest, q.id.value(),
+                          q.time, net::MessageKind::kQueryResult);
 }
 
 Bytes CacheNode::ship_update(const workload::Update& u) {
-  transport_->send_to(server_transport_slot_,
-                      request(net::MessageKind::kControl, u.id.value(),
-                              u.time),
-                      net::Mechanism::kOverhead);
-  return u.cost;
+  return request_and_wait(net::MessageKind::kControl, u.id.value(), u.time,
+                          net::MessageKind::kUpdateShip);
 }
 
 Bytes CacheNode::load_object(ObjectId o) {
-  transport_->send_to(server_transport_slot_,
-                      request(net::MessageKind::kLoadRequest, o.value(), 0),
-                      net::Mechanism::kOverhead);
+  const Bytes loaded = request_and_wait(net::MessageKind::kLoadRequest,
+                                        o.value(), 0,
+                                        net::MessageKind::kLoadData);
   DELTA_CHECK(is_registered(o));
-  return server_->load_cost(o);
+  return loaded;
 }
 
 void CacheNode::notify_eviction(ObjectId o) {
   transport_->send_to(server_transport_slot_,
-                      request(net::MessageKind::kInvalidation, o.value(), 0),
+                      request(net::MessageKind::kInvalidation, o.value(), 0,
+                              /*correlation=*/-1),
                       net::Mechanism::kOverhead);
-  DELTA_CHECK(!is_registered(o));
+  // The notice is unacknowledged; only a synchronous transport has
+  // necessarily applied it by the time the send returns.
+  if (transport_inline_) DELTA_CHECK(!is_registered(o));
 }
 
 }  // namespace delta::core

@@ -10,15 +10,28 @@
 //   object loading  = LoadRequest (overhead) + LoadData (l(o))
 // plus Invalidation notices (overhead) from the server's registration-based
 // coherence protocol. Many CacheNodes can share one ServerNode; each owns
-// its endpoint name, its link model, and (through the transport) its
-// per-endpoint traffic meter.
+// its endpoint name and (through the transport) its per-endpoint traffic
+// meter.
+//
+// The node is a non-blocking message-driven state machine: every request
+// carries a fresh correlation id and is parked in a pending-request table
+// until the matching reply is delivered, at which point the caller's
+// completion fires with the reply's payload size. The *_async entry points
+// expose this directly (over a DelayedTransport replies arrive when the
+// simulated clock reaches them); the synchronous API is a façade that
+// issues the async request and waits via Transport::wait_until — which
+// returns immediately on LoopbackTransport (delivery was inline) and pumps
+// the shared event queue on an event-driven transport. At zero link
+// latency the two transports produce byte-identical traffic in identical
+// order, which is what keeps the golden tables pinned.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "core/server_node.h"
-#include "net/link_model.h"
 #include "net/transport.h"
 #include "util/types.h"
 #include "workload/trace.h"
@@ -27,11 +40,14 @@ namespace delta::core {
 
 class CacheNode {
  public:
+  /// Invoked with the data-bearing reply's payload size (result bytes /
+  /// update content / load bytes) when the reply is delivered.
+  using Completion = std::function<void(Bytes)>;
+
   /// Registers the endpoint on the transport and attaches it to the server's
   /// registration table. Trace, server and transport outlive the node.
   CacheNode(const workload::Trace* trace, ServerNode* server,
-            net::Transport* transport, std::string name = "cache",
-            net::LinkModel link = net::LinkModel{});
+            net::Transport* transport, std::string name = "cache");
 
   CacheNode(const CacheNode&) = delete;
   CacheNode& operator=(const CacheNode&) = delete;
@@ -42,7 +58,7 @@ class CacheNode {
 
   void set_subscription(MetadataSubscription subscription);
 
-  /// Invoked (synchronously) when an invalidation notice is delivered.
+  /// Invoked when an invalidation notice is delivered.
   void set_invalidation_handler(
       std::function<void(const workload::Update&)> handler);
 
@@ -59,7 +75,32 @@ class CacheNode {
   Bytes load_object(ObjectId o);
 
   /// Tells the server this cache dropped the object (stops invalidations).
+  /// Fire-and-forget: over an event-driven transport the notice is in
+  /// flight when this returns.
   void notify_eviction(ObjectId o);
+
+  // ---- non-blocking API (event-driven protocol) ----
+  // Each call sends the request and returns immediately; `complete` fires
+  // with the reply payload when the reply message is delivered (inline on
+  // a synchronous transport, at simulated arrival time otherwise).
+
+  void ship_query_async(const workload::Query& q, Completion complete);
+  void ship_update_async(const workload::Update& u, Completion complete);
+  void load_object_async(ObjectId o, Completion complete);
+
+  /// Requests awaiting their reply (0 on a quiescent node).
+  [[nodiscard]] std::size_t pending_requests() const {
+    return pending_.size();
+  }
+
+  /// True when the transport delivers inline (cached at construction).
+  /// Policies use this to tell a protocol violation from a legitimately
+  /// stale coherence notice: over an event-driven transport an eviction
+  /// notice can still be in flight when the server fans out an
+  /// invalidation for the just-evicted object.
+  [[nodiscard]] bool transport_synchronous() const {
+    return transport_inline_;
+  }
 
   // ---- repository metadata (cheap reads the protocol allows) ----
 
@@ -76,26 +117,53 @@ class CacheNode {
     return server_->object_count();
   }
 
-  /// Traffic delivered to this endpoint (all data-bearing replies; see
-  /// Transport::endpoint_meter).
+  /// Traffic delivered to this endpoint (all data-bearing replies),
+  /// slot-addressed — no per-call name hash (see Transport::endpoint_meter).
   [[nodiscard]] const net::TrafficMeter& meter() const {
-    return transport_->endpoint_meter(name_);
+    return transport_->endpoint_meter(transport_slot_);
   }
-  [[nodiscard]] const net::LinkModel& link() const { return link_; }
 
  private:
+  /// One outstanding request. The table is a linear-scan vector: a
+  /// synchronous caller keeps at most one entry live, and even deep
+  /// event-driven interleavings stay within a handful. Sync façades park
+  /// raw result pointers (their stack locals — reentrancy-safe and free of
+  /// std::function overhead on the replay hot path); async callers park a
+  /// Completion.
+  struct Pending {
+    std::int64_t correlation = -1;
+    net::MessageKind expected_reply = net::MessageKind::kControl;
+    Completion complete;            // async path; empty for sync requests
+    bool* sync_done = nullptr;      // sync path: completion flag ...
+    Bytes* sync_payload = nullptr;  // ... and reply-payload destination
+  };
+
   const workload::Trace* trace_;
   ServerNode* server_;
   net::Transport* transport_;
   std::string name_;
   std::size_t slot_;  // this cache's row in the server registration table
-  std::size_t server_transport_slot_ = 0;  // fast-path reply address
-  net::LinkModel link_;
+  std::size_t transport_slot_ = 0;         // this endpoint's own slot
+  std::size_t server_transport_slot_ = 0;  // fast-path request address
   std::function<void(const workload::Update&)> invalidation_handler_;
+  std::vector<Pending> pending_;
+  std::int64_t next_correlation_ = 0;
+  bool transport_inline_ = false;  // cached Transport::synchronous()
 
   [[nodiscard]] net::Message request(net::MessageKind kind,
                                      std::int64_t subject_id,
-                                     EventTime sent_at) const;
+                                     EventTime sent_at,
+                                     std::int64_t correlation) const;
+  /// Parks `complete` in the pending table and sends the request. Returns
+  /// the correlation id.
+  std::int64_t send_request(net::MessageKind kind, std::int64_t subject_id,
+                            EventTime sent_at,
+                            net::MessageKind expected_reply,
+                            Completion complete);
+  /// Sync façade core: sends the request and waits for its reply.
+  Bytes request_and_wait(net::MessageKind kind, std::int64_t subject_id,
+                         EventTime sent_at,
+                         net::MessageKind expected_reply);
   void handle_message(const net::Message& m);
 };
 

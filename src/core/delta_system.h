@@ -13,7 +13,6 @@
 
 #include "core/cache_node.h"
 #include "core/server_node.h"
-#include "net/link_model.h"
 #include "net/transport.h"
 #include "util/check.h"
 #include "util/types.h"
@@ -76,7 +75,6 @@ class DeltaSystem {
   [[nodiscard]] const net::TrafficMeter& meter() const {
     return transport_.meter();
   }
-  [[nodiscard]] const net::LinkModel& link() const { return cache_.link(); }
 
   /// Bulk-copy framing added to every object load.
   static constexpr Bytes kLoadOverheadBytes = ServerNode::kLoadOverheadBytes;

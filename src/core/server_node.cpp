@@ -70,6 +70,10 @@ void ServerNode::handle_message(const net::Message& m) {
   reply.subject_id = m.subject_id;
   reply.sent_at = m.sent_at;
   reply.sender = name_;
+  reply.sender_transport_slot = static_cast<std::int32_t>(transport_slot_);
+  // Echo the request's correlation id so the cache's pending-request table
+  // can match the reply even when deliveries interleave (DelayedTransport).
+  reply.correlation_id = m.correlation_id;
   switch (m.kind) {
     case net::MessageKind::kQueryRequest: {
       const auto& q = trace_->queries[static_cast<std::size_t>(m.subject_id)];
@@ -134,6 +138,7 @@ void ServerNode::ingest_update(const workload::Update& u) {
     msg.subject_id = u.id.value();
     msg.sent_at = u.time;
     msg.sender = name_;
+    msg.sender_transport_slot = static_cast<std::int32_t>(transport_slot_);
     transport_->send_to(cache.transport_slot, msg,
                         net::Mechanism::kOverhead);
   }

@@ -26,9 +26,17 @@ VCoverPolicy::VCoverPolicy(CacheNode* system, const VCoverOptions& options)
 }
 
 void VCoverPolicy::on_update(const workload::Update& u) {
-  // Invalidations arrive only for registered (resident) objects.
-  DELTA_CHECK_MSG(store_.contains(u.object),
-                  "invalidation for non-resident object");
+  // Invalidations arrive only for registered (resident) objects — except
+  // that over an event-driven transport our eviction notice may still be
+  // in flight when the server fanned this notice out. That race is a
+  // legitimately stale notice (the server stops notifying once the
+  // eviction lands), so drop it; with inline delivery it cannot happen
+  // and stays an invariant violation.
+  if (!store_.contains(u.object)) {
+    DELTA_CHECK_MSG(!system_->transport_synchronous(),
+                    "invalidation for non-resident object");
+    return;
+  }
   if (options_.preship) {
     const double* heat = heat_.find(u.object);
     if (heat != nullptr && *heat >= options_.preship_heat_threshold) {

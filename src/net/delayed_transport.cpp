@@ -1,0 +1,199 @@
+#include "net/delayed_transport.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace delta::net {
+
+DelayedTransport::DelayedTransport(util::EventQueue* events,
+                                   LinkModel default_link)
+    : events_(events), default_link_(default_link) {
+  DELTA_CHECK(events != nullptr);
+}
+
+std::size_t DelayedTransport::register_endpoint(const std::string& name,
+                                                MessageHandler handler) {
+  DELTA_CHECK(handler != nullptr);
+  const auto it = index_.find(name);
+  if (it != index_.end()) {
+    endpoints_[it->second].handler = std::move(handler);  // meter survives
+    return it->second;
+  }
+  const std::size_t slot = endpoints_.size();
+  index_.emplace(name, slot);
+  endpoints_.push_back(
+      Endpoint{name, std::move(handler), TrafficMeter{}, UplinkStats{}});
+  return slot;
+}
+
+std::size_t DelayedTransport::endpoint_slot(const std::string& name) const {
+  const auto it = index_.find(name);
+  DELTA_CHECK_MSG(it != index_.end(), "unknown endpoint '" << name << "'");
+  return it->second;
+}
+
+void DelayedTransport::send(const std::string& destination,
+                            const Message& message, Mechanism mechanism) {
+  const auto it = index_.find(destination);
+  DELTA_CHECK_MSG(it != index_.end(),
+                  "unknown endpoint '" << destination << "'");
+  schedule_delivery(it->second, message, mechanism);
+}
+
+void DelayedTransport::send_to(std::size_t destination_slot,
+                               const Message& message, Mechanism mechanism) {
+  DELTA_CHECK_MSG(destination_slot < endpoints_.size(),
+                  "unknown endpoint slot " << destination_slot);
+  schedule_delivery(destination_slot, message, mechanism);
+}
+
+void DelayedTransport::wait_until(const std::function<bool()>& done) {
+  events_->pump_until(done);
+}
+
+std::uint64_t DelayedTransport::link_key(std::size_t from, std::size_t to) {
+  // kExternalSource wraps to 0; registered slots start at 1.
+  const auto from32 = static_cast<std::uint32_t>(from + 1);
+  return (static_cast<std::uint64_t>(from32) << 32) |
+         static_cast<std::uint32_t>(to);
+}
+
+std::size_t DelayedTransport::resolve_sender(const Message& message) const {
+  // Fast path: endpoints stamp their own transport slot, so the per-send
+  // name hash is reserved for external senders (mirrors the slot fast path
+  // in ServerNode::sender_entry).
+  if (message.sender_transport_slot >= 0 &&
+      static_cast<std::size_t>(message.sender_transport_slot) <
+          endpoints_.size()) {
+    const auto slot =
+        static_cast<std::size_t>(message.sender_transport_slot);
+    // A slot from another transport instance (or a forged one) must not be
+    // silently attributed to the wrong sender's link.
+    DELTA_DCHECK(endpoints_[slot].name == message.sender);
+    return slot;
+  }
+  const auto it = index_.find(message.sender);
+  return it == index_.end() ? kExternalSource : it->second;
+}
+
+DelayedTransport::Link& DelayedTransport::link_between(std::size_t from,
+                                                       std::size_t to) {
+  return *links_.try_emplace(link_key(from, to), default_link_).first;
+}
+
+void DelayedTransport::set_link(const std::string& from,
+                                const std::string& to, LinkModel link) {
+  const std::size_t from_slot = endpoint_slot(from);
+  const std::size_t to_slot = endpoint_slot(to);
+  link_between(from_slot, to_slot).model = link;
+}
+
+void DelayedTransport::set_duplex_link(const std::string& a,
+                                       const std::string& b, LinkModel link) {
+  set_link(a, b, link);
+  set_link(b, a, link);
+}
+
+void DelayedTransport::schedule_delivery(std::size_t destination_slot,
+                                         const Message& message,
+                                         Mechanism mechanism) {
+  const std::size_t sender_slot = resolve_sender(message);
+  Link& link = link_between(sender_slot, destination_slot);
+
+  const util::SimTime now = events_->now();
+  const util::SimTime depart = std::max(now, link.busy_until);
+  const double serialization =
+      link.model.serialization_seconds(message.payload + kMessageHeaderBytes);
+  link.busy_until = depart + serialization;
+  const util::SimTime deliver_at =
+      depart + serialization + link.model.one_way_seconds();
+
+  if (sender_slot != kExternalSource) {
+    UplinkStats& uplink = endpoints_[sender_slot].uplink;
+    ++uplink.sends;
+    uplink.busy_seconds += serialization;
+    const double wait = depart - now;
+    uplink.total_queue_wait += wait;
+    uplink.max_queue_wait = std::max(uplink.max_queue_wait, wait);
+  }
+
+  std::uint32_t flight_index;
+  if (flight_free_.empty()) {
+    flight_index = static_cast<std::uint32_t>(flight_pool_.size());
+    flight_pool_.emplace_back();
+  } else {
+    flight_index = flight_free_.back();
+    flight_free_.pop_back();
+  }
+  InFlight& flight = flight_pool_[flight_index];
+  flight.message = message;
+  flight.message.sim_sent_at = now;
+  flight.message.sim_delivered_at = deliver_at;
+  flight.destination_slot = destination_slot;
+  flight.mechanism = mechanism;
+  ++in_flight_;
+  events_->schedule(deliver_at,
+                    [this, flight_index] { deliver_pooled(flight_index); });
+}
+
+void DelayedTransport::deliver_pooled(std::uint32_t flight_index) {
+  // Move the record out and free the slot BEFORE invoking the handler:
+  // handlers send further messages, which may grow (and reallocate) the
+  // pool mid-delivery.
+  InFlight& flight = flight_pool_[flight_index];
+  const Message delivered = std::move(flight.message);
+  const std::size_t destination_slot = flight.destination_slot;
+  const Mechanism mechanism = flight.mechanism;
+  flight_free_.push_back(flight_index);
+  deliver(destination_slot, delivered, mechanism);
+}
+
+void DelayedTransport::deliver(std::size_t destination_slot,
+                               const Message& message, Mechanism mechanism) {
+  --in_flight_;
+  Endpoint& endpoint = endpoints_[destination_slot];
+  meter_.record(mechanism, message.payload);
+  meter_.record(Mechanism::kOverhead, kMessageHeaderBytes);
+  endpoint.meter.record(mechanism, message.payload);
+  endpoint.meter.record(Mechanism::kOverhead, kMessageHeaderBytes);
+  ++delivered_;
+  if (observer_) observer_(message, destination_slot);
+  endpoint.handler(message);
+}
+
+bool DelayedTransport::has_endpoint(const std::string& name) const {
+  return index_.count(name) != 0;
+}
+
+const TrafficMeter& DelayedTransport::endpoint_meter(
+    const std::string& name) const {
+  return endpoints_[endpoint_slot(name)].meter;
+}
+
+const TrafficMeter& DelayedTransport::endpoint_meter(
+    std::size_t slot) const {
+  DELTA_CHECK_MSG(slot < endpoints_.size(),
+                  "no meter: unknown endpoint slot " << slot);
+  return endpoints_[slot].meter;
+}
+
+std::vector<std::string> DelayedTransport::endpoint_names() const {
+  std::vector<std::string> names;
+  names.reserve(endpoints_.size());
+  for (const Endpoint& e : endpoints_) names.push_back(e.name);
+  return names;
+}
+
+void DelayedTransport::set_delivery_observer(DeliveryObserver observer) {
+  observer_ = std::move(observer);
+}
+
+const UplinkStats& DelayedTransport::uplink_stats(std::size_t slot) const {
+  DELTA_CHECK_MSG(slot < endpoints_.size(),
+                  "no uplink stats: unknown endpoint slot " << slot);
+  return endpoints_[slot].uplink;
+}
+
+}  // namespace delta::net

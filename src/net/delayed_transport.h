@@ -1,0 +1,161 @@
+// Latency-aware, non-blocking transport: sends schedule their delivery on a
+// shared discrete-event queue instead of invoking the destination handler
+// inline.
+//
+// Every directed (sender endpoint -> destination endpoint) pair is a link
+// parameterized by a LinkModel. A message entering a link at time t:
+//   departs at   max(t, link busy-until)        (FIFO: queue behind earlier
+//                                                sends on the same link)
+//   occupies the link for (payload+header)/bandwidth seconds
+//                                               (serialization occupancy)
+//   is delivered at depart + serialization + RTT/2.
+// Delivery times are therefore nondecreasing per link, and the event
+// queue's stable (time, seq) order makes the whole schedule deterministic.
+//
+// Accounting matches LoopbackTransport exactly — aggregate meter plus
+// per-endpoint meters that partition it — but meters are charged at
+// *delivery* time: traffic in flight is not yet counted, which is what the
+// warm-up-boundary snapshot semantics of the engines require.
+//
+// Per-source uplink statistics (serialization busy time, queueing waits)
+// expose the contention that the synchronous engines could only assume
+// away; the event engine reads them for its server-uplink yardstick.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link_model.h"
+#include "net/message.h"
+#include "net/traffic_meter.h"
+#include "net/transport.h"
+#include "util/event_queue.h"
+#include "util/flat_map.h"
+
+namespace delta::net {
+
+/// Egress-side contention counters for one sender endpoint, aggregated
+/// over all links it sources.
+struct UplinkStats {
+  std::int64_t sends = 0;
+  /// Seconds the endpoint's links spent serializing messages.
+  double busy_seconds = 0.0;
+  /// Seconds messages waited behind earlier sends before departing.
+  double total_queue_wait = 0.0;
+  double max_queue_wait = 0.0;
+};
+
+class DelayedTransport final : public Transport {
+ public:
+  /// Called on every delivery, after metering, before the destination
+  /// handler. The message carries its sim_sent_at/sim_delivered_at stamps —
+  /// the event engine derives its staleness yardstick from them.
+  using DeliveryObserver =
+      std::function<void(const Message&, std::size_t destination_slot)>;
+
+  /// The queue outlives the transport. Links default to `default_link`
+  /// until configured individually.
+  explicit DelayedTransport(util::EventQueue* events,
+                            LinkModel default_link = LinkModel{});
+
+  // ---- Transport interface ----
+
+  std::size_t register_endpoint(const std::string& name,
+                                MessageHandler handler) override;
+  void send(const std::string& destination, const Message& message,
+            Mechanism mechanism) override;
+  [[nodiscard]] std::size_t endpoint_slot(
+      const std::string& name) const override;
+  void send_to(std::size_t destination_slot, const Message& message,
+               Mechanism mechanism) override;
+  [[nodiscard]] bool synchronous() const override { return false; }
+  void wait_until(const std::function<bool()>& done) override;
+  [[nodiscard]] const TrafficMeter& meter() const override { return meter_; }
+  TrafficMeter& meter() override { return meter_; }
+  [[nodiscard]] bool has_endpoint(const std::string& name) const override;
+  [[nodiscard]] const TrafficMeter& endpoint_meter(
+      const std::string& name) const override;
+  [[nodiscard]] const TrafficMeter& endpoint_meter(
+      std::size_t slot) const override;
+  [[nodiscard]] std::vector<std::string> endpoint_names() const override;
+
+  // ---- link configuration ----
+
+  /// Configures the directed link `from` -> `to`. Both endpoints must be
+  /// registered. Replacing a link keeps its busy-until horizon (the wire
+  /// does not forget its backlog when re-parameterized).
+  void set_link(const std::string& from, const std::string& to,
+                LinkModel link);
+
+  /// Configures both directions between `a` and `b` with the same model —
+  /// the common duplex server<->cache path.
+  void set_duplex_link(const std::string& a, const std::string& b,
+                       LinkModel link);
+
+  // ---- simulation-side instrumentation ----
+
+  void set_delivery_observer(DeliveryObserver observer);
+
+  [[nodiscard]] const UplinkStats& uplink_stats(std::size_t slot) const;
+  [[nodiscard]] std::int64_t delivered_count() const { return delivered_; }
+  /// Messages scheduled but not yet delivered.
+  [[nodiscard]] std::int64_t in_flight() const { return in_flight_; }
+
+ private:
+  struct Endpoint {
+    std::string name;
+    MessageHandler handler;
+    TrafficMeter meter;
+    UplinkStats uplink;
+  };
+
+  struct Link {
+    LinkModel model;
+    util::SimTime busy_until = 0.0;
+  };
+
+  /// Sender slot for link keying: messages whose sender is not a
+  /// registered endpoint (tests injecting raw traffic) share one
+  /// "external" source.
+  static constexpr std::size_t kExternalSource =
+      static_cast<std::size_t>(-1);
+
+  /// A scheduled-but-undelivered message, pooled so each send's event-
+  /// queue closure captures only {this, pool index} — small enough for
+  /// std::function's inline buffer, so scheduling allocates nothing once
+  /// the pool is warm.
+  struct InFlight {
+    Message message;
+    std::size_t destination_slot = 0;
+    Mechanism mechanism = Mechanism::kOverhead;
+  };
+
+  [[nodiscard]] static std::uint64_t link_key(std::size_t from,
+                                              std::size_t to);
+  [[nodiscard]] std::size_t resolve_sender(const Message& message) const;
+  [[nodiscard]] Link& link_between(std::size_t from, std::size_t to);
+  void schedule_delivery(std::size_t destination_slot, const Message& message,
+                         Mechanism mechanism);
+  void deliver_pooled(std::uint32_t flight_index);
+  void deliver(std::size_t destination_slot, const Message& message,
+               Mechanism mechanism);
+
+  util::EventQueue* events_;
+  LinkModel default_link_;
+  /// Deque so endpoint meters stay at stable addresses as later endpoints
+  /// register (same contract as LoopbackTransport).
+  std::deque<Endpoint> endpoints_;
+  std::unordered_map<std::string, std::size_t> index_;
+  util::FlatMap<std::uint64_t, Link> links_;
+  std::vector<InFlight> flight_pool_;
+  std::vector<std::uint32_t> flight_free_;
+  TrafficMeter meter_;
+  DeliveryObserver observer_;
+  std::int64_t delivered_ = 0;
+  std::int64_t in_flight_ = 0;
+};
+
+}  // namespace delta::net

@@ -1,5 +1,7 @@
 #include "net/link_model.h"
 
+#include <limits>
+
 #include "util/check.h"
 
 namespace delta::net {
@@ -8,6 +10,15 @@ LinkModel::LinkModel(double bandwidth_bytes_per_sec, double rtt_seconds)
     : bandwidth_(bandwidth_bytes_per_sec), rtt_(rtt_seconds) {
   DELTA_CHECK(bandwidth_ > 0.0);
   DELTA_CHECK(rtt_ >= 0.0);
+}
+
+LinkModel LinkModel::zero_latency() {
+  return LinkModel{std::numeric_limits<double>::infinity(), 0.0};
+}
+
+double LinkModel::serialization_seconds(Bytes size) const {
+  DELTA_CHECK(size.count() >= 0);
+  return size.as_double() / bandwidth_;
 }
 
 double LinkModel::transfer_seconds(Bytes size) const {

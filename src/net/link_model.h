@@ -1,12 +1,19 @@
-// Wide-area link latency model.
+// Per-link bandwidth/latency parameterization.
 //
 // The paper minimizes traffic, noting that reduced traffic "naturally
 // decreases response times" and that delayed queries can be helped by
-// preshipping (§4 Discussion). This model converts message sizes to transfer
-// times so the preshipping extension and the latency metrics have a concrete
-// response-time proxy: latency = RTT + bytes / bandwidth (linear scaling,
-// valid for transfers much larger than a frame, per the TCP assumption the
-// paper cites).
+// preshipping (§4 Discussion). LinkModel carries the two parameters of a
+// directed network path — bandwidth and round-trip time — and is how
+// DelayedTransport links are configured: a message entering a link occupies
+// it for serialization_seconds (so back-to-back sends queue behind each
+// other) and lands one_way_seconds of propagation later. The event-driven
+// engine therefore *simulates* latency, staleness and uplink contention
+// per message instead of assuming them.
+//
+// transfer_seconds — the legacy closed-form RTT + bytes/bandwidth proxy —
+// is retained only for the synchronous engines' comparable response-time
+// yardstick (sim::proxy_response_seconds); new code should configure links
+// and read the simulated timestamps instead.
 #pragma once
 
 #include "util/types.h"
@@ -20,8 +27,21 @@ class LinkModel {
   explicit LinkModel(double bandwidth_bytes_per_sec = 125e6,
                      double rtt_seconds = 0.040);
 
-  /// Seconds to complete a transfer of the given size (one round trip plus
-  /// serialization).
+  /// An idealized link: infinite bandwidth, zero RTT. Over such links the
+  /// event-driven engine degenerates to synchronous delivery order (the
+  /// golden-equivalence configuration).
+  [[nodiscard]] static LinkModel zero_latency();
+
+  /// Seconds the link is occupied serializing `size` bytes (bytes/bandwidth).
+  [[nodiscard]] double serialization_seconds(Bytes size) const;
+
+  /// One-way propagation delay (RTT/2).
+  [[nodiscard]] double one_way_seconds() const { return rtt_ / 2.0; }
+
+  /// Legacy analytic proxy: seconds to complete a transfer of the given
+  /// size as one round trip plus serialization (linear scaling, valid for
+  /// transfers much larger than a frame, per the TCP assumption the paper
+  /// cites). Kept for the synchronous engines' response-time yardstick.
   [[nodiscard]] double transfer_seconds(Bytes size) const;
 
   [[nodiscard]] double bandwidth_bytes_per_sec() const { return bandwidth_; }

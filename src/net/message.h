@@ -67,6 +67,23 @@ struct Message {
   /// server resolves the sender without a name lookup. -1 = unset; the
   /// receiver then falls back to resolving `sender` by name.
   std::int32_t sender_slot = -1;
+  /// Fast-path sender identity for the *transport*: the sender's own
+  /// transport slot (register_endpoint), so a link-aware transport keys
+  /// the egress link without hashing `sender`. Distinct from sender_slot,
+  /// which indexes the server's registration table. -1 = unset (external
+  /// senders); the transport then falls back to resolving by name.
+  std::int32_t sender_transport_slot = -1;
+  /// Request/reply correlation: a CacheNode stamps each request with a
+  /// fresh id and the server echoes it in the data-bearing reply, so a
+  /// non-blocking endpoint can match responses to its pending-request
+  /// table regardless of delivery order. -1 = uncorrelated (notices).
+  std::int64_t correlation_id = -1;
+  /// Simulated-clock timestamps stamped by a latency-aware transport
+  /// (DelayedTransport): when the message entered its link and when it was
+  /// delivered. Both stay 0 on synchronous transports; their gap is the
+  /// simulated one-way latency including queueing behind earlier sends.
+  double sim_sent_at = 0.0;
+  double sim_delivered_at = 0.0;
 };
 
 }  // namespace delta::net

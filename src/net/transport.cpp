@@ -73,6 +73,13 @@ const TrafficMeter& LoopbackTransport::endpoint_meter(
   return endpoint->meter;
 }
 
+const TrafficMeter& LoopbackTransport::endpoint_meter(
+    std::size_t slot) const {
+  DELTA_CHECK_MSG(slot < endpoints_.size(),
+                  "no meter: unknown endpoint slot " << slot);
+  return endpoints_[slot].meter;
+}
+
 std::vector<std::string> LoopbackTransport::endpoint_names() const {
   std::vector<std::string> names;
   names.reserve(endpoints_.size());

@@ -23,6 +23,7 @@
 
 #include "net/message.h"
 #include "net/traffic_meter.h"
+#include "util/check.h"
 
 namespace delta::net {
 
@@ -55,6 +56,22 @@ class Transport {
   virtual void send_to(std::size_t destination_slot, const Message& message,
                        Mechanism mechanism) = 0;
 
+  /// True when send() delivers (and meters) inline before returning —
+  /// LoopbackTransport. Event-driven transports return false: delivery
+  /// happens when the simulated clock reaches the message's arrival time.
+  [[nodiscard]] virtual bool synchronous() const { return true; }
+
+  /// Blocks the caller until `done()` holds. On a synchronous transport
+  /// every request has already completed inline, so the default merely
+  /// checks; an event-driven transport overrides this to pump its event
+  /// queue (delivering any messages in flight) until the condition holds.
+  /// This is the primitive the CacheNode sync façade awaits replies with.
+  virtual void wait_until(const std::function<bool()>& done) {
+    DELTA_CHECK_MSG(done(),
+                    "request did not complete inline on a synchronous "
+                    "transport");
+  }
+
   /// Aggregate accounting across all endpoints.
   [[nodiscard]] virtual const TrafficMeter& meter() const = 0;
   virtual TrafficMeter& meter() = 0;
@@ -67,6 +84,12 @@ class Transport {
   /// endpoint is not registered.
   [[nodiscard]] virtual const TrafficMeter& endpoint_meter(
       const std::string& name) const = 0;
+
+  /// Slot-addressed endpoint meter: O(1), no per-call name hash. Resolve
+  /// the slot once at registration (register_endpoint returns it), then
+  /// read meters through this on hot paths (see CacheNode::meter()).
+  [[nodiscard]] virtual const TrafficMeter& endpoint_meter(
+      std::size_t slot) const = 0;
 
   /// Registered endpoint names, in registration order.
   [[nodiscard]] virtual std::vector<std::string> endpoint_names() const = 0;
@@ -93,6 +116,8 @@ class LoopbackTransport final : public Transport {
   [[nodiscard]] bool has_endpoint(const std::string& name) const override;
   [[nodiscard]] const TrafficMeter& endpoint_meter(
       const std::string& name) const override;
+  [[nodiscard]] const TrafficMeter& endpoint_meter(
+      std::size_t slot) const override;
   [[nodiscard]] std::vector<std::string> endpoint_names() const override;
 
   [[nodiscard]] std::int64_t delivered_count() const { return delivered_; }

@@ -1,0 +1,243 @@
+#include "sim/event_engine.h"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "core/cache_node.h"
+#include "core/server_node.h"
+#include "util/check.h"
+#include "util/event_queue.h"
+
+namespace delta::sim {
+
+namespace {
+
+std::array<Bytes, 3> mechanism_snapshot(const net::TrafficMeter& meter) {
+  return {meter.total(net::Mechanism::kQueryShip),
+          meter.total(net::Mechanism::kUpdateShip),
+          meter.total(net::Mechanism::kObjectLoad)};
+}
+
+}  // namespace
+
+// NOTE: this loop replays the same event semantics as sim/simulator.cpp's
+// run_policy and sim/multi_cache.cpp's two engines (warm-up capture,
+// counter accounting, series observation) — the four loops move together.
+// Over zero-latency links SimGoldenTest.EventEngine... pins this engine to
+// the same golden tables as the other three.
+EventRunResult run_policy_event(const workload::Trace& trace,
+                                std::size_t endpoint_count,
+                                workload::SplitStrategy strategy,
+                                const CachePolicyFactory& factory,
+                                const EventEngineOptions& options,
+                                const std::vector<std::uint32_t>* assignment) {
+  const auto start = std::chrono::steady_clock::now();
+  DELTA_CHECK(endpoint_count > 0);
+  DELTA_CHECK(factory != nullptr);
+  DELTA_CHECK(options.seconds_per_event >= 0.0);
+  DELTA_CHECK(assignment == nullptr ||
+              assignment->size() == trace.queries.size());
+  const std::vector<std::uint32_t> computed_assignment =
+      assignment == nullptr
+          ? workload::assign_queries(trace, endpoint_count, strategy)
+          : std::vector<std::uint32_t>{};
+  const std::vector<std::uint32_t>& routing =
+      assignment == nullptr ? computed_assignment : *assignment;
+
+  // ---- assemble the node graph over the latency-aware transport ----
+  util::EventQueue events;
+  net::DelayedTransport transport{&events, options.default_link};
+  core::ServerNode server{&trace, &transport};
+  std::vector<std::unique_ptr<core::CacheNode>> caches;
+  caches.reserve(endpoint_count);
+  for (std::size_t i = 0; i < endpoint_count; ++i) {
+    caches.push_back(std::make_unique<core::CacheNode>(
+        &trace, &server, &transport, "cache-" + std::to_string(i)));
+    const net::LinkModel link = i < options.cache_links.size()
+                                    ? options.cache_links[i]
+                                    : options.default_link;
+    transport.set_duplex_link(server.name(), caches.back()->name(), link);
+  }
+
+  EventRunResult out;
+  out.per_endpoint.resize(endpoint_count);
+
+  // Staleness observer: invalidation notices delivered to cache endpoints
+  // carry their send (= ingest) and delivery stamps. Cache->server eviction
+  // notices reuse the message kind, so filter by destination.
+  std::vector<std::size_t> endpoint_of_transport_slot;
+  for (std::size_t i = 0; i < endpoint_count; ++i) {
+    const std::size_t slot = transport.endpoint_slot(caches[i]->name());
+    if (slot >= endpoint_of_transport_slot.size()) {
+      endpoint_of_transport_slot.resize(slot + 1,
+                                        static_cast<std::size_t>(-1));
+    }
+    endpoint_of_transport_slot[slot] = i;
+  }
+  transport.set_delivery_observer([&](const net::Message& m,
+                                      std::size_t slot) {
+    if (m.kind != net::MessageKind::kInvalidation) return;
+    if (slot >= endpoint_of_transport_slot.size()) return;
+    const std::size_t endpoint = endpoint_of_transport_slot[slot];
+    if (endpoint == static_cast<std::size_t>(-1)) return;
+    // Post-warm-up only, like every other measured yardstick: server
+    // invalidations carry the update's trace time in sent_at, the same
+    // boundary the response samples gate on.
+    if (m.sent_at < trace.info.warmup_end_event) return;
+    const double gap = m.sim_delivered_at - m.sim_sent_at;
+    out.staleness_seconds.add(gap);
+    out.per_endpoint[endpoint].staleness_seconds.add(gap);
+  });
+
+  // Policies are built after every endpoint and link exists; offline
+  // policies (SOptimal) emit their up-front load traffic here — their sync
+  // façades pump the queue, so the loads complete (and are metered) inside
+  // the warm-up window even over slow links.
+  std::vector<std::unique_ptr<core::CachePolicy>> policies;
+  policies.reserve(endpoint_count);
+  for (std::size_t i = 0; i < endpoint_count; ++i) {
+    policies.push_back(factory(*caches[i], i));
+    DELTA_CHECK(policies.back() != nullptr);
+  }
+  events.run_until_idle();  // flush preload stragglers (eviction notices)
+
+  MultiRunResult& replay = out.replay;
+  replay.strategy = strategy;
+  replay.combined.policy_name = policies.front()->name();
+  replay.combined.warmup_end = trace.info.warmup_end_event;
+  replay.combined.series = util::CumulativeSeries{options.series_stride};
+  replay.per_endpoint.resize(endpoint_count);
+  std::vector<const net::TrafficMeter*> meters;
+  for (std::size_t i = 0; i < endpoint_count; ++i) {
+    RunResult& r = replay.per_endpoint[i];
+    r.policy_name = policies[i]->name();
+    r.warmup_end = trace.info.warmup_end_event;
+    r.series = util::CumulativeSeries{options.series_stride};
+    meters.push_back(&caches[i]->meter());
+  }
+  const net::TrafficMeter& aggregate = transport.meter();
+
+  // ---- warm-up boundary snapshots (combined + one per endpoint) ----
+  std::array<Bytes, 3> combined_at_warmup{};
+  std::vector<std::array<Bytes, 3>> endpoint_at_warmup(endpoint_count);
+  bool warmup_captured = false;
+  const auto capture_warmup = [&] {
+    combined_at_warmup = mechanism_snapshot(aggregate);
+    for (std::size_t i = 0; i < endpoint_count; ++i) {
+      endpoint_at_warmup[i] = mechanism_snapshot(*meters[i]);
+    }
+    warmup_captured = true;
+  };
+  if (trace.info.warmup_end_event == 0) capture_warmup();
+
+  // ---- replay the merged event sequence by arrival time ----
+  for (const workload::Event& event : trace.order) {
+    const bool is_update = event.kind == workload::Event::Kind::kUpdate;
+    const EventTime now =
+        is_update
+            ? trace.updates[static_cast<std::size_t>(event.index)].time
+            : trace.queries[static_cast<std::size_t>(event.index)].time;
+    const double arrival =
+        static_cast<double>(now) * options.seconds_per_event;
+    // Deliver everything due up to this arrival, then move the clock to it
+    // (messages still in flight are delivered — and metered — later, so
+    // the boundary snapshot below only sees traffic that has landed).
+    events.advance_until(arrival);
+    if (!warmup_captured && now >= trace.info.warmup_end_event) {
+      capture_warmup();
+    }
+
+    if (is_update) {
+      server.ingest_update(
+          trace.updates[static_cast<std::size_t>(event.index)]);
+      // Invalidation notices due immediately (zero-latency links) are
+      // delivered before the next event, as in the synchronous engines.
+      events.run_ready();
+    } else {
+      const auto qi = static_cast<std::size_t>(event.index);
+      const workload::Query& q = trace.queries[qi];
+      const std::size_t e = routing[qi];
+      DELTA_CHECK(e < endpoint_count);
+      RunResult& r = replay.per_endpoint[e];
+      // Closed loop: the query dispatches once the clock reaches its
+      // arrival (or as soon as the engine finished the previous event) and
+      // runs to completion; its synchronous cache calls pump the event
+      // queue, advancing the clock over every transfer they wait for.
+      const double dispatched = events.now();
+      const core::QueryOutcome outcome = policies[e]->on_query(q);
+      const double completed = events.now();
+      events.run_ready();
+      ++replay.combined.queries;
+      ++r.queries;
+      double exec_seconds = 0.0;
+      switch (outcome.path) {
+        case core::QueryOutcome::Path::kCacheFresh:
+          ++replay.combined.cache_fresh;
+          ++r.cache_fresh;
+          exec_seconds = options.exec.local_exec_seconds;
+          break;
+        case core::QueryOutcome::Path::kCacheAfterUpdates:
+          ++replay.combined.cache_after_updates;
+          ++r.cache_after_updates;
+          exec_seconds = options.exec.local_exec_seconds;
+          break;
+        case core::QueryOutcome::Path::kShipped:
+          ++replay.combined.shipped;
+          ++r.shipped;
+          exec_seconds = options.exec.server_exec_seconds;
+          break;
+      }
+      replay.combined.objects_loaded += outcome.objects_loaded;
+      r.objects_loaded += outcome.objects_loaded;
+      const double lag = dispatched - arrival;
+      const double response = lag + (completed - dispatched) + exec_seconds;
+      if (now >= trace.info.warmup_end_event) {
+        replay.combined.postwarmup_latency.add(response);
+        r.postwarmup_latency.add(response);
+        out.response_seconds.add(response);
+        out.response_sketch.add(response);
+        out.dispatch_lag_seconds.add(lag);
+        out.per_endpoint[e].response_seconds.add(response);
+      }
+    }
+    replay.combined.series.observe(now, aggregate.figure_total().as_double());
+    for (std::size_t i = 0; i < endpoint_count; ++i) {
+      replay.per_endpoint[i].series.observe(
+          now, meters[i]->figure_total().as_double());
+    }
+  }
+  // Deliver (and meter) everything still in flight before the final reads.
+  events.run_until_idle();
+  if (!warmup_captured) capture_warmup();  // warm-up spanned the whole run
+
+  // ---- fold the meters into the results ----
+  const auto finish = [](RunResult& r, const net::TrafficMeter& meter,
+                         const std::array<Bytes, 3>& at_warmup) {
+    r.series.finalize();
+    r.total_traffic = meter.figure_total();
+    const std::array<Bytes, 3> final_by = mechanism_snapshot(meter);
+    for (std::size_t m = 0; m < 3; ++m) {
+      r.postwarmup_by_mechanism[m] = final_by[m] - at_warmup[m];
+      r.postwarmup_traffic += r.postwarmup_by_mechanism[m];
+    }
+    r.overhead_traffic = meter.total(net::Mechanism::kOverhead);
+  };
+  finish(replay.combined, aggregate, combined_at_warmup);
+  for (std::size_t i = 0; i < endpoint_count; ++i) {
+    finish(replay.per_endpoint[i], *meters[i], endpoint_at_warmup[i]);
+  }
+
+  out.server_uplink =
+      transport.uplink_stats(transport.endpoint_slot(server.name()));
+  out.sim_duration_seconds = events.now();
+  out.delivered_messages = transport.delivered_count();
+  replay.combined.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return out;
+}
+
+}  // namespace delta::sim

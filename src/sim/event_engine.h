@@ -1,0 +1,109 @@
+// Event-driven simulation engine: replays the trace through a
+// DelayedTransport on a discrete-event clock, so the quantities the
+// synchronous engines could only estimate analytically are *measured*:
+//
+//   * response time — each query's simulated completion time (request and
+//     reply transfers, serialization, queueing behind earlier sends on the
+//     same link) plus the execution surcharge for the path taken;
+//   * server-uplink contention — how long messages leaving the repository
+//     waited behind each other (DelayedTransport uplink stats);
+//   * update staleness — the gap between an update's server-side ingest and
+//     the delivery of its invalidation notice at each subscribed cache.
+//
+// The engine replays trace events at their arrival times (EventTime ticks
+// scaled by seconds_per_event) in a closed loop per event: a query is
+// dispatched when the clock reaches its arrival (or as soon as the engine
+// is free again) and runs to completion, pumping message deliveries —
+// including other endpoints' invalidations in flight — while it waits.
+//
+// Over zero-latency links (EventEngineOptions defaults) every delivery
+// lands at its send instant and the replay degenerates to the synchronous
+// engines' semantics: sim_golden_test pins the event engine to the same
+// golden tables byte-for-byte. The replay loop mirrors sim/simulator.cpp
+// and sim/multi_cache.cpp (see the lockstep NOTE there).
+#pragma once
+
+#include <vector>
+
+#include "net/delayed_transport.h"
+#include "net/link_model.h"
+#include "sim/multi_cache.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+#include "workload/trace.h"
+#include "workload/trace_split.h"
+
+namespace delta::sim {
+
+struct EventEngineOptions {
+  /// Simulated seconds per trace EventTime tick: the event at merged
+  /// position t arrives at t * seconds_per_event on the sim clock.
+  double seconds_per_event = 0.001;
+  /// Link model for every server<->cache path not listed in cache_links.
+  /// The zero-latency default reproduces the synchronous engines exactly.
+  net::LinkModel default_link = net::LinkModel::zero_latency();
+  /// Per-endpoint duplex server<->cache link, indexed like the endpoints;
+  /// endpoints past the end use default_link. This is the scenario axis the
+  /// synchronous engines cannot express: heterogeneous WAN paths.
+  std::vector<net::LinkModel> cache_links;
+  /// Execution-time surcharges per query path — the same LatencyModel the
+  /// synchronous engines use, so cross-engine response comparisons share
+  /// one definition. Its proxy_link is ignored here: the transfer
+  /// component it prices analytically is simulated on the links instead.
+  LatencyModel exec;
+  std::int64_t series_stride = 2000;
+};
+
+/// Simulated-latency yardsticks for one cache endpoint.
+struct EndpointEventYardsticks {
+  /// Post-warm-up simulated response times of this endpoint's queries.
+  util::StreamingStats response_seconds;
+  /// Ingest -> invalidation-delivered gap for notices this cache received.
+  util::StreamingStats staleness_seconds;
+};
+
+struct EventRunResult {
+  /// The same per-endpoint + combined accounting the synchronous engines
+  /// produce (RunResult::postwarmup_latency holds the *simulated* response
+  /// times here, not the analytic proxy).
+  MultiRunResult replay;
+
+  // ---- measured yardsticks (what the sync engines assumed) ----
+
+  /// Combined post-warm-up simulated response times; the sketch holds every
+  /// sample for exact percentiles.
+  util::StreamingStats response_seconds;
+  util::QuantileSketch response_sketch;
+  /// How long each query waited for the engine to be free after its arrival
+  /// (closed-loop backlog; included in the response samples).
+  util::StreamingStats dispatch_lag_seconds;
+  /// Combined ingest -> invalidation-delivered gaps.
+  util::StreamingStats staleness_seconds;
+  std::vector<EndpointEventYardsticks> per_endpoint;
+  /// Egress contention at the repository: serialization occupancy and
+  /// queueing of all messages the server sent.
+  net::UplinkStats server_uplink;
+
+  double sim_duration_seconds = 0.0;
+  std::int64_t delivered_messages = 0;
+
+  [[nodiscard]] double response_p50() const {
+    return response_sketch.quantile(0.50);
+  }
+  [[nodiscard]] double response_p99() const {
+    return response_sketch.quantile(0.99);
+  }
+};
+
+/// Replays the trace through N cache endpoints sharing one repository over
+/// a latency-aware transport. Argument contract matches run_policy_multi:
+/// `assignment` (indexed like Trace::queries) overrides the `strategy`
+/// split when given. Deterministic: repeated runs produce identical
+/// results (single-threaded discrete-event schedule with stable ordering).
+EventRunResult run_policy_event(
+    const workload::Trace& trace, std::size_t endpoint_count,
+    workload::SplitStrategy strategy, const CachePolicyFactory& factory,
+    const EventEngineOptions& options = EventEngineOptions{},
+    const std::vector<std::uint32_t>* assignment = nullptr);
+
+}  // namespace delta::sim

@@ -118,6 +118,34 @@ MultiRunResult run_one_multi(PolicyKind kind, const workload::Trace& trace,
       series_stride, LatencyModel{}, &assignment, parallel);
 }
 
+EventRunResult run_one_event(PolicyKind kind, const workload::Trace& trace,
+                             Bytes per_endpoint_capacity,
+                             const SetupParams& params,
+                             std::size_t endpoint_count,
+                             workload::SplitStrategy strategy,
+                             const EventEngineOptions& engine,
+                             const PolicyOverrides& overrides) {
+  // Same routing/hindsight-shard agreement as run_one_multi: one split,
+  // handed to both the router and any sharded SOptimal instance.
+  const std::vector<std::uint32_t> assignment =
+      workload::assign_queries(trace, endpoint_count, strategy);
+  const bool shard_soptimal =
+      kind == PolicyKind::kSOptimal && endpoint_count > 1;
+  return run_policy_event(
+      trace, endpoint_count, strategy,
+      [&](core::CacheNode& cache, std::size_t index) {
+        PolicyOverrides endpoint_overrides = overrides;
+        if (shard_soptimal) {
+          endpoint_overrides.soptimal.query_assignment = &assignment;
+          endpoint_overrides.soptimal.endpoint =
+              static_cast<std::uint32_t>(index);
+        }
+        return make_policy(kind, cache, trace, per_endpoint_capacity, params,
+                           endpoint_overrides);
+      },
+      engine, &assignment);
+}
+
 std::vector<RunResult> run_all_policies(const workload::Trace& trace,
                                         Bytes cache_capacity,
                                         const SetupParams& params,

@@ -15,6 +15,7 @@
 #include "core/vcover_policy.h"
 #include "core/yardsticks.h"
 #include "htm/partition_map.h"
+#include "sim/event_engine.h"
 #include "sim/multi_cache.h"
 #include "sim/simulator.h"
 #include "storage/density_model.h"
@@ -110,6 +111,21 @@ MultiRunResult run_one_multi(PolicyKind kind, const workload::Trace& trace,
                              std::int64_t series_stride = 2000,
                              const ParallelOptions& parallel =
                                  ParallelOptions{});
+
+/// Runs one policy kind over the trace on the event-driven engine: N cache
+/// endpoints over a latency-aware transport (see sim/event_engine.h). With
+/// the default zero-latency EventEngineOptions this reproduces
+/// run_one_multi's figures byte-for-byte while additionally measuring the
+/// simulated response-time/staleness/contention yardsticks.
+EventRunResult run_one_event(PolicyKind kind, const workload::Trace& trace,
+                             Bytes per_endpoint_capacity,
+                             const SetupParams& params,
+                             std::size_t endpoint_count,
+                             workload::SplitStrategy strategy,
+                             const EventEngineOptions& engine =
+                                 EventEngineOptions{},
+                             const PolicyOverrides& overrides =
+                                 PolicyOverrides{});
 
 /// Runs the two algorithms and three yardsticks (Fig. 7b's cast).
 std::vector<RunResult> run_all_policies(const workload::Trace& trace,

@@ -104,26 +104,19 @@ MultiRunResult run_multi_sequential(
       const core::QueryOutcome outcome = policies[e]->on_query(q);
       ++result.combined.queries;
       ++r.queries;
-      double seconds = 0.0;
+      const double seconds = proxy_response_seconds(latency, outcome);
       switch (outcome.path) {
         case core::QueryOutcome::Path::kCacheFresh:
           ++result.combined.cache_fresh;
           ++r.cache_fresh;
-          seconds = latency.local_exec_seconds;
           break;
         case core::QueryOutcome::Path::kCacheAfterUpdates:
           ++result.combined.cache_after_updates;
           ++r.cache_after_updates;
-          seconds =
-              latency.local_exec_seconds +
-              caches[e]->link().transfer_seconds(outcome.max_update_bytes);
           break;
         case core::QueryOutcome::Path::kShipped:
           ++result.combined.shipped;
           ++r.shipped;
-          seconds =
-              latency.server_exec_seconds +
-              caches[e]->link().transfer_seconds(outcome.result_bytes);
           break;
       }
       result.combined.objects_loaded += outcome.objects_loaded;
@@ -237,22 +230,16 @@ void replay_shard(const workload::Trace& trace,
         const workload::Query& q = trace.queries[qi];
         const core::QueryOutcome outcome = w.policy->on_query(q);
         ++r.queries;
-        double seconds = 0.0;
+        const double seconds = proxy_response_seconds(latency, outcome);
         switch (outcome.path) {
           case core::QueryOutcome::Path::kCacheFresh:
             ++r.cache_fresh;
-            seconds = latency.local_exec_seconds;
             break;
           case core::QueryOutcome::Path::kCacheAfterUpdates:
             ++r.cache_after_updates;
-            seconds =
-                latency.local_exec_seconds +
-                w.cache->link().transfer_seconds(outcome.max_update_bytes);
             break;
           case core::QueryOutcome::Path::kShipped:
             ++r.shipped;
-            seconds = latency.server_exec_seconds +
-                      w.cache->link().transfer_seconds(outcome.result_bytes);
             break;
         }
         r.objects_loaded += outcome.objects_loaded;

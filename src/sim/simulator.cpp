@@ -20,6 +20,22 @@ namespace delta::sim {
 // batch decisions must be totally ordered by an explicit sort (see the
 // audit notes at each for_each call site; regression-pinned by
 // tests/iteration_order_test.cpp).
+double proxy_response_seconds(const LatencyModel& latency,
+                              const core::QueryOutcome& outcome) {
+  switch (outcome.path) {
+    case core::QueryOutcome::Path::kCacheFresh:
+      return latency.local_exec_seconds;
+    case core::QueryOutcome::Path::kCacheAfterUpdates:
+      return latency.local_exec_seconds +
+             latency.proxy_link.transfer_seconds(outcome.max_update_bytes);
+    case core::QueryOutcome::Path::kShipped:
+      return latency.server_exec_seconds +
+             latency.proxy_link.transfer_seconds(outcome.result_bytes);
+  }
+  DELTA_CHECK_MSG(false, "unknown query outcome path");
+  return 0.0;
+}
+
 RunResult run_policy(const workload::Trace& trace,
                      core::DeltaSystem& system, core::CachePolicy& policy,
                      std::int64_t series_stride,
@@ -63,21 +79,16 @@ RunResult run_policy(const workload::Trace& trace,
           trace.queries[static_cast<std::size_t>(event.index)];
       const core::QueryOutcome outcome = policy.on_query(q);
       ++result.queries;
-      double seconds = 0.0;
+      const double seconds = proxy_response_seconds(latency, outcome);
       switch (outcome.path) {
         case core::QueryOutcome::Path::kCacheFresh:
           ++result.cache_fresh;
-          seconds = latency.local_exec_seconds;
           break;
         case core::QueryOutcome::Path::kCacheAfterUpdates:
           ++result.cache_after_updates;
-          seconds = latency.local_exec_seconds +
-                    system.link().transfer_seconds(outcome.max_update_bytes);
           break;
         case core::QueryOutcome::Path::kShipped:
           ++result.shipped;
-          seconds = latency.server_exec_seconds +
-                    system.link().transfer_seconds(outcome.result_bytes);
           break;
       }
       result.objects_loaded += outcome.objects_loaded;

@@ -10,6 +10,7 @@
 
 #include "core/delta_system.h"
 #include "core/policy.h"
+#include "net/link_model.h"
 #include "util/stats.h"
 #include "util/timeseries.h"
 #include "workload/trace.h"
@@ -52,7 +53,18 @@ struct RunResult {
 struct LatencyModel {
   double local_exec_seconds = 0.05;
   double server_exec_seconds = 0.10;
+  /// Link the synchronous engines' analytic response-time proxy is priced
+  /// against. The event-driven engine (sim/event_engine.h) ignores this and
+  /// *simulates* transfer/queueing time on its configured per-link models.
+  net::LinkModel proxy_link = net::LinkModel{};
 };
+
+/// The synchronous engines' analytic response-time proxy: execution time for
+/// the path taken plus the closed-form transfer time of the bytes it moved.
+/// This is the one remaining transfer_seconds yardstick call site — the
+/// event-driven engine replaces the estimate with simulated latencies.
+[[nodiscard]] double proxy_response_seconds(const LatencyModel& latency,
+                                            const core::QueryOutcome& outcome);
 
 /// Replays the trace through the policy. The system must have been freshly
 /// constructed from the same trace (server sizes start at the initial

@@ -1,0 +1,69 @@
+#include "util/event_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace delta::util {
+
+void SimClock::advance_to(SimTime t) {
+  DELTA_CHECK_MSG(t >= now_, "simulated time cannot move backwards ("
+                                 << t << " < " << now_ << ")");
+  now_ = t;
+}
+
+bool EventQueue::later(const Scheduled& a, const Scheduled& b) {
+  if (a.time != b.time) return a.time > b.time;
+  return a.seq > b.seq;
+}
+
+void EventQueue::schedule(SimTime time, Action action) {
+  DELTA_CHECK(action != nullptr);
+  DELTA_CHECK_MSG(time >= clock_.now(),
+                  "cannot schedule into the past (" << time << " < "
+                                                   << clock_.now() << ")");
+  heap_.push_back(Scheduled{time, next_seq_++, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+EventQueue::Scheduled EventQueue::pop_earliest() {
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  Scheduled earliest = std::move(heap_.back());
+  heap_.pop_back();
+  return earliest;
+}
+
+bool EventQueue::run_one() {
+  if (heap_.empty()) return false;
+  // Pop before executing: the action may schedule further events.
+  Scheduled event = pop_earliest();
+  clock_.advance_to(event.time);
+  ++executed_;
+  event.action();
+  return true;
+}
+
+void EventQueue::run_ready() {
+  while (!heap_.empty() && heap_.front().time <= clock_.now()) run_one();
+}
+
+void EventQueue::advance_until(SimTime t) {
+  while (!heap_.empty() && heap_.front().time <= t) run_one();
+  if (t > clock_.now()) clock_.advance_to(t);
+}
+
+void EventQueue::run_until_idle() {
+  while (run_one()) {
+  }
+}
+
+void EventQueue::pump_until(const std::function<bool()>& done) {
+  while (!done()) {
+    DELTA_CHECK_MSG(run_one(),
+                    "event queue drained while awaiting a completion — the "
+                    "awaited reply can no longer arrive");
+  }
+}
+
+}  // namespace delta::util

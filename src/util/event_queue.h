@@ -1,0 +1,87 @@
+// Deterministic discrete-event scheduling: a simulated clock plus an event
+// queue with stable ordering.
+//
+// The event-driven simulation engine (sim/event_engine) and the latency-
+// aware transport (net::DelayedTransport) share one queue: the transport
+// schedules message deliveries at their computed arrival times, the engine
+// advances the clock to trace arrivals and pumps deliveries in between.
+// Determinism is structural, not incidental: events execute in strict
+// (time, schedule-sequence) order, so two events scheduled for the same
+// instant always run in the order they were scheduled, independent of heap
+// internals, platform, or run count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace delta::util {
+
+/// Simulated time, in seconds since the start of the run.
+using SimTime = double;
+
+/// The simulation clock. Time only moves forward; the queue advances it to
+/// each executed event's timestamp (or explicitly via advance_to).
+class SimClock {
+ public:
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Moves the clock forward to `t` (checked failure on travel backwards).
+  void advance_to(SimTime t);
+
+ private:
+  SimTime now_ = 0.0;
+};
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at simulated time `time` (>= now, checked).
+  /// Actions scheduled for the same instant run in schedule order.
+  void schedule(SimTime time, Action action);
+
+  [[nodiscard]] SimTime now() const { return clock_.now(); }
+  [[nodiscard]] const SimClock& clock() const { return clock_; }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] std::int64_t executed() const { return executed_; }
+
+  /// Pops and runs the earliest event, advancing the clock to its time.
+  /// Returns false (and leaves the clock alone) when the queue is empty.
+  bool run_one();
+
+  /// Runs every event due at or before the current clock time.
+  void run_ready();
+
+  /// Runs every event due at or before `t`, then leaves the clock at
+  /// max(now, t) — the "advance to the next trace arrival" primitive.
+  void advance_until(SimTime t);
+
+  /// Drains the queue completely (e.g. in-flight deliveries at end of run).
+  void run_until_idle();
+
+  /// Runs events until `done()` holds — how a synchronous façade awaits its
+  /// reply. Checked failure if the queue drains first: the reply the caller
+  /// is waiting for can no longer arrive.
+  void pump_until(const std::function<bool()>& done);
+
+ private:
+  struct Scheduled {
+    SimTime time = 0.0;
+    std::uint64_t seq = 0;  // tie-break: schedule order
+    Action action;
+  };
+
+  /// Max-heap comparator that puts the *earliest* (time, seq) on top.
+  [[nodiscard]] static bool later(const Scheduled& a, const Scheduled& b);
+
+  [[nodiscard]] Scheduled pop_earliest();
+
+  std::vector<Scheduled> heap_;
+  SimClock clock_;
+  std::uint64_t next_seq_ = 0;
+  std::int64_t executed_ = 0;
+};
+
+}  // namespace delta::util

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "core/delta_system.h"
+#include "net/delayed_transport.h"
+#include "util/event_queue.h"
 #include "trace_builder.h"
 
 namespace delta::core {
@@ -227,6 +229,29 @@ TEST(VCoverPolicyTest, PreshipShipsUpdatesForHotObjects) {
   EXPECT_EQ(outcomes.back().path, QueryOutcome::Path::kCacheFresh);
   EXPECT_EQ(system.meter().total(net::Mechanism::kUpdateShip).count(),
             200'000);
+}
+
+// An invalidation for a non-resident object is a protocol violation over
+// inline delivery — but over an event-driven transport it is the
+// legitimate eviction-notice-in-flight race and must be dropped, not
+// crash the run.
+TEST(VCoverPolicyTest, StaleInvalidationToleratedOnlyOverAsyncTransport) {
+  TraceBuilder b{{1'000'000, 1'000'000}};
+  b.query({0}, 600'000);
+  b.update(1, 50'000);  // targets an object the cache never held
+  {
+    Harness h{b.build(), Bytes{10'000'000}};
+    EXPECT_THROW(h.policy.on_update(h.trace.updates[0]), std::logic_error);
+  }
+  {
+    workload::Trace trace = b.build();
+    util::EventQueue events;
+    net::DelayedTransport transport{&events, net::LinkModel{1e6, 0.020}};
+    ServerNode server{&trace, &transport};
+    CacheNode cache{&trace, &server, &transport};
+    VCoverPolicy policy{&cache, options_for_tests(Bytes{10'000'000})};
+    EXPECT_NO_THROW(policy.on_update(trace.updates[0]));
+  }
 }
 
 }  // namespace

@@ -1,0 +1,209 @@
+// DelayedTransport: latency formula, FIFO-per-link with serialization
+// occupancy, delivery-time metering, uplink contention stats, and the
+// partition invariant the synchronous transport already guarantees.
+#include "net/delayed_transport.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "meter_invariants.h"
+#include "util/event_queue.h"
+
+namespace delta::net {
+namespace {
+
+struct Delivery {
+  std::string endpoint;
+  Message message;
+  double at = 0.0;
+};
+
+/// Queue + transport + recording endpoints, shared by the tests.
+struct Harness {
+  util::EventQueue events;
+  DelayedTransport transport{&events};
+  std::vector<Delivery> deliveries;
+
+  explicit Harness(LinkModel default_link = LinkModel{})
+      : transport(&events, default_link) {}
+
+  std::size_t add_endpoint(const std::string& name) {
+    return transport.register_endpoint(name, [this, name](const Message& m) {
+      deliveries.push_back(Delivery{name, m, events.now()});
+    });
+  }
+
+  static Message message_from(const std::string& sender, Bytes payload) {
+    Message m;
+    m.kind = MessageKind::kControl;
+    m.payload = payload;
+    m.sender = sender;
+    return m;
+  }
+};
+
+TEST(DelayedTransportTest, DeliversAfterSerializationPlusPropagation) {
+  Harness h{LinkModel{1e6, 0.020}};  // 1 MB/s, 20 ms RTT
+  h.add_endpoint("a");
+  h.add_endpoint("b");
+  h.transport.send("b", Harness::message_from("a", Bytes{999'936}),
+                   Mechanism::kQueryShip);
+  EXPECT_EQ(h.transport.in_flight(), 1);
+  EXPECT_TRUE(h.deliveries.empty());  // nothing moves until the clock does
+  h.events.run_until_idle();
+  ASSERT_EQ(h.deliveries.size(), 1u);
+  // (999936 + 64 header) / 1e6 B/s = 1.0 s serialization, + RTT/2 = 10 ms.
+  EXPECT_NEAR(h.deliveries[0].at, 1.010, 1e-12);
+  EXPECT_EQ(h.deliveries[0].message.sim_sent_at, 0.0);
+  EXPECT_NEAR(h.deliveries[0].message.sim_delivered_at, 1.010, 1e-12);
+  EXPECT_EQ(h.transport.in_flight(), 0);
+}
+
+// Back-to-back sends on the same directed link serialize one after the
+// other (occupancy) and arrive in send order.
+TEST(DelayedTransportTest, FifoPerLinkWithSerializationOccupancy) {
+  Harness h{LinkModel{1e6, 0.020}};
+  h.add_endpoint("a");
+  h.add_endpoint("b");
+  Message first = Harness::message_from("a", Bytes{999'936});
+  first.subject_id = 1;
+  Message second = Harness::message_from("a", Bytes{499'936});
+  second.subject_id = 2;
+  h.transport.send("b", first, Mechanism::kQueryShip);
+  h.transport.send("b", second, Mechanism::kQueryShip);
+  h.events.run_until_idle();
+  ASSERT_EQ(h.deliveries.size(), 2u);
+  EXPECT_EQ(h.deliveries[0].message.subject_id, 1);
+  EXPECT_EQ(h.deliveries[1].message.subject_id, 2);
+  EXPECT_NEAR(h.deliveries[0].at, 1.010, 1e-12);
+  // The second departs only after the first's 1.0 s serialization.
+  EXPECT_NEAR(h.deliveries[1].at, 1.0 + 0.5 + 0.010, 1e-12);
+
+  const UplinkStats& uplink =
+      h.transport.uplink_stats(h.transport.endpoint_slot("a"));
+  EXPECT_EQ(uplink.sends, 2);
+  EXPECT_NEAR(uplink.busy_seconds, 1.5, 1e-12);
+  EXPECT_NEAR(uplink.total_queue_wait, 1.0, 1e-12);  // second waited 1.0 s
+  EXPECT_NEAR(uplink.max_queue_wait, 1.0, 1e-12);
+}
+
+// Distinct directed links do not share occupancy: a->b and a->c (and b->a)
+// all depart immediately.
+TEST(DelayedTransportTest, DistinctLinksDoNotQueueBehindEachOther) {
+  Harness h{LinkModel{1e6, 0.020}};
+  h.add_endpoint("a");
+  h.add_endpoint("b");
+  h.add_endpoint("c");
+  h.transport.send("b", Harness::message_from("a", Bytes{999'936}),
+                   Mechanism::kQueryShip);
+  h.transport.send("c", Harness::message_from("a", Bytes{999'936}),
+                   Mechanism::kQueryShip);
+  h.transport.send("a", Harness::message_from("b", Bytes{999'936}),
+                   Mechanism::kQueryShip);
+  h.events.run_until_idle();
+  ASSERT_EQ(h.deliveries.size(), 3u);
+  for (const Delivery& d : h.deliveries) EXPECT_NEAR(d.at, 1.010, 1e-12);
+}
+
+TEST(DelayedTransportTest, PerLinkConfigurationOverridesDefault) {
+  Harness h{LinkModel{1e6, 0.020}};
+  h.add_endpoint("a");
+  h.add_endpoint("b");
+  h.add_endpoint("c");
+  h.transport.set_link("a", "c", LinkModel{2e6, 0.100});
+  h.transport.send("b", Harness::message_from("a", Bytes{999'936}),
+                   Mechanism::kQueryShip);
+  h.transport.send("c", Harness::message_from("a", Bytes{999'936}),
+                   Mechanism::kQueryShip);
+  h.events.run_until_idle();
+  ASSERT_EQ(h.deliveries.size(), 2u);
+  EXPECT_EQ(h.deliveries[0].endpoint, "c");  // faster wire, despite the RTT
+  EXPECT_NEAR(h.deliveries[0].at, 0.5 + 0.050, 1e-12);
+  EXPECT_EQ(h.deliveries[1].endpoint, "b");
+  EXPECT_NEAR(h.deliveries[1].at, 1.010, 1e-12);
+}
+
+TEST(DelayedTransportTest, ZeroLatencyLinkDeliversAtTheSendInstant) {
+  Harness h{LinkModel::zero_latency()};
+  h.add_endpoint("a");
+  h.add_endpoint("b");
+  h.transport.send("b", Harness::message_from("a", 1_GiB), Mechanism::kObjectLoad);
+  h.events.run_ready();  // due at now == 0
+  ASSERT_EQ(h.deliveries.size(), 1u);
+  EXPECT_EQ(h.deliveries[0].at, 0.0);
+}
+
+// Meters are charged at delivery, not send: traffic in flight is invisible
+// to the warm-up boundary snapshots.
+TEST(DelayedTransportTest, MetersChargeAtDeliveryTime) {
+  Harness h{LinkModel{1e6, 0.020}};
+  h.add_endpoint("a");
+  h.add_endpoint("b");
+  h.transport.send("b", Harness::message_from("a", Bytes{1000}),
+                   Mechanism::kQueryShip);
+  EXPECT_EQ(h.transport.meter().total(Mechanism::kQueryShip), Bytes{0});
+  h.events.run_until_idle();
+  EXPECT_EQ(h.transport.meter().total(Mechanism::kQueryShip), Bytes{1000});
+  EXPECT_EQ(h.transport.endpoint_meter("b").total(Mechanism::kQueryShip),
+            Bytes{1000});
+  // Slot-addressed accessor reads the same meter.
+  EXPECT_EQ(&h.transport.endpoint_meter(h.transport.endpoint_slot("b")),
+            &h.transport.endpoint_meter("b"));
+}
+
+// A scattered burst across several links and mechanisms preserves the
+// accounting contract: per-endpoint meters partition the aggregate.
+TEST(DelayedTransportTest, EndpointMetersPartitionAggregateAfterBurst) {
+  Harness h{LinkModel{1e7, 0.004}};
+  const std::vector<std::string> names = {"server", "cache-0", "cache-1"};
+  for (const std::string& n : names) h.add_endpoint(n);
+  h.transport.set_duplex_link("server", "cache-1", LinkModel{1e6, 0.080});
+  int seq = 0;
+  for (int round = 0; round < 20; ++round) {
+    for (const std::string& from : names) {
+      for (const std::string& to : names) {
+        if (from == to) continue;
+        Message m = Harness::message_from(from, Bytes{1000 + 17 * seq});
+        m.kind = (seq % 3 == 0) ? MessageKind::kQueryResult
+                                : MessageKind::kUpdateShip;
+        h.transport.send(to, m,
+                         (seq % 3 == 0) ? Mechanism::kQueryShip
+                                        : Mechanism::kUpdateShip);
+        ++seq;
+      }
+    }
+  }
+  h.events.run_until_idle();
+  EXPECT_EQ(h.transport.delivered_count(), seq);
+  delta::testing::ExpectEndpointMetersPartitionAggregate(h.transport);
+}
+
+TEST(DelayedTransportTest, DeliveryObserverSeesStampedMessages) {
+  Harness h{LinkModel{1e6, 0.020}};
+  h.add_endpoint("a");
+  const std::size_t b_slot = h.add_endpoint("b");
+  std::vector<std::pair<std::size_t, double>> observed;
+  h.transport.set_delivery_observer(
+      [&](const Message& m, std::size_t slot) {
+        observed.emplace_back(slot, m.sim_delivered_at - m.sim_sent_at);
+      });
+  h.transport.send("b", Harness::message_from("a", Bytes{999'936}),
+                   Mechanism::kQueryShip);
+  h.events.run_until_idle();
+  ASSERT_EQ(observed.size(), 1u);
+  EXPECT_EQ(observed[0].first, b_slot);
+  EXPECT_NEAR(observed[0].second, 1.010, 1e-12);
+}
+
+TEST(DelayedTransportTest, UnknownDestinationIsACheckedFailure) {
+  Harness h;
+  h.add_endpoint("a");
+  EXPECT_THROW(h.transport.send("ghost", Harness::message_from("a", Bytes{1}),
+                                Mechanism::kOverhead),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace delta::net

@@ -1,0 +1,176 @@
+// Event-driven engine tests: zero-latency equivalence with the synchronous
+// multi-endpoint engine on a non-golden world, WAN yardsticks (simulated
+// response times, per-cache staleness, uplink contention) being nonzero,
+// deterministic across repeated runs, and divergent across asymmetric
+// links — the scenario axis the synchronous engines cannot express.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "meter_invariants.h"
+#include "sim/event_engine.h"
+#include "sim/experiment.h"
+#include "sim/multi_cache.h"
+#include "workload/trace_split.h"
+
+namespace delta::sim {
+namespace {
+
+using World = Setup;  // ::testing::Test::Setup shadows sim::Setup in TESTs
+
+SetupParams small_params(std::uint64_t seed = 11) {
+  SetupParams p;
+  p.base_level = 4;
+  p.total_rows = 4e7;
+  p.object_target = 30;
+  p.trace_seed = seed;
+  p.trace.query_count = 1200;
+  p.trace.update_count = 1200;
+  p.trace.postwarmup_query_gb = 5.0;
+  p.trace.mean_postwarmup_update_mb = 2.0;
+  p.trace.hotspot_max_object_gb = 1.0;
+  p.benefit_window = 500;
+  return p;
+}
+
+/// Two caches on asymmetric paths: cache-0 on a LAN, cache-1 across a
+/// congested WAN (16 Mbit/s, 80 ms RTT) — the wan_latency_demo topology.
+EventEngineOptions wan_options() {
+  EventEngineOptions options;
+  options.seconds_per_event = 0.002;
+  options.default_link = net::LinkModel{125e6, 0.0004};  // 1 Gbit/s LAN
+  options.cache_links = {net::LinkModel{125e6, 0.0004},
+                         net::LinkModel{2e6, 0.080}};
+  return options;
+}
+
+void expect_run_results_equal(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.policy_name, b.policy_name);
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.cache_fresh, b.cache_fresh);
+  EXPECT_EQ(a.cache_after_updates, b.cache_after_updates);
+  EXPECT_EQ(a.shipped, b.shipped);
+  EXPECT_EQ(a.objects_loaded, b.objects_loaded);
+  EXPECT_EQ(a.total_traffic, b.total_traffic);
+  EXPECT_EQ(a.postwarmup_traffic, b.postwarmup_traffic);
+  for (std::size_t m = 0; m < 3; ++m) {
+    EXPECT_EQ(a.postwarmup_by_mechanism[m], b.postwarmup_by_mechanism[m]);
+  }
+  EXPECT_EQ(a.overhead_traffic, b.overhead_traffic);
+}
+
+// Beyond the pinned golden world (sim_golden_test), the zero-latency event
+// engine must agree with the synchronous multi engine on any world — here
+// a different seed/size, N=3, both policies with nontrivial caching.
+TEST(EventEngineTest, ZeroLatencyMatchesSynchronousEngineByteForByte) {
+  const World setup{small_params()};
+  for (const PolicyKind kind : {PolicyKind::kVCover, PolicyKind::kBenefit}) {
+    const MultiRunResult sync =
+        run_one_multi(kind, setup.trace(), setup.cache_capacity(),
+                      setup.params(), 3, workload::SplitStrategy::kRoundRobin);
+    const EventRunResult event =
+        run_one_event(kind, setup.trace(), setup.cache_capacity(),
+                      setup.params(), 3, workload::SplitStrategy::kRoundRobin);
+    SCOPED_TRACE(to_string(kind));
+    expect_run_results_equal(event.replay.combined, sync.combined);
+    ASSERT_EQ(event.replay.per_endpoint.size(), sync.per_endpoint.size());
+    for (std::size_t e = 0; e < sync.per_endpoint.size(); ++e) {
+      expect_run_results_equal(event.replay.per_endpoint[e],
+                               sync.per_endpoint[e]);
+    }
+    // Instant links: no queueing, no staleness, responses collapse to the
+    // execution surcharges.
+    EXPECT_EQ(event.staleness_seconds.max(), 0.0);
+    EXPECT_EQ(event.dispatch_lag_seconds.max(), 0.0);
+    EXPECT_EQ(event.server_uplink.total_queue_wait, 0.0);
+  }
+}
+
+TEST(EventEngineTest, WanYardsticksAreNonzero) {
+  const World setup{small_params()};
+  const EventRunResult r = run_one_event(
+      PolicyKind::kVCover, setup.trace(), setup.cache_capacity(),
+      setup.params(), 2, workload::SplitStrategy::kRoundRobin, wan_options());
+
+  // Response times: every post-warm-up query produced a sample, and the
+  // tail reflects genuine transfer/queueing time above the exec floor.
+  EXPECT_GT(r.response_seconds.count(), 0);
+  EXPECT_EQ(r.response_seconds.count(),
+            r.replay.combined.postwarmup_latency.count());
+  EXPECT_GT(r.response_p50(), 0.0);
+  EXPECT_GE(r.response_p99(), r.response_p50());
+  EXPECT_GT(r.response_seconds.max(), 0.10);  // beyond any pure-exec path
+
+  // Staleness: invalidation notices took measurable time to reach caches.
+  EXPECT_GT(r.staleness_seconds.count(), 0);
+  EXPECT_GT(r.staleness_seconds.mean(), 0.0);
+
+  // Uplink contention: the repository's egress links were busy and at some
+  // point messages queued behind each other.
+  EXPECT_GT(r.server_uplink.sends, 0);
+  EXPECT_GT(r.server_uplink.busy_seconds, 0.0);
+
+  // The accounting identities survive the asynchronous replay.
+  delta::testing::ExpectPerEndpointResultsPartitionCombined(r.replay);
+}
+
+// The WAN cache must see strictly worse coherence latency than the LAN
+// cache — per-cache divergence no analytic proxy could produce.
+TEST(EventEngineTest, AsymmetricLinksDivergePerCacheStaleness) {
+  const World setup{small_params()};
+  // Replica subscribes every cache to all updates, so both endpoints
+  // accumulate dense staleness samples over identical notice streams.
+  const EventRunResult r = run_one_event(
+      PolicyKind::kReplica, setup.trace(), setup.cache_capacity(),
+      setup.params(), 2, workload::SplitStrategy::kRoundRobin, wan_options());
+  ASSERT_EQ(r.per_endpoint.size(), 2u);
+  const auto& lan = r.per_endpoint[0];
+  const auto& wan = r.per_endpoint[1];
+  EXPECT_GT(lan.staleness_seconds.count(), 0);
+  EXPECT_GT(wan.staleness_seconds.count(), 0);
+  EXPECT_GT(wan.staleness_seconds.mean(), 10.0 * lan.staleness_seconds.mean());
+}
+
+// Discrete-event determinism: identical runs produce identical yardsticks
+// down to the last bit (stable (time, seq) order, no wall-clock leakage).
+TEST(EventEngineTest, WanRunIsDeterministicAcrossRepeatedRuns) {
+  const World setup{small_params()};
+  const auto run = [&] {
+    return run_one_event(PolicyKind::kVCover, setup.trace(),
+                         setup.cache_capacity(), setup.params(), 2,
+                         workload::SplitStrategy::kHashByRegion,
+                         wan_options());
+  };
+  const EventRunResult a = run();
+  const EventRunResult b = run();
+  expect_run_results_equal(a.replay.combined, b.replay.combined);
+  EXPECT_EQ(a.response_seconds.count(), b.response_seconds.count());
+  EXPECT_EQ(a.response_seconds.mean(), b.response_seconds.mean());
+  EXPECT_EQ(a.response_seconds.max(), b.response_seconds.max());
+  EXPECT_EQ(a.response_p50(), b.response_p50());
+  EXPECT_EQ(a.response_p99(), b.response_p99());
+  EXPECT_EQ(a.staleness_seconds.count(), b.staleness_seconds.count());
+  EXPECT_EQ(a.staleness_seconds.mean(), b.staleness_seconds.mean());
+  EXPECT_EQ(a.server_uplink.sends, b.server_uplink.sends);
+  EXPECT_EQ(a.server_uplink.busy_seconds, b.server_uplink.busy_seconds);
+  EXPECT_EQ(a.server_uplink.total_queue_wait, b.server_uplink.total_queue_wait);
+  EXPECT_EQ(a.sim_duration_seconds, b.sim_duration_seconds);
+  EXPECT_EQ(a.delivered_messages, b.delivered_messages);
+}
+
+// Slower links can only push simulated completion later, never earlier.
+TEST(EventEngineTest, WanResponseTimesDominateZeroLatencyResponses) {
+  const World setup{small_params()};
+  const EventRunResult zero = run_one_event(
+      PolicyKind::kVCover, setup.trace(), setup.cache_capacity(),
+      setup.params(), 2, workload::SplitStrategy::kRoundRobin);
+  const EventRunResult wan = run_one_event(
+      PolicyKind::kVCover, setup.trace(), setup.cache_capacity(),
+      setup.params(), 2, workload::SplitStrategy::kRoundRobin, wan_options());
+  EXPECT_GT(wan.response_seconds.mean(), zero.response_seconds.mean());
+  EXPECT_GE(wan.response_p99(), zero.response_p99());
+  EXPECT_GT(wan.sim_duration_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace delta::sim

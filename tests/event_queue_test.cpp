@@ -1,0 +1,115 @@
+// EventQueue/SimClock: the determinism contract the whole event-driven
+// stack rests on — strict (time, schedule-sequence) execution order,
+// forward-only clock, and well-defined advance/pump primitives.
+#include "util/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace delta::util {
+namespace {
+
+TEST(SimClockTest, AdvancesForwardOnly) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0.0);
+  clock.advance_to(1.5);
+  EXPECT_EQ(clock.now(), 1.5);
+  clock.advance_to(1.5);  // standing still is allowed
+  EXPECT_THROW(clock.advance_to(1.0), std::logic_error);
+}
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> ran;
+  q.schedule(3.0, [&] { ran.push_back(3); });
+  q.schedule(1.0, [&] { ran.push_back(1); });
+  q.schedule(2.0, [&] { ran.push_back(2); });
+  q.run_until_idle();
+  EXPECT_EQ(ran, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.executed(), 3);
+}
+
+// The determinism keystone: events scheduled for the same instant run in
+// schedule order, regardless of how the internal heap breaks ties.
+TEST(EventQueueTest, EqualTimestampsRunInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> ran;
+  constexpr int kEvents = 200;
+  for (int i = 0; i < kEvents; ++i) {
+    q.schedule(1.0, [&ran, i] { ran.push_back(i); });
+  }
+  q.run_until_idle();
+  ASSERT_EQ(ran.size(), static_cast<std::size_t>(kEvents));
+  for (int i = 0; i < kEvents; ++i) EXPECT_EQ(ran[static_cast<size_t>(i)], i);
+}
+
+// An action scheduling at the *current* instant queues behind every event
+// already scheduled for that instant (its sequence number is larger).
+TEST(EventQueueTest, ActionsScheduledDuringRunKeepStableOrder) {
+  EventQueue q;
+  std::vector<int> ran;
+  q.schedule(1.0, [&] {
+    ran.push_back(0);
+    q.schedule(1.0, [&] { ran.push_back(2); });
+  });
+  q.schedule(1.0, [&] { ran.push_back(1); });
+  q.run_until_idle();
+  EXPECT_EQ(ran, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueueTest, AdvanceUntilRunsDueEventsAndMovesClock) {
+  EventQueue q;
+  std::vector<int> ran;
+  q.schedule(1.0, [&] { ran.push_back(1); });
+  q.schedule(2.0, [&] { ran.push_back(2); });
+  q.schedule(3.0, [&] { ran.push_back(3); });
+  q.advance_until(2.0);  // inclusive boundary
+  EXPECT_EQ(ran, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.pending(), 1u);
+  // Advancing into empty time still moves the clock.
+  q.advance_until(2.5);
+  EXPECT_EQ(q.now(), 2.5);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, RunReadyOnlyRunsEventsDueNow) {
+  EventQueue q;
+  std::vector<int> ran;
+  q.schedule(0.0, [&] { ran.push_back(0); });
+  q.schedule(1.0, [&] { ran.push_back(1); });
+  q.run_ready();  // clock is 0: only the first is due
+  EXPECT_EQ(ran, (std::vector<int>{0}));
+  EXPECT_EQ(q.now(), 0.0);
+}
+
+TEST(EventQueueTest, SchedulingIntoThePastIsACheckedFailure) {
+  EventQueue q;
+  q.schedule(2.0, [] {});
+  q.run_until_idle();
+  EXPECT_EQ(q.now(), 2.0);
+  EXPECT_THROW(q.schedule(1.0, [] {}), std::logic_error);
+}
+
+TEST(EventQueueTest, PumpUntilStopsAtCondition) {
+  EventQueue q;
+  int count = 0;
+  for (int i = 0; i < 5; ++i) q.schedule(1.0 * i, [&] { ++count; });
+  q.pump_until([&] { return count == 3; });
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(q.pending(), 2u);
+}
+
+// Waiting for a completion that can no longer arrive (queue drained) is a
+// protocol bug, not a hang — it must fail loudly.
+TEST(EventQueueTest, PumpUntilOnDrainedQueueIsACheckedFailure) {
+  EventQueue q;
+  q.schedule(1.0, [] {});
+  EXPECT_THROW(q.pump_until([] { return false; }), std::logic_error);
+}
+
+}  // namespace
+}  // namespace delta::util

@@ -185,6 +185,22 @@ TEST(LoopbackTransportTest, EndpointMeterUnknownNameThrows) {
   EXPECT_FALSE(t.has_endpoint("ghost"));
 }
 
+// The slot-addressed meter accessor (the hot-path variant CacheNode::meter
+// uses) aliases the name-addressed meter exactly and validates its slot.
+TEST(LoopbackTransportTest, SlotAddressedEndpointMeterAliasesNameLookup) {
+  LoopbackTransport t;
+  const std::size_t cache = t.register_endpoint("cache", [](const Message&) {});
+  const std::size_t other = t.register_endpoint("other", [](const Message&) {});
+  Message msg;
+  msg.payload = Bytes{500};
+  t.send("cache", msg, Mechanism::kObjectLoad);
+  EXPECT_EQ(&t.endpoint_meter(cache), &t.endpoint_meter("cache"));
+  EXPECT_EQ(&t.endpoint_meter(other), &t.endpoint_meter("other"));
+  EXPECT_EQ(t.endpoint_meter(cache).total(Mechanism::kObjectLoad).count(),
+            500);
+  EXPECT_THROW(t.endpoint_meter(std::size_t{99}), std::logic_error);
+}
+
 TEST(LoopbackTransportTest, ReRegistrationKeepsEndpointMeter) {
   LoopbackTransport t;
   t.register_endpoint("cache", [](const Message&) {});

@@ -180,6 +180,36 @@ TEST(SimGoldenTest, ParallelEngineReproducesGoldensForEveryThreadCount) {
   }
 }
 
+// The event-driven engine over zero-latency links must reproduce the same
+// pinned tables byte-for-byte: DelayedTransport delivery degenerates to
+// synchronous order when every link is instantaneous, so any divergence
+// means the asynchronous protocol changed replay semantics, not just
+// timing. Single-cache rows cover all five policies; the multi tables the
+// VCover N=4 splits. (At zero latency the simulated response times reduce
+// to the execution surcharges and staleness to zero — the WAN behavior is
+// covered by event_engine_test.)
+TEST(SimGoldenTest, EventEngineAtZeroLatencyMatchesGoldenTables) {
+  const World setup{golden_params()};
+  for (std::size_t i = 0; i < std::size(kAllKinds); ++i) {
+    const EventRunResult r = run_one_event(
+        kAllKinds[i], setup.trace(), setup.cache_capacity(), setup.params(),
+        1, workload::SplitStrategy::kRoundRobin);
+    expect_matches(r.replay.combined, kSingleCacheGolden[i]);
+    EXPECT_EQ(r.staleness_seconds.max(), 0.0) << kSingleCacheGolden[i].policy;
+  }
+  for (const GoldenMulti& golden : kMultiGolden) {
+    const EventRunResult multi = run_one_event(
+        PolicyKind::kVCover, setup.trace(), setup.cache_capacity(),
+        setup.params(), 4, golden.strategy);
+    SCOPED_TRACE(workload::to_string(golden.strategy));
+    expect_matches(multi.replay.combined, golden.combined);
+    ASSERT_EQ(multi.replay.per_endpoint.size(), golden.per_endpoint.size());
+    for (std::size_t e = 0; e < golden.per_endpoint.size(); ++e) {
+      expect_matches(multi.replay.per_endpoint[e], golden.per_endpoint[e]);
+    }
+  }
+}
+
 // Regeneration helper, not a test: prints the golden tables in source form.
 TEST(SimGoldenTest, DISABLED_PrintGoldenTables) {
   const World setup{golden_params()};
