@@ -1,0 +1,111 @@
+// Micro benchmark: EventQueue scheduler backends — calendar queue vs the
+// binary-heap oracle — under the classic "hold" model at steady queue
+// depths {16, 256, 4k, 64k}.
+//
+// Each hold operation pops the earliest event and schedules a replacement
+// at now + increment, the steady-state pattern of a discrete-event
+// transport (every delivery usually schedules the next one). Two increment
+// shapes are measured per depth:
+//   * near-monotone  — small jittered increments, the link-serialization
+//     shape the calendar queue is tuned for (most inserts land in the
+//     current or next "day");
+//   * bursty-ties    — a mixture with frequent zero increments (same-
+//     instant bursts, the zero-latency configuration) and occasional long
+//     jumps that stretch the calendar span.
+// The binary heap pays O(log n) per operation; the calendar holds
+// amortized O(1) while its day width matches the live event density.
+// Honest caveat the numbers show: under a deep steady *hold* the pending
+// window slowly drifts narrower than the tuned width, and although a
+// density watchdog retunes the width (rate-limited to stay robust against
+// tie-heavy schedules), the deep near-monotone cells still favor the heap
+// — the classic calendar-queue drift pathology a ladder queue would fix
+// (see ROADMAP). The engine's operating regime is the shallow and
+// tie-burst cells: closed-loop replay keeps a handful of events pending,
+// and zero-latency runs schedule same-instant bursts. Both backends
+// produce the identical (time, seq) execution order (pinned by
+// tests/event_queue_differential_test.cpp), so this bench is purely about
+// throughput.
+//
+//   ./build/bench/micro_event_queue [key=value ...]
+//     ops=2000000   hold operations measured per cell
+//     repeats=3     timed repetitions (best is reported)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "util/config.h"
+#include "util/event_queue.h"
+#include "util/format.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace delta;
+
+/// Increment generator: deterministic per (shape, op index), so both
+/// backends replay the identical schedule.
+double increment(bool bursty, util::Rng& rng) {
+  if (!bursty) return 0.0005 + rng.uniform(0.0, 0.002);  // near-monotone
+  const double roll = rng.next_double();
+  if (roll < 0.45) return 0.0;                   // same-instant burst
+  if (roll < 0.95) return rng.uniform(0.0, 0.01);
+  return rng.uniform(10.0, 100.0);               // far jump (sparse years)
+}
+
+long long g_sink = 0;  // defeat dead-code elimination
+
+void consume(void*, std::uint64_t arg) { g_sink += static_cast<long long>(arg); }
+
+double run_cell(util::EventQueue::Backend backend, std::size_t depth,
+                bool bursty, std::int64_t ops, int repeats) {
+  double best = 0.0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    util::EventQueue q{backend};
+    util::Rng rng{depth * 31 + (bursty ? 7u : 0u)};
+    double horizon = 0.0;
+    for (std::size_t i = 0; i < depth; ++i) {
+      horizon += increment(bursty, rng);
+      q.schedule(horizon, consume, nullptr, 1);
+    }
+    const auto start = std::chrono::steady_clock::now();
+    for (std::int64_t i = 0; i < ops; ++i) {
+      q.run_one();
+      q.schedule(q.now() + increment(bursty, rng), consume, nullptr, 1);
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (rep == 0 || wall < best) best = wall;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cfg = util::Config::from_args(argc, argv);
+  const std::int64_t ops = cfg.get_int("ops", 2'000'000);
+  const int repeats = static_cast<int>(cfg.get_int("repeats", 3));
+
+  std::cout << "EventQueue scheduler hold-model throughput (" << ops
+            << " ops/cell, best of " << repeats << ")\n\n";
+  std::cout << "  depth  shape          heap ns/op  calendar ns/op  speedup\n";
+  for (const std::size_t depth : {16u, 256u, 4096u, 65536u}) {
+    for (const bool bursty : {false, true}) {
+      const double heap = run_cell(util::EventQueue::Backend::kBinaryHeap,
+                                   depth, bursty, ops, repeats);
+      const double calendar = run_cell(util::EventQueue::Backend::kCalendar,
+                                       depth, bursty, ops, repeats);
+      const double per_op = 1e9 / static_cast<double>(ops);
+      std::cout << "  " << util::fixed(static_cast<double>(depth), 0);
+      std::cout << (bursty ? "  bursty-ties  " : "  near-monotone");
+      std::cout << "  " << util::fixed(heap * per_op, 1) << "        "
+                << util::fixed(calendar * per_op, 1) << "            "
+                << util::fixed(heap / std::max(calendar, 1e-12), 2) << "x\n";
+    }
+  }
+  std::cout << "\n(sink " << g_sink << ")\n";
+  return 0;
+}

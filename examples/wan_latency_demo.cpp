@@ -8,6 +8,9 @@
 //     queries=2000 updates=2000 seed=2718 cache_frac=0.3
 //     wan_mbit=50 wan_rtt_ms=40  (cache-1's link; cache-0 stays on the LAN)
 //     tick_ms=500                (simulated ms per trace event tick)
+//     threads=1                  (worker threads for the per-partition
+//                                 parallel replay; any value reproduces the
+//                                 same numbers bit-for-bit)
 //
 // For every policy it reports what only the event engine can measure:
 // simulated response-time percentiles (actual transfer + queueing, not a
@@ -61,6 +64,8 @@ int main(int argc, char** argv) {
   engine.seconds_per_event = cfg.get_double("tick_ms", 500.0) / 1000.0;
   engine.default_link = lan;
   engine.cache_links = {lan, wan};
+  engine.parallel.num_threads =
+      static_cast<std::size_t>(cfg.get_int("threads", 1));
 
   std::cout << "world: " << setup.map()->object_count() << " objects, "
             << util::human_bytes(setup.server_bytes())

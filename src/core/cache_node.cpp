@@ -27,6 +27,7 @@ CacheNode::CacheNode(const workload::Trace* trace, ServerNode* server,
   slot_ = server_->attach_cache(name_, transport_slot_);
   server_transport_slot_ = server_->transport_slot();
   transport_inline_ = transport_->synchronous();
+  sync_request_ = request(net::MessageKind::kControl, -1, 0, -1);
 }
 
 net::Message CacheNode::request(net::MessageKind kind,
@@ -72,15 +73,25 @@ Bytes CacheNode::request_and_wait(net::MessageKind kind,
   pending_.push_back(
       Pending{correlation, expected_reply, Completion{}, &done,
               &reply_payload});
-  transport_->send_to(server_transport_slot_,
-                      request(kind, subject_id, sent_at, correlation),
-                      net::Mechanism::kOverhead);
+  // send_call, not send_to: we block on the reply below, which lets an
+  // event-driven transport run the whole round trip on its inline fast
+  // path when nothing else is due first. The prebuilt request is safe to
+  // reuse — the transport either parks a copy or delivers it before
+  // returning, so no other façade call can still be reading it.
+  net::Message& msg = sync_request_;
+  msg.kind = kind;
+  msg.subject_id = subject_id;
+  msg.sent_at = sent_at;
+  msg.correlation_id = correlation;
+  transport_->send_call(server_transport_slot_, msg,
+                        net::Mechanism::kOverhead);
   if (transport_inline_) {
     // Synchronous transport: the reply was delivered inside the send.
     DELTA_CHECK_MSG(done, "request did not complete inline on a "
                           "synchronous transport");
-  } else {
-    transport_->wait_until([&done] { return done; });
+  } else if (!done) {
+    transport_->wait_until(
+        [](void* flag) { return *static_cast<bool*>(flag); }, &done);
   }
   return reply_payload;
 }

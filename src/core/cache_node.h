@@ -141,6 +141,11 @@ class CacheNode {
   const workload::Trace* trace_;
   ServerNode* server_;
   net::Transport* transport_;
+  /// Prebuilt request message for the sync façade: sender identity fields
+  /// are set once at construction, so request_and_wait only writes the
+  /// four per-request fields. Safe to reuse because every send parks a
+  /// copy (or delivers inline) before control can re-enter the façade.
+  net::Message sync_request_;
   std::string name_;
   std::size_t slot_;  // this cache's row in the server registration table
   std::size_t transport_slot_ = 0;         // this endpoint's own slot

@@ -12,6 +12,9 @@ ServerNode::ServerNode(const workload::Trace* trace,
   object_bytes_ = trace->initial_object_bytes;
   transport_slot_ = transport_->register_endpoint(
       name_, [this](const net::Message& m) { handle_message(m); });
+  reply_template_.sender = name_;
+  reply_template_.sender_transport_slot =
+      static_cast<std::int32_t>(transport_slot_);
 }
 
 void ServerNode::validate_cache_name(const std::string& cache_name) const {
@@ -65,12 +68,11 @@ ServerNode::CacheEntry& ServerNode::sender_entry(const net::Message& m) {
 
 void ServerNode::handle_message(const net::Message& m) {
   // The server answers requests with data-bearing replies addressed to the
-  // requesting cache endpoint.
-  net::Message reply;
+  // requesting cache endpoint. The prebuilt reply is safe to reuse per
+  // request: the transport parks a copy or delivers it before returning.
+  net::Message& reply = reply_template_;
   reply.subject_id = m.subject_id;
   reply.sent_at = m.sent_at;
-  reply.sender = name_;
-  reply.sender_transport_slot = static_cast<std::int32_t>(transport_slot_);
   // Echo the request's correlation id so the cache's pending-request table
   // can match the reply even when deliveries interleave (DelayedTransport).
   reply.correlation_id = m.correlation_id;

@@ -88,6 +88,9 @@ class ServerNode {
   net::Transport* transport_;
   std::string name_;
   std::size_t transport_slot_ = 0;
+  /// Prebuilt reply message: sender identity set once at construction,
+  /// handle_message fills the per-reply fields (see the note there).
+  net::Message reply_template_;
   std::vector<Bytes> object_bytes_;  // server-side current sizes
   std::vector<CacheEntry> caches_;
   std::unordered_map<std::string, std::size_t> slot_by_name_;

@@ -8,8 +8,11 @@
 namespace delta::net {
 
 DelayedTransport::DelayedTransport(util::EventQueue* events,
-                                   LinkModel default_link)
-    : events_(events), default_link_(default_link) {
+                                   LinkModel default_link,
+                                   bool aggregate_metering)
+    : events_(events),
+      default_link_(default_link),
+      aggregate_metering_(aggregate_metering) {
   DELTA_CHECK(events != nullptr);
 }
 
@@ -23,9 +26,28 @@ std::size_t DelayedTransport::register_endpoint(const std::string& name,
   }
   const std::size_t slot = endpoints_.size();
   index_.emplace(name, slot);
-  endpoints_.push_back(
-      Endpoint{name, std::move(handler), TrafficMeter{}, UplinkStats{}});
+  endpoints_.push_back(Endpoint{name, std::move(handler), TrafficMeter{}});
+  endpoint_count_ = endpoints_.size();
+  uplink_.push_back(UplinkStats{});
+  grow_link_grid();
   return slot;
+}
+
+void DelayedTransport::grow_link_grid() {
+  // Rebuild the dense (sender row, destination column) grid around the new
+  // endpoint count. Existing links keep their model and busy horizon (the
+  // wire does not forget its backlog when the topology grows).
+  const std::size_t old_cols = grid_cols_;
+  const std::size_t new_cols = endpoints_.size();
+  std::vector<Link> grid((new_cols + 1) * new_cols,
+                         Link{default_link_, 0.0});
+  for (std::size_t row = 0; row < old_cols + 1; ++row) {
+    for (std::size_t col = 0; col < old_cols; ++col) {
+      grid[row * new_cols + col] = link_grid_[row * old_cols + col];
+    }
+  }
+  link_grid_ = std::move(grid);
+  grid_cols_ = new_cols;
 }
 
 std::size_t DelayedTransport::endpoint_slot(const std::string& name) const {
@@ -44,20 +66,31 @@ void DelayedTransport::send(const std::string& destination,
 
 void DelayedTransport::send_to(std::size_t destination_slot,
                                const Message& message, Mechanism mechanism) {
-  DELTA_CHECK_MSG(destination_slot < endpoints_.size(),
+  DELTA_CHECK_MSG(destination_slot < endpoint_count_,
                   "unknown endpoint slot " << destination_slot);
   schedule_delivery(destination_slot, message, mechanism);
 }
 
-void DelayedTransport::wait_until(const std::function<bool()>& done) {
-  events_->pump_until(done);
+void DelayedTransport::send_to(std::size_t destination_slot,
+                               Message& message, Mechanism mechanism) {
+  DELTA_CHECK_MSG(destination_slot < endpoint_count_,
+                  "unknown endpoint slot " << destination_slot);
+  const LinkTiming timing = plan_transfer(message, destination_slot);
+  if (reply_window_) {
+    // First send while a send_call request is being handled: this is the
+    // reply its sender is blocked on, and the caller owns the message —
+    // stamp in place, no copy (the path every server reply takes).
+    reply_window_ = false;
+    if (deliver_inline(destination_slot, message, mechanism, timing,
+                       /*request_window=*/false)) {
+      return;
+    }
+  }
+  schedule_flight(destination_slot, message, mechanism, timing);
 }
 
-std::uint64_t DelayedTransport::link_key(std::size_t from, std::size_t to) {
-  // kExternalSource wraps to 0; registered slots start at 1.
-  const auto from32 = static_cast<std::uint32_t>(from + 1);
-  return (static_cast<std::uint64_t>(from32) << 32) |
-         static_cast<std::uint32_t>(to);
+void DelayedTransport::wait_until(WaitPredicate done, void* ctx) {
+  events_->pump_until([done, ctx] { return done(ctx); });
 }
 
 std::size_t DelayedTransport::resolve_sender(const Message& message) const {
@@ -66,7 +99,7 @@ std::size_t DelayedTransport::resolve_sender(const Message& message) const {
   // in ServerNode::sender_entry).
   if (message.sender_transport_slot >= 0 &&
       static_cast<std::size_t>(message.sender_transport_slot) <
-          endpoints_.size()) {
+          endpoint_count_) {
     const auto slot =
         static_cast<std::size_t>(message.sender_transport_slot);
     // A slot from another transport instance (or a forged one) must not be
@@ -76,11 +109,6 @@ std::size_t DelayedTransport::resolve_sender(const Message& message) const {
   }
   const auto it = index_.find(message.sender);
   return it == index_.end() ? kExternalSource : it->second;
-}
-
-DelayedTransport::Link& DelayedTransport::link_between(std::size_t from,
-                                                       std::size_t to) {
-  return *links_.try_emplace(link_key(from, to), default_link_).first;
 }
 
 void DelayedTransport::set_link(const std::string& from,
@@ -96,9 +124,17 @@ void DelayedTransport::set_duplex_link(const std::string& a,
   set_link(b, a, link);
 }
 
-void DelayedTransport::schedule_delivery(std::size_t destination_slot,
-                                         const Message& message,
-                                         Mechanism mechanism) {
+DelayedTransport::LinkTiming DelayedTransport::plan_transfer(
+    const Message& message, std::size_t destination_slot) {
+  // The inline fast path's exactness rests on "one send per handled
+  // request": while a send_call dispatch is on the stack, the clock may
+  // already sit at the reply's arrival, so any send after the window was
+  // consumed would be planned at the wrong instant. Fail loudly instead
+  // of silently diverging from the queue schedule.
+  DELTA_CHECK_MSG(!inline_dispatch_ || reply_window_,
+                  "handler sent more than one message while its request "
+                  "was delivered inline (send_call fast path supports "
+                  "exactly one reply; use send_to from an async context)");
   const std::size_t sender_slot = resolve_sender(message);
   Link& link = link_between(sender_slot, destination_slot);
 
@@ -107,18 +143,81 @@ void DelayedTransport::schedule_delivery(std::size_t destination_slot,
   const double serialization =
       link.model.serialization_seconds(message.payload + kMessageHeaderBytes);
   link.busy_until = depart + serialization;
-  const util::SimTime deliver_at =
-      depart + serialization + link.model.one_way_seconds();
 
   if (sender_slot != kExternalSource) {
-    UplinkStats& uplink = endpoints_[sender_slot].uplink;
+    UplinkStats& uplink = uplink_[sender_slot];
     ++uplink.sends;
     uplink.busy_seconds += serialization;
-    const double wait = depart - now;
-    uplink.total_queue_wait += wait;
-    uplink.max_queue_wait = std::max(uplink.max_queue_wait, wait);
+    if (depart > now) {  // queued behind an earlier send (wait > 0)
+      const double wait = depart - now;
+      uplink.total_queue_wait += wait;
+      uplink.max_queue_wait = std::max(uplink.max_queue_wait, wait);
+    }
   }
+  return LinkTiming{now,
+                    depart + serialization + link.model.one_way_seconds()};
+}
 
+void DelayedTransport::schedule_delivery(std::size_t destination_slot,
+                                         const Message& message,
+                                         Mechanism mechanism) {
+  const LinkTiming timing = plan_transfer(message, destination_slot);
+  if (reply_window_) {
+    // First send while a send_call request is being handled: this is the
+    // reply its sender is blocked on, so the clock may fast-forward to its
+    // arrival when nothing executes earlier (see send_call). const-ref
+    // senders get a stamped copy.
+    reply_window_ = false;
+    Message stamped = message;
+    if (deliver_inline(destination_slot, stamped, mechanism, timing,
+                       /*request_window=*/false)) {
+      return;
+    }
+  }
+  schedule_flight(destination_slot, message, mechanism, timing);
+}
+
+void DelayedTransport::send_call(std::size_t destination_slot,
+                                 Message& message, Mechanism mechanism) {
+  DELTA_CHECK_MSG(destination_slot < endpoint_count_,
+                  "unknown endpoint slot " << destination_slot);
+  const LinkTiming timing = plan_transfer(message, destination_slot);
+  // The caller blocks until the reply, so jumping the clock to the
+  // request's arrival is exactly what popping it off the queue would have
+  // done — minus the queue round trip and the in-flight copy. The message
+  // is stamped in place (the caller owns it).
+  if (deliver_inline(destination_slot, message, mechanism, timing,
+                     /*request_window=*/true)) {
+    return;
+  }
+  schedule_flight(destination_slot, message, mechanism, timing);
+}
+
+bool DelayedTransport::deliver_inline(std::size_t destination_slot,
+                                      Message& message, Mechanism mechanism,
+                                      const LinkTiming& timing,
+                                      bool request_window) {
+  if (!can_deliver_inline(timing.deliver_at)) return false;
+  events_->fast_forward(timing.deliver_at);
+  message.sim_sent_at = timing.sent_at;
+  message.sim_delivered_at = timing.deliver_at;
+  if (request_window) {
+    const bool outer_dispatch = inline_dispatch_;
+    inline_dispatch_ = true;
+    reply_window_ = true;
+    deliver(destination_slot, message, mechanism);
+    reply_window_ = false;
+    inline_dispatch_ = outer_dispatch;
+  } else {
+    deliver(destination_slot, message, mechanism);
+  }
+  return true;
+}
+
+void DelayedTransport::schedule_flight(std::size_t destination_slot,
+                                       const Message& message,
+                                       Mechanism mechanism,
+                                       const LinkTiming& timing) {
   std::uint32_t flight_index;
   if (flight_free_.empty()) {
     flight_index = static_cast<std::uint32_t>(flight_pool_.size());
@@ -129,13 +228,18 @@ void DelayedTransport::schedule_delivery(std::size_t destination_slot,
   }
   InFlight& flight = flight_pool_[flight_index];
   flight.message = message;
-  flight.message.sim_sent_at = now;
-  flight.message.sim_delivered_at = deliver_at;
+  flight.message.sim_sent_at = timing.sent_at;
+  flight.message.sim_delivered_at = timing.deliver_at;
   flight.destination_slot = destination_slot;
   flight.mechanism = mechanism;
   ++in_flight_;
-  events_->schedule(deliver_at,
-                    [this, flight_index] { deliver_pooled(flight_index); });
+  events_->schedule(
+      timing.deliver_at,
+      [](void* self, std::uint64_t index) {
+        static_cast<DelayedTransport*>(self)->deliver_pooled(
+            static_cast<std::uint32_t>(index));
+      },
+      this, flight_index);
 }
 
 void DelayedTransport::deliver_pooled(std::uint32_t flight_index) {
@@ -147,19 +251,27 @@ void DelayedTransport::deliver_pooled(std::uint32_t flight_index) {
   const std::size_t destination_slot = flight.destination_slot;
   const Mechanism mechanism = flight.mechanism;
   flight_free_.push_back(flight_index);
+  --in_flight_;
+  // A popped delivery is never the fast-path reply target: the window is
+  // only open across an inline send_call dispatch.
   deliver(destination_slot, delivered, mechanism);
 }
 
 void DelayedTransport::deliver(std::size_t destination_slot,
                                const Message& message, Mechanism mechanism) {
-  --in_flight_;
   Endpoint& endpoint = endpoints_[destination_slot];
-  meter_.record(mechanism, message.payload);
-  meter_.record(Mechanism::kOverhead, kMessageHeaderBytes);
+  if (aggregate_metering_) {
+    meter_.record(mechanism, message.payload);
+    meter_.record(Mechanism::kOverhead, kMessageHeaderBytes);
+  }
   endpoint.meter.record(mechanism, message.payload);
   endpoint.meter.record(Mechanism::kOverhead, kMessageHeaderBytes);
   ++delivered_;
-  if (observer_) observer_(message, destination_slot);
+  if (observer_ != nullptr &&
+      (observer_kind_ < 0 ||
+       observer_kind_ == static_cast<std::int16_t>(message.kind))) {
+    observer_(observer_ctx_, message, destination_slot);
+  }
   endpoint.handler(message);
 }
 
@@ -174,7 +286,7 @@ const TrafficMeter& DelayedTransport::endpoint_meter(
 
 const TrafficMeter& DelayedTransport::endpoint_meter(
     std::size_t slot) const {
-  DELTA_CHECK_MSG(slot < endpoints_.size(),
+  DELTA_CHECK_MSG(slot < endpoint_count_,
                   "no meter: unknown endpoint slot " << slot);
   return endpoints_[slot].meter;
 }
@@ -186,14 +298,24 @@ std::vector<std::string> DelayedTransport::endpoint_names() const {
   return names;
 }
 
-void DelayedTransport::set_delivery_observer(DeliveryObserver observer) {
-  observer_ = std::move(observer);
+void DelayedTransport::set_delivery_observer(DeliveryObserver observer,
+                                             void* ctx) {
+  observer_ = observer;
+  observer_ctx_ = ctx;
+  observer_kind_ = -1;
+}
+
+void DelayedTransport::set_delivery_observer(DeliveryObserver observer,
+                                             void* ctx, MessageKind kind) {
+  observer_ = observer;
+  observer_ctx_ = ctx;
+  observer_kind_ = static_cast<std::int16_t>(kind);
 }
 
 const UplinkStats& DelayedTransport::uplink_stats(std::size_t slot) const {
-  DELTA_CHECK_MSG(slot < endpoints_.size(),
+  DELTA_CHECK_MSG(slot < endpoint_count_,
                   "no uplink stats: unknown endpoint slot " << slot);
-  return endpoints_[slot].uplink;
+  return uplink_[slot];
 }
 
 }  // namespace delta::net

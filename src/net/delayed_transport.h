@@ -33,7 +33,6 @@
 #include "net/traffic_meter.h"
 #include "net/transport.h"
 #include "util/event_queue.h"
-#include "util/flat_map.h"
 
 namespace delta::net {
 
@@ -52,14 +51,24 @@ class DelayedTransport final : public Transport {
  public:
   /// Called on every delivery, after metering, before the destination
   /// handler. The message carries its sim_sent_at/sim_delivered_at stamps —
-  /// the event engine derives its staleness yardstick from them.
-  using DeliveryObserver =
-      std::function<void(const Message&, std::size_t destination_slot)>;
+  /// the event engine derives its staleness yardstick from them. A typed
+  /// function pointer plus context, like every other per-delivery hook:
+  /// the observer fires once per delivered message.
+  using DeliveryObserver = void (*)(void* ctx, const Message& message,
+                                    std::size_t destination_slot);
 
   /// The queue outlives the transport. Links default to `default_link`
   /// until configured individually.
+  ///
+  /// `aggregate_metering = false` drops the per-delivery aggregate-meter
+  /// records (meter() then becomes a checked failure): by the partition
+  /// invariant the aggregate is exactly the sum of the per-endpoint
+  /// meters, so a caller that owns all endpoints (the event engine's
+  /// replica shards) can derive it at its snapshot points instead of
+  /// paying two extra meter records on every delivered message.
   explicit DelayedTransport(util::EventQueue* events,
-                            LinkModel default_link = LinkModel{});
+                            LinkModel default_link = LinkModel{},
+                            bool aggregate_metering = true);
 
   // ---- Transport interface ----
 
@@ -71,10 +80,24 @@ class DelayedTransport final : public Transport {
       const std::string& name) const override;
   void send_to(std::size_t destination_slot, const Message& message,
                Mechanism mechanism) override;
+  void send_to(std::size_t destination_slot, Message& message,
+               Mechanism mechanism) override;
+  void send_call(std::size_t destination_slot, Message& message,
+                 Mechanism mechanism) override;
   [[nodiscard]] bool synchronous() const override { return false; }
-  void wait_until(const std::function<bool()>& done) override;
-  [[nodiscard]] const TrafficMeter& meter() const override { return meter_; }
-  TrafficMeter& meter() override { return meter_; }
+  void wait_until(WaitPredicate done, void* ctx) override;
+  [[nodiscard]] const TrafficMeter& meter() const override {
+    DELTA_CHECK_MSG(aggregate_metering_,
+                    "aggregate metering disabled: derive totals from the "
+                    "per-endpoint meters (they partition the aggregate)");
+    return meter_;
+  }
+  TrafficMeter& meter() override {
+    DELTA_CHECK_MSG(aggregate_metering_,
+                    "aggregate metering disabled: derive totals from the "
+                    "per-endpoint meters (they partition the aggregate)");
+    return meter_;
+  }
   [[nodiscard]] bool has_endpoint(const std::string& name) const override;
   [[nodiscard]] const TrafficMeter& endpoint_meter(
       const std::string& name) const override;
@@ -97,7 +120,13 @@ class DelayedTransport final : public Transport {
 
   // ---- simulation-side instrumentation ----
 
-  void set_delivery_observer(DeliveryObserver observer);
+  /// Observes every delivered message.
+  void set_delivery_observer(DeliveryObserver observer, void* ctx);
+  /// Observes only deliveries of `kind` — other kinds skip even the
+  /// observer call (the engine's staleness probe watches invalidations,
+  /// a small fraction of the message stream).
+  void set_delivery_observer(DeliveryObserver observer, void* ctx,
+                             MessageKind kind);
 
   [[nodiscard]] const UplinkStats& uplink_stats(std::size_t slot) const;
   [[nodiscard]] std::int64_t delivered_count() const { return delivered_; }
@@ -109,7 +138,6 @@ class DelayedTransport final : public Transport {
     std::string name;
     MessageHandler handler;
     TrafficMeter meter;
-    UplinkStats uplink;
   };
 
   struct Link {
@@ -123,37 +151,98 @@ class DelayedTransport final : public Transport {
   static constexpr std::size_t kExternalSource =
       static_cast<std::size_t>(-1);
 
-  /// A scheduled-but-undelivered message, pooled so each send's event-
-  /// queue closure captures only {this, pool index} — small enough for
-  /// std::function's inline buffer, so scheduling allocates nothing once
-  /// the pool is warm.
+  /// A scheduled-but-undelivered message, pooled so each send's event
+  /// record is just {trampoline, this, pool index} — scheduling a delivery
+  /// never allocates once the pool is warm.
   struct InFlight {
     Message message;
     std::size_t destination_slot = 0;
     Mechanism mechanism = Mechanism::kOverhead;
   };
 
-  [[nodiscard]] static std::uint64_t link_key(std::size_t from,
-                                              std::size_t to);
   [[nodiscard]] std::size_t resolve_sender(const Message& message) const;
-  [[nodiscard]] Link& link_between(std::size_t from, std::size_t to);
+  /// Row in the dense link grid for a sender slot (external senders share
+  /// row 0).
+  [[nodiscard]] std::size_t link_row(std::size_t from) const {
+    return from == kExternalSource ? 0 : from + 1;
+  }
+  [[nodiscard]] Link& link_between(std::size_t from, std::size_t to) {
+    return link_grid_[link_row(from) * grid_cols_ + to];
+  }
+
+  /// Send/arrival instants of one transfer. Computing them runs the link
+  /// state machine (FIFO depart, serialization occupancy, uplink stats) —
+  /// call exactly once per message.
+  struct LinkTiming {
+    util::SimTime sent_at = 0.0;
+    util::SimTime deliver_at = 0.0;
+  };
+  [[nodiscard]] LinkTiming plan_transfer(const Message& message,
+                                         std::size_t destination_slot);
+
+  /// True when the queue holds nothing that would execute before an event
+  /// at `deliver_at` — the guard under which delivering inline (after
+  /// fast-forwarding the clock) is indistinguishable from a trip through
+  /// the queue. Strict: a pending event at exactly `deliver_at` was
+  /// scheduled earlier, so it must run first.
+  [[nodiscard]] bool can_deliver_inline(util::SimTime deliver_at) {
+    return events_->next_time() > deliver_at;
+  }
+
   void schedule_delivery(std::size_t destination_slot, const Message& message,
                          Mechanism mechanism);
+  /// Inline (fast-forwarded clock) delivery of `message`, stamped in
+  /// place, when can_deliver_inline allows; returns false when the event
+  /// queue must carry the message instead. `request_window` opens the
+  /// one-shot reply window across the dispatch (the send_call case).
+  bool deliver_inline(std::size_t destination_slot, Message& message,
+                      Mechanism mechanism, const LinkTiming& timing,
+                      bool request_window);
+  void schedule_flight(std::size_t destination_slot, const Message& message,
+                       Mechanism mechanism, const LinkTiming& timing);
   void deliver_pooled(std::uint32_t flight_index);
   void deliver(std::size_t destination_slot, const Message& message,
                Mechanism mechanism);
 
+  void grow_link_grid();
+
   util::EventQueue* events_;
   LinkModel default_link_;
+  bool aggregate_metering_ = true;
   /// Deque so endpoint meters stay at stable addresses as later endpoints
   /// register (same contract as LoopbackTransport).
   std::deque<Endpoint> endpoints_;
+  /// Cached endpoints_.size(): the per-send slot checks must not pay the
+  /// deque's iterator arithmetic.
+  std::size_t endpoint_count_ = 0;
+  /// Uplink stats live outside Endpoint in a flat vector: plan_transfer
+  /// touches them once per sent message, and deque indexing costs an
+  /// integer division per access.
+  std::vector<UplinkStats> uplink_;
   std::unordered_map<std::string, std::size_t> index_;
-  util::FlatMap<std::uint64_t, Link> links_;
+  /// Dense per-directed-pair link state, (endpoints + 1) rows (row 0 =
+  /// external senders) by `grid_cols_` destination columns: the per-send
+  /// link lookup is one multiply-add instead of a hash probe. Rebuilt
+  /// (preserving busy horizons) when an endpoint registers.
+  std::vector<Link> link_grid_;
+  std::size_t grid_cols_ = 0;
   std::vector<InFlight> flight_pool_;
   std::vector<std::uint32_t> flight_free_;
   TrafficMeter meter_;
-  DeliveryObserver observer_;
+  DeliveryObserver observer_ = nullptr;
+  void* observer_ctx_ = nullptr;
+  /// Kind filter for the observer; negative = observe all kinds.
+  std::int16_t observer_kind_ = -1;
+  /// One-shot flag raised while a send_call request is being handled: the
+  /// first send inside that window is the blocked caller's reply and may
+  /// take the same inline fast path.
+  bool reply_window_ = false;
+  /// True while a send_call request dispatch is on the stack. The inline
+  /// fast path is exact only while the handled request triggers at most
+  /// ONE further send (the reply): a second send would be planned at the
+  /// fast-forwarded clock instead of the request's arrival instant, so
+  /// plan_transfer fails loudly on it (see the check there).
+  bool inline_dispatch_ = false;
   std::int64_t delivered_ = 0;
   std::int64_t in_flight_ = 0;
 };

@@ -7,23 +7,16 @@
 namespace delta::net {
 
 LinkModel::LinkModel(double bandwidth_bytes_per_sec, double rtt_seconds)
-    : bandwidth_(bandwidth_bytes_per_sec), rtt_(rtt_seconds) {
+    : bandwidth_(bandwidth_bytes_per_sec),
+      inv_bandwidth_(1.0 / bandwidth_bytes_per_sec),
+      rtt_(rtt_seconds) {
   DELTA_CHECK(bandwidth_ > 0.0);
   DELTA_CHECK(rtt_ >= 0.0);
 }
 
 LinkModel LinkModel::zero_latency() {
+  // 1/inf == 0.0: serialization collapses to exactly zero seconds.
   return LinkModel{std::numeric_limits<double>::infinity(), 0.0};
-}
-
-double LinkModel::serialization_seconds(Bytes size) const {
-  DELTA_CHECK(size.count() >= 0);
-  return size.as_double() / bandwidth_;
-}
-
-double LinkModel::transfer_seconds(Bytes size) const {
-  DELTA_CHECK(size.count() >= 0);
-  return rtt_ + size.as_double() / bandwidth_;
 }
 
 }  // namespace delta::net

@@ -16,6 +16,7 @@
 // and read the simulated timestamps instead.
 #pragma once
 
+#include "util/check.h"
 #include "util/types.h"
 
 namespace delta::net {
@@ -32,8 +33,13 @@ class LinkModel {
   /// golden-equivalence configuration).
   [[nodiscard]] static LinkModel zero_latency();
 
-  /// Seconds the link is occupied serializing `size` bytes (bytes/bandwidth).
-  [[nodiscard]] double serialization_seconds(Bytes size) const;
+  /// Seconds the link is occupied serializing `size` bytes
+  /// (bytes/bandwidth). Inline multiply by the cached reciprocal: this
+  /// runs once per scheduled message on the event-engine hot path.
+  [[nodiscard]] double serialization_seconds(Bytes size) const {
+    DELTA_DCHECK(size.count() >= 0);
+    return size.as_double() * inv_bandwidth_;
+  }
 
   /// One-way propagation delay (RTT/2).
   [[nodiscard]] double one_way_seconds() const { return rtt_ / 2.0; }
@@ -42,13 +48,18 @@ class LinkModel {
   /// size as one round trip plus serialization (linear scaling, valid for
   /// transfers much larger than a frame, per the TCP assumption the paper
   /// cites). Kept for the synchronous engines' response-time yardstick.
-  [[nodiscard]] double transfer_seconds(Bytes size) const;
+  [[nodiscard]] double transfer_seconds(Bytes size) const {
+    DELTA_DCHECK(size.count() >= 0);
+    return rtt_ + size.as_double() * inv_bandwidth_;
+  }
 
   [[nodiscard]] double bandwidth_bytes_per_sec() const { return bandwidth_; }
   [[nodiscard]] double rtt_seconds() const { return rtt_; }
 
  private:
   double bandwidth_;
+  /// 1/bandwidth (0.0 for an infinite-bandwidth zero-latency link).
+  double inv_bandwidth_;
   double rtt_;
 };
 

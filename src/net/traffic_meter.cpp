@@ -24,17 +24,6 @@ TrafficMeter& TrafficMeter::operator=(const TrafficMeter& other) {
   return *this;
 }
 
-Bytes TrafficMeter::total(Mechanism mechanism) const {
-  return Bytes{totals_[static_cast<std::size_t>(mechanism)].load(
-      std::memory_order_relaxed)};
-}
-
-Bytes TrafficMeter::figure_total() const {
-  return Bytes{totals_[0].load(std::memory_order_relaxed) +
-               totals_[1].load(std::memory_order_relaxed) +
-               totals_[2].load(std::memory_order_relaxed)};
-}
-
 std::int64_t TrafficMeter::message_count(Mechanism mechanism) const {
   return counts_[static_cast<std::size_t>(mechanism)].load(
       std::memory_order_relaxed);

@@ -71,11 +71,20 @@ class TrafficMeter {
                      std::memory_order_relaxed);
   }
 
-  [[nodiscard]] Bytes total(Mechanism mechanism) const;
+  [[nodiscard]] Bytes total(Mechanism mechanism) const {
+    return Bytes{totals_[static_cast<std::size_t>(mechanism)].load(
+        std::memory_order_relaxed)};
+  }
 
   /// Figure total: query shipping + update shipping + object loading
-  /// (overhead excluded, as in the paper's cost model).
-  [[nodiscard]] Bytes figure_total() const;
+  /// (overhead excluded, as in the paper's cost model). Inline: the replay
+  /// loops read it once per meter per trace event for the cumulative
+  /// series.
+  [[nodiscard]] Bytes figure_total() const {
+    return Bytes{totals_[0].load(std::memory_order_relaxed) +
+                 totals_[1].load(std::memory_order_relaxed) +
+                 totals_[2].load(std::memory_order_relaxed)};
+  }
 
   [[nodiscard]] std::int64_t message_count(Mechanism mechanism) const;
 

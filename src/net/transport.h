@@ -56,18 +56,47 @@ class Transport {
   virtual void send_to(std::size_t destination_slot, const Message& message,
                        Mechanism mechanism) = 0;
 
+  /// Mutable-message variant of send_to — identical semantics, but the
+  /// transport may stamp simulated timestamps into `message` in place
+  /// instead of copying it (senders that keep the message own it). Non-
+  /// const lvalue arguments resolve here automatically; the default
+  /// forwards to the const overload.
+  virtual void send_to(std::size_t destination_slot, Message& message,
+                       Mechanism mechanism) {
+    send_to(destination_slot, static_cast<const Message&>(message),
+            mechanism);
+  }
+
+  /// Sends a request whose reply the caller is about to block on (the
+  /// sync-façade round trip), stamping any simulated timestamps into
+  /// `message` in place. Semantically identical to send_to; the blocking
+  /// contract lets an event-driven transport fast-forward its clock to the
+  /// delivery instant and deliver inline — skipping the event queue — when
+  /// no earlier event is pending, and extend the same fast path to the
+  /// reply sent while this request is being handled. Callers that do NOT
+  /// immediately wait for the reply must use send_to.
+  virtual void send_call(std::size_t destination_slot, Message& message,
+                         Mechanism mechanism) {
+    send_to(destination_slot, message, mechanism);
+  }
+
   /// True when send() delivers (and meters) inline before returning —
   /// LoopbackTransport. Event-driven transports return false: delivery
   /// happens when the simulated clock reaches the message's arrival time.
   [[nodiscard]] virtual bool synchronous() const { return true; }
 
-  /// Blocks the caller until `done()` holds. On a synchronous transport
+  /// Completion predicate for wait_until: a plain function pointer plus a
+  /// context pointer, so the per-request wait of a sync façade constructs
+  /// no std::function (the wait sits on the replay hot path).
+  using WaitPredicate = bool (*)(void* ctx);
+
+  /// Blocks the caller until `done(ctx)` holds. On a synchronous transport
   /// every request has already completed inline, so the default merely
   /// checks; an event-driven transport overrides this to pump its event
   /// queue (delivering any messages in flight) until the condition holds.
   /// This is the primitive the CacheNode sync façade awaits replies with.
-  virtual void wait_until(const std::function<bool()>& done) {
-    DELTA_CHECK_MSG(done(),
+  virtual void wait_until(WaitPredicate done, void* ctx) {
+    DELTA_CHECK_MSG(done(ctx),
                     "request did not complete inline on a synchronous "
                     "transport");
   }

@@ -1,69 +1,137 @@
+// Cold paths of the calendar scheduler: sorted-bucket insertion off the
+// monotone fast path, the direct min search that rescues a sparse queue
+// after an empty "year", the width-retuning resize, and the heap oracle's
+// pop. The hot primitives live in event_queue.h so the replay loops inline
+// them.
 #include "util/event_queue.h"
 
 #include <algorithm>
-#include <utility>
-
-#include "util/check.h"
 
 namespace delta::util {
 
-void SimClock::advance_to(SimTime t) {
-  DELTA_CHECK_MSG(t >= now_, "simulated time cannot move backwards ("
-                                 << t << " < " << now_ << ")");
-  now_ = t;
+void EventQueue::calendar_insert_sorted(Bucket& bucket, const Event& event) {
+  // Position within the unconsumed tail; everything before head is already
+  // executed, so an insert never lands there (the event would have had to
+  // be scheduled into the past, which schedule() rejects).
+  const auto begin = bucket.events.begin() +
+                     static_cast<std::ptrdiff_t>(bucket.head);
+  const auto pos = std::upper_bound(
+      begin, bucket.events.end(), event,
+      [](const Event& a, const Event& b) { return later(b, a); });
+  bucket.events.insert(pos, event);
+
+  // Density watchdog: a steady hold pattern drifts the whole pending
+  // window far narrower than the tuned day width (size-triggered resizes
+  // never fire at constant depth), collapsing every event into a couple of
+  // days and turning each insert into a long memmove. When one day holds a
+  // crowd that a narrower width could actually spread (ties cannot be
+  // split — skip those), re-tune — rate-limited so degenerate schedules
+  // cannot thrash the rebuild.
+  if (bucket.events.size() - bucket.head > 64 && size_ > 128 &&
+      schedules_since_retune_ > size_ &&
+      bucket.events.back().time > bucket.events[bucket.head].time) {
+    calendar_resize(buckets_.size());
+  }
 }
 
-bool EventQueue::later(const Scheduled& a, const Scheduled& b) {
-  if (a.time != b.time) return a.time > b.time;
-  return a.seq > b.seq;
+const EventQueue::Event& EventQueue::calendar_direct_search() {
+  // A whole year of days held nothing due: the queue is sparse relative to
+  // its span. Find the global earliest head (buckets are sorted, so heads
+  // suffice) and jump the scan cursor to its day.
+  const Event* earliest = nullptr;
+  for (const Bucket& bucket : buckets_) {
+    if (bucket.head >= bucket.events.size()) continue;
+    const Event& head = bucket.events[bucket.head];
+    if (earliest == nullptr || later(*earliest, head)) earliest = &head;
+  }
+  DELTA_CHECK_MSG(earliest != nullptr,
+                  "calendar scan found no event while size() > 0");
+  scan_vb_ = virtual_bucket(earliest->time);
+  return *earliest;
 }
 
-void EventQueue::schedule(SimTime time, Action action) {
-  DELTA_CHECK(action != nullptr);
-  DELTA_CHECK_MSG(time >= clock_.now(),
-                  "cannot schedule into the past (" << time << " < "
-                                                   << clock_.now() << ")");
-  heap_.push_back(Scheduled{time, next_seq_++, std::move(action)});
-  std::push_heap(heap_.begin(), heap_.end(), later);
+void EventQueue::calendar_resize(std::size_t bucket_count) {
+  // Collect the unconsumed records, retune the day width to the density
+  // near the head of the schedule, and redistribute. Ascending reinsertion
+  // keeps every bucket sorted with a plain append.
+  std::vector<Event> live;
+  live.reserve(size_);
+  for (Bucket& bucket : buckets_) {
+    for (std::size_t i = bucket.head; i < bucket.events.size(); ++i) {
+      live.push_back(bucket.events[i]);
+    }
+  }
+  std::sort(live.begin(), live.end(),
+            [](const Event& a, const Event& b) { return later(b, a); });
+
+  if (bucket_count == buckets_.size()) {
+    // Width-only retune: reuse every bucket's storage instead of paying a
+    // free+malloc per day (the density watchdog may fire periodically on
+    // drifting steady-state schedules).
+    for (Bucket& bucket : buckets_) {
+      bucket.events.clear();
+      bucket.head = 0;
+    }
+  } else {
+    buckets_.assign(bucket_count, Bucket{});
+  }
+  occupied_.assign(bucket_count <= 64 ? 1 : bucket_count / 64, 0);
+  schedules_since_retune_ = 0;
+  if (live.empty()) {
+    width_ = 1.0;
+    inv_width_ = 1.0;
+    scan_vb_ = virtual_bucket(clock_.now());
+    return;
+  }
+  // Aim at ~4 events per day, with the density measured over the head of
+  // the schedule (up to 1k events) rather than the full span: one far
+  // outlier must not widen every day by orders of magnitude. The x4
+  // margin keeps the "year" (bucket_count * width) comfortably above the
+  // live window, so steady-state inserts do not wrap a year ahead.
+  const std::size_t window =
+      std::min<std::size_t>(live.size() - 1, 1024);
+  SimTime span = window > 0 ? live[window].time - live.front().time : 0.0;
+  SimTime width = span * 4.0 / static_cast<SimTime>(window > 0 ? window : 1);
+  if (!(width > 0.0)) {
+    // Head window is all ties; fall back to the full spread.
+    const SimTime spread = live.back().time - live.front().time;
+    width = spread * 4.0 / static_cast<SimTime>(live.size());
+  }
+  // Degenerate spreads (everything due the same instant) or widths so
+  // small that day numbers would overflow the scan arithmetic fall back to
+  // a safe constant / floor.
+  const SimTime floor_width = live.back().time * 1e-12;
+  if (!(width > floor_width)) width = floor_width;
+  if (!(width > 0.0)) width = 1.0;
+  width_ = width;
+  inv_width_ = 1.0 / width;
+  scan_vb_ = virtual_bucket(live.front().time);
+  for (const Event& event : live) {
+    const std::size_t slot =
+        static_cast<std::size_t>(virtual_bucket(event.time)) & bucket_mask();
+    buckets_[slot].events.push_back(event);
+    occupied_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+  }
 }
 
-EventQueue::Scheduled EventQueue::pop_earliest() {
-  std::pop_heap(heap_.begin(), heap_.end(), later);
-  Scheduled earliest = std::move(heap_.back());
+EventQueue::Event EventQueue::heap_pop() {
+  Event earliest = heap_.front();
+  heap_.front() = heap_.back();
   heap_.pop_back();
+  // Sift the displaced record down to restore the (time, seq) min-heap.
+  std::size_t i = 0;
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= n) break;
+    std::size_t smallest = left;
+    const std::size_t right = left + 1;
+    if (right < n && later(heap_[left], heap_[right])) smallest = right;
+    if (!later(heap_[i], heap_[smallest])) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
   return earliest;
-}
-
-bool EventQueue::run_one() {
-  if (heap_.empty()) return false;
-  // Pop before executing: the action may schedule further events.
-  Scheduled event = pop_earliest();
-  clock_.advance_to(event.time);
-  ++executed_;
-  event.action();
-  return true;
-}
-
-void EventQueue::run_ready() {
-  while (!heap_.empty() && heap_.front().time <= clock_.now()) run_one();
-}
-
-void EventQueue::advance_until(SimTime t) {
-  while (!heap_.empty() && heap_.front().time <= t) run_one();
-  if (t > clock_.now()) clock_.advance_to(t);
-}
-
-void EventQueue::run_until_idle() {
-  while (run_one()) {
-  }
-}
-
-void EventQueue::pump_until(const std::function<bool()>& done) {
-  while (!done()) {
-    DELTA_CHECK_MSG(run_one(),
-                    "event queue drained while awaiting a completion — the "
-                    "awaited reply can no longer arrive");
-  }
 }
 
 }  // namespace delta::util

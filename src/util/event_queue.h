@@ -7,13 +7,29 @@
 // advances the clock to trace arrivals and pumps deliveries in between.
 // Determinism is structural, not incidental: events execute in strict
 // (time, schedule-sequence) order, so two events scheduled for the same
-// instant always run in the order they were scheduled, independent of heap
-// internals, platform, or run count.
+// instant always run in the order they were scheduled, independent of
+// scheduler internals, platform, or run count.
+//
+// The queue is built for the replay hot path:
+//   * events are typed records — a function pointer, a context pointer and
+//     a 64-bit argument — so scheduling and dispatch never allocate and
+//     never indirect through std::function;
+//   * the default scheduler is a calendar queue tuned for the
+//     near-monotone insertion pattern of link serialization (amortized
+//     O(1) schedule/pop); the binary heap of PR 4 is kept as a selectable
+//     backend and serves as the differential oracle for the calendar's
+//     (time, seq) order (tests/event_queue_differential_test.cpp);
+//   * the hot primitives live in this header so the engines' inner loops
+//     inline them, and pump_until takes its predicate as a template — the
+//     sync façade's closed-loop wait constructs no std::function.
 #pragma once
 
+#include <bit>
 #include <cstdint>
-#include <functional>
+#include <limits>
 #include <vector>
+
+#include "util/check.h"
 
 namespace delta::util {
 
@@ -27,7 +43,11 @@ class SimClock {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Moves the clock forward to `t` (checked failure on travel backwards).
-  void advance_to(SimTime t);
+  void advance_to(SimTime t) {
+    DELTA_CHECK_MSG(t >= now_, "simulated time cannot move backwards ("
+                                   << t << " < " << now_ << ")");
+    now_ = t;
+  }
 
  private:
   SimTime now_ = 0.0;
@@ -35,50 +55,278 @@ class SimClock {
 
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  /// A scheduled action: `fn(ctx, arg)`. Typed and trivially copyable so a
+  /// pending event is a 40-byte POD record — no allocation, no type
+  /// erasure. Callers with richer state park it behind `ctx` (see
+  /// DelayedTransport's pooled in-flight records).
+  using EventFn = void (*)(void* ctx, std::uint64_t arg);
 
-  /// Schedules `action` at simulated time `time` (>= now, checked).
-  /// Actions scheduled for the same instant run in schedule order.
-  void schedule(SimTime time, Action action);
+  /// Scheduler backend. kCalendar is the default; kBinaryHeap is retained
+  /// as the differential oracle for the (time, seq) execution order and as
+  /// the baseline in bench/micro_event_queue.
+  enum class Backend : std::uint8_t { kCalendar, kBinaryHeap };
+
+  explicit EventQueue(Backend backend = Backend::kCalendar)
+      : backend_(backend) {
+    if (backend_ == Backend::kCalendar) {
+      buckets_.resize(kMinBuckets);
+      occupied_.assign(1, 0);
+    }
+  }
+
+  [[nodiscard]] Backend backend() const { return backend_; }
+
+  /// Schedules `fn(ctx, arg)` at simulated time `time` (>= now, checked).
+  /// Events scheduled for the same instant run in schedule order.
+  void schedule(SimTime time, EventFn fn, void* ctx, std::uint64_t arg = 0) {
+    DELTA_DCHECK(fn != nullptr);
+    DELTA_CHECK_MSG(time >= clock_.now(),
+                    "cannot schedule into the past (" << time << " < "
+                                                      << clock_.now() << ")");
+    const Event event{time, next_seq_++, fn, ctx, arg};
+    if (backend_ == Backend::kCalendar) {
+      calendar_push(event);
+    } else {
+      heap_.push_back(event);
+      heap_sift_up(heap_.size() - 1);
+    }
+    ++size_;
+  }
 
   [[nodiscard]] SimTime now() const { return clock_.now(); }
   [[nodiscard]] const SimClock& clock() const { return clock_; }
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t pending() const { return size_; }
   [[nodiscard]] std::int64_t executed() const { return executed_; }
+
+  /// Timestamp of the earliest pending event (+inf when empty). Locating
+  /// the earliest event may advance the calendar's scan cursor, so this is
+  /// non-const; it never executes anything.
+  [[nodiscard]] SimTime next_time() {
+    if (size_ == 0) return std::numeric_limits<SimTime>::infinity();
+    return backend_ == Backend::kCalendar ? calendar_peek().time
+                                          : heap_.front().time;
+  }
 
   /// Pops and runs the earliest event, advancing the clock to its time.
   /// Returns false (and leaves the clock alone) when the queue is empty.
-  bool run_one();
+  bool run_one() {
+    if (size_ == 0) return false;
+    // Pop before executing: the action may schedule further events.
+    const Event event = backend_ == Backend::kCalendar ? calendar_pop()
+                                                       : heap_pop();
+    --size_;
+    clock_.advance_to(event.time);
+    ++executed_;
+    event.fn(event.ctx, event.arg);
+    return true;
+  }
 
   /// Runs every event due at or before the current clock time.
-  void run_ready();
+  void run_ready() {
+    while (size_ != 0 && next_time() <= clock_.now()) run_one();
+  }
 
   /// Runs every event due at or before `t`, then leaves the clock at
   /// max(now, t) — the "advance to the next trace arrival" primitive.
-  void advance_until(SimTime t);
+  void advance_until(SimTime t) {
+    while (size_ != 0 && next_time() <= t) run_one();
+    if (t > clock_.now()) clock_.advance_to(t);
+  }
+
+  /// Moves the clock to `t` WITHOUT executing anything. Only callers that
+  /// have just established `next_time() > t` may use this (the transport's
+  /// inline fast path); skipping an event that was due is a contract
+  /// violation, checked in debug builds.
+  void fast_forward(SimTime t) {
+    DELTA_DCHECK(next_time() > t);
+    clock_.advance_to(t);
+  }
 
   /// Drains the queue completely (e.g. in-flight deliveries at end of run).
-  void run_until_idle();
+  void run_until_idle() {
+    while (run_one()) {
+    }
+  }
 
   /// Runs events until `done()` holds — how a synchronous façade awaits its
-  /// reply. Checked failure if the queue drains first: the reply the caller
-  /// is waiting for can no longer arrive.
-  void pump_until(const std::function<bool()>& done);
+  /// reply. The predicate is a template parameter (callable or function
+  /// pointer), so the per-call wait constructs no std::function. Checked
+  /// failure if the queue drains first: the reply the caller is waiting
+  /// for can no longer arrive.
+  template <typename Done>
+  void pump_until(Done&& done) {
+    while (!done()) {
+      DELTA_CHECK_MSG(run_one(),
+                      "event queue drained while awaiting a completion — "
+                      "the awaited reply can no longer arrive");
+    }
+  }
 
  private:
-  struct Scheduled {
+  struct Event {
     SimTime time = 0.0;
     std::uint64_t seq = 0;  // tie-break: schedule order
-    Action action;
+    EventFn fn = nullptr;
+    void* ctx = nullptr;
+    std::uint64_t arg = 0;
   };
 
-  /// Max-heap comparator that puts the *earliest* (time, seq) on top.
-  [[nodiscard]] static bool later(const Scheduled& a, const Scheduled& b);
+  /// The (time, seq) total order both backends execute in.
+  [[nodiscard]] static bool later(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
 
-  [[nodiscard]] Scheduled pop_earliest();
+  // ---- calendar backend ----
+  //
+  // Classic adaptive calendar queue: `buckets_` is a circular array of
+  // "days", each `width_` seconds wide; an event at time t lives in virtual
+  // bucket vb(t) = floor(t / width_), physical bucket vb & mask. Buckets
+  // keep their events sorted ascending by (time, seq) with a consumed-
+  // prefix cursor, so the near-monotone inserts of link serialization are
+  // an O(1) append and pops are cursor bumps. The scan cursor `scan_vb_`
+  // only moves forward; the structural invariant (every pending event has
+  // vb >= scan_vb_) holds because schedule() rejects times before the
+  // clock and the clock trails the last pop. When a whole "year" of
+  // buckets is empty the peek falls back to a direct min search (cold, in
+  // event_queue.cpp), and resizes re-tune width_ to the live event spread.
 
-  std::vector<Scheduled> heap_;
+  struct Bucket {
+    std::vector<Event> events;  // sorted ascending by (time, seq)
+    std::size_t head = 0;       // consumed prefix
+  };
+
+  static constexpr std::size_t kMinBuckets = 8;
+
+  [[nodiscard]] std::int64_t virtual_bucket(SimTime t) const {
+    return static_cast<std::int64_t>(t * inv_width_);
+  }
+
+  void calendar_push(const Event& event) {
+    const std::int64_t vb = virtual_bucket(event.time);
+    // A peek may have parked the scan cursor at the (previously) earliest
+    // pending day; an event scheduled for an earlier day must pull the
+    // cursor back so the forward scan cannot step over it.
+    if (vb < scan_vb_) scan_vb_ = vb;
+    const std::size_t slot = static_cast<std::size_t>(vb) & bucket_mask();
+    Bucket& bucket = buckets_[slot];
+    occupied_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+    ++schedules_since_retune_;
+    if (bucket.events.empty() || !later(bucket.events.back(), event)) {
+      bucket.events.push_back(event);  // monotone fast path
+    } else {
+      // May retune the day width when this bucket has degenerated (the
+      // pending window drifted much narrower than the width suggests).
+      calendar_insert_sorted(bucket, event);
+    }
+    if (size_ + 1 > buckets_.size() * 2) calendar_resize(buckets_.size() * 2);
+  }
+
+  /// Locates the earliest pending event, advancing scan_vb_ to its virtual
+  /// bucket. The occupancy bitmap jumps the scan straight across empty
+  /// days (one cache line covers 64 of them), so only days that actually
+  /// hold events are touched. Pre: size_ > 0.
+  [[nodiscard]] const Event& calendar_peek() {
+    for (std::size_t scanned = 0; scanned < buckets_.size();) {
+      const std::size_t gap = occupied_gap_from(
+          static_cast<std::size_t>(scan_vb_) & bucket_mask());
+      if (gap >= buckets_.size() - scanned) break;  // rest of the year empty
+      scan_vb_ += static_cast<std::int64_t>(gap);
+      scanned += gap;
+      const Bucket& bucket =
+          buckets_[static_cast<std::size_t>(scan_vb_) & bucket_mask()];
+      // Sorted bucket: the head is its earliest pending event, and a head
+      // from a later year means the whole tail is later too.
+      const Event& head = bucket.events[bucket.head];
+      if (virtual_bucket(head.time) == scan_vb_) return head;
+      ++scan_vb_;
+      ++scanned;
+    }
+    return calendar_direct_search();  // a whole year held nothing current
+  }
+
+  [[nodiscard]] Event calendar_pop() {
+    const Event event = calendar_peek();  // positions scan_vb_ at its bucket
+    const std::size_t slot = static_cast<std::size_t>(scan_vb_) & bucket_mask();
+    Bucket& bucket = buckets_[slot];
+    ++bucket.head;
+    if (bucket.head == bucket.events.size()) {
+      bucket.events.clear();
+      bucket.head = 0;
+      occupied_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+    }
+    if (size_ - 1 < buckets_.size() / 8 && buckets_.size() > kMinBuckets) {
+      calendar_resize(buckets_.size() / 2);
+    }
+    return event;
+  }
+
+  [[nodiscard]] std::size_t bucket_mask() const { return buckets_.size() - 1; }
+
+  /// Distance (in days) from physical slot `from` to the next occupied
+  /// slot, wrapping circularly. May overestimate a wrapped distance (the
+  /// caller then falls back to the always-correct direct search); never
+  /// underestimates, and is exact whenever the answer lies within the
+  /// current year.
+  [[nodiscard]] std::size_t occupied_gap_from(std::size_t from) const {
+    const std::size_t words = occupied_.size();
+    if (words == 1) {  // bucket count <= 64: one-word circular scan
+      const std::uint64_t bits = occupied_[0];
+      std::uint64_t combined = bits >> from;
+      if (from != 0) combined |= bits << (buckets_.size() - from);
+      if (combined == 0) return buckets_.size();
+      return static_cast<std::size_t>(std::countr_zero(combined));
+    }
+    const std::size_t word = from >> 6;
+    const std::uint64_t first = occupied_[word] >> (from & 63);
+    if (first != 0) {
+      return static_cast<std::size_t>(std::countr_zero(first));
+    }
+    std::size_t distance = 64 - (from & 63);
+    for (std::size_t w = 1; w <= words; ++w) {
+      const std::uint64_t bits = occupied_[(word + w) % words];
+      if (bits != 0) {
+        return distance + static_cast<std::size_t>(std::countr_zero(bits));
+      }
+      distance += 64;
+    }
+    return buckets_.size();  // empty bitmap
+  }
+
+  // Cold paths (event_queue.cpp).
+  void calendar_insert_sorted(Bucket& bucket, const Event& event);
+  const Event& calendar_direct_search();
+  void calendar_resize(std::size_t bucket_count);
+
+  // ---- binary-heap backend (differential oracle) ----
+
+  void heap_sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!later(heap_[parent], heap_[i])) break;
+      std::swap(heap_[parent], heap_[i]);
+      i = parent;
+    }
+  }
+
+  [[nodiscard]] Event heap_pop();
+
+  Backend backend_;
+  std::vector<Bucket> buckets_;       // calendar: power-of-two day array
+  /// One bit per physical day (1 = bucket holds pending events): the scan
+  /// skips runs of empty days without touching their bucket storage.
+  std::vector<std::uint64_t> occupied_;
+  SimTime width_ = 1.0;               // calendar: seconds per day
+  /// Cooldown for density-triggered width retunes (see
+  /// calendar_insert_sorted): at most one retune per `size_` schedules, so
+  /// genuinely degenerate schedules (everything at one instant) pay an
+  /// amortized O(log n), not O(n), per operation.
+  std::uint64_t schedules_since_retune_ = 0;
+  SimTime inv_width_ = 1.0;           // 1/width_, the hot-path factor
+  std::int64_t scan_vb_ = 0;          // calendar: forward-only scan cursor
+  std::vector<Event> heap_;           // heap backend storage
+  std::size_t size_ = 0;
   SimClock clock_;
   std::uint64_t next_seq_ = 0;
   std::int64_t executed_ = 0;

@@ -8,16 +8,6 @@
 
 namespace delta::util {
 
-void StreamingStats::add(double x) {
-  ++count_;
-  sum_ += x;
-  const double delta = x - mean_;
-  mean_ += delta / static_cast<double>(count_);
-  m2_ += delta * (x - mean_);
-  min_ = std::min(min_, x);
-  max_ = std::max(max_, x);
-}
-
 void StreamingStats::merge(const StreamingStats& other) {
   if (other.count_ == 0) return;
   if (count_ == 0) {

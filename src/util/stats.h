@@ -12,7 +12,17 @@ namespace delta::util {
 /// Welford-style streaming mean/variance with min/max tracking.
 class StreamingStats {
  public:
-  void add(double x);
+  /// Inline: the replay loops add several samples per query (response,
+  /// dispatch lag, per-endpoint views) — this must not be a call.
+  void add(double x) {
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = x < min_ ? x : min_;
+    max_ = x > max_ ? x : max_;
+  }
 
   /// Folds `other` into this via the parallel-Welford combination (Chan et
   /// al.). Count/min/max are exact; sum/mean/variance are the
@@ -34,6 +44,42 @@ class StreamingStats {
   std::int64_t count_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Count/sum/min/max accumulator without the Welford moment updates — for
+/// yardsticks that only ever report count, mean, and extrema (e.g. the
+/// event engine's dispatch lag, added once per query on the hot path).
+/// Use StreamingStats when variance matters.
+class SummaryStats {
+ public:
+  void add(double x) {
+    ++count_;
+    sum_ += x;
+    min_ = x < min_ ? x : min_;
+    max_ = x > max_ ? x : max_;
+  }
+
+  /// Exact fold of two accumulators (all fields are order-independent).
+  void merge(const SummaryStats& other) {
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = other.min_ < min_ ? other.min_ : min_;
+    max_ = other.max_ > max_ ? other.max_ : max_;
+  }
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] double min() const { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::int64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
@@ -66,6 +112,16 @@ class LogHistogram {
 class QuantileSketch {
  public:
   void add(double v) { values_.push_back(v); }
+  /// Pre-sizes the sample buffer (the replay engines know the query count
+  /// up front, so the hot loop never pays a reallocation).
+  void reserve(std::size_t n) { values_.reserve(n); }
+  /// Appends `other`'s samples. Quantiles are order-invariant (the sketch
+  /// sorts on demand), so folding per-shard sketches in any deterministic
+  /// order reproduces the single-stream percentiles exactly.
+  void merge(const QuantileSketch& other) {
+    values_.insert(values_.end(), other.values_.begin(),
+                   other.values_.end());
+  }
   [[nodiscard]] double quantile(double q) const;
   [[nodiscard]] std::size_t size() const { return values_.size(); }
 

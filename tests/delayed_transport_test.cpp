@@ -186,9 +186,11 @@ TEST(DelayedTransportTest, DeliveryObserverSeesStampedMessages) {
   const std::size_t b_slot = h.add_endpoint("b");
   std::vector<std::pair<std::size_t, double>> observed;
   h.transport.set_delivery_observer(
-      [&](const Message& m, std::size_t slot) {
-        observed.emplace_back(slot, m.sim_delivered_at - m.sim_sent_at);
-      });
+      [](void* ctx, const Message& m, std::size_t slot) {
+        static_cast<std::vector<std::pair<std::size_t, double>>*>(ctx)
+            ->emplace_back(slot, m.sim_delivered_at - m.sim_sent_at);
+      },
+      &observed);
   h.transport.send("b", Harness::message_from("a", Bytes{999'936}),
                    Mechanism::kQueryShip);
   h.events.run_until_idle();

@@ -5,6 +5,7 @@
 // links — the scenario axis the synchronous engines cannot express.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "meter_invariants.h"
@@ -156,6 +157,100 @@ TEST(EventEngineTest, WanRunIsDeterministicAcrossRepeatedRuns) {
   EXPECT_EQ(a.server_uplink.total_queue_wait, b.server_uplink.total_queue_wait);
   EXPECT_EQ(a.sim_duration_seconds, b.sim_duration_seconds);
   EXPECT_EQ(a.delivered_messages, b.delivered_messages);
+}
+
+void expect_event_runs_identical(const EventRunResult& a,
+                                 const EventRunResult& b) {
+  expect_run_results_equal(a.replay.combined, b.replay.combined);
+  ASSERT_EQ(a.replay.per_endpoint.size(), b.replay.per_endpoint.size());
+  for (std::size_t e = 0; e < a.replay.per_endpoint.size(); ++e) {
+    SCOPED_TRACE(::testing::Message() << "endpoint " << e);
+    expect_run_results_equal(a.replay.per_endpoint[e],
+                             b.replay.per_endpoint[e]);
+    EXPECT_EQ(a.per_endpoint[e].response_seconds.count(),
+              b.per_endpoint[e].response_seconds.count());
+    EXPECT_EQ(a.per_endpoint[e].response_seconds.mean(),
+              b.per_endpoint[e].response_seconds.mean());
+    EXPECT_EQ(a.per_endpoint[e].staleness_seconds.count(),
+              b.per_endpoint[e].staleness_seconds.count());
+    EXPECT_EQ(a.per_endpoint[e].staleness_seconds.mean(),
+              b.per_endpoint[e].staleness_seconds.mean());
+    EXPECT_EQ(a.per_endpoint[e].staleness_seconds.max(),
+              b.per_endpoint[e].staleness_seconds.max());
+  }
+  EXPECT_EQ(a.response_seconds.count(), b.response_seconds.count());
+  EXPECT_EQ(a.response_seconds.mean(), b.response_seconds.mean());
+  EXPECT_EQ(a.response_seconds.variance(), b.response_seconds.variance());
+  EXPECT_EQ(a.response_seconds.max(), b.response_seconds.max());
+  EXPECT_EQ(a.response_p50(), b.response_p50());
+  EXPECT_EQ(a.response_p99(), b.response_p99());
+  EXPECT_EQ(a.dispatch_lag_seconds.count(), b.dispatch_lag_seconds.count());
+  EXPECT_EQ(a.dispatch_lag_seconds.mean(), b.dispatch_lag_seconds.mean());
+  EXPECT_EQ(a.staleness_seconds.count(), b.staleness_seconds.count());
+  EXPECT_EQ(a.staleness_seconds.mean(), b.staleness_seconds.mean());
+  EXPECT_EQ(a.staleness_seconds.max(), b.staleness_seconds.max());
+  EXPECT_EQ(a.server_uplink.sends, b.server_uplink.sends);
+  EXPECT_EQ(a.server_uplink.busy_seconds, b.server_uplink.busy_seconds);
+  EXPECT_EQ(a.server_uplink.total_queue_wait,
+            b.server_uplink.total_queue_wait);
+  EXPECT_EQ(a.server_uplink.max_queue_wait, b.server_uplink.max_queue_wait);
+  EXPECT_EQ(a.sim_duration_seconds, b.sim_duration_seconds);
+  EXPECT_EQ(a.delivered_messages, b.delivered_messages);
+}
+
+// The conservative per-partition parallel engine must be byte-identical to
+// the sequential (T=1) engine for every thread count, on both the
+// zero-latency and the 40 ms WAN configs — every yardstick, every counter,
+// every byte. This is the determinism contract of the parallel DES: the
+// partitions are replicas whose inbound messages are locally generated, so
+// the merge in canonical order reproduces the T=1 stream exactly.
+TEST(EventEngineTest, ParallelEngineByteIdenticalToSequentialAcrossThreads) {
+  const World setup{small_params()};
+  for (const bool wan : {false, true}) {
+    EventEngineOptions base = wan ? wan_options() : EventEngineOptions{};
+    const auto run = [&](std::size_t threads) {
+      EventEngineOptions options = base;
+      options.parallel.num_threads = threads;
+      return run_one_event(PolicyKind::kVCover, setup.trace(),
+                           setup.cache_capacity(), setup.params(), 4,
+                           workload::SplitStrategy::kHashByRegion, options);
+    };
+    const EventRunResult sequential = run(1);
+    for (const std::size_t threads : {2u, 4u, 8u}) {
+      SCOPED_TRACE(::testing::Message()
+                   << (wan ? "wan" : "zero-latency") << " T=" << threads);
+      expect_event_runs_identical(run(threads), sequential);
+    }
+  }
+}
+
+// Partition invariants of the parallel engine: per-cache yardstick streams
+// partition the combined streams (every sample belongs to exactly one
+// partition), and the per-endpoint replay results partition the combined
+// accounting exactly as in the synchronous engines.
+TEST(EventEngineTest, ParallelPartitionsPartitionCombinedYardsticks) {
+  const World setup{small_params()};
+  EventEngineOptions options = wan_options();
+  options.parallel.num_threads = 4;
+  const EventRunResult r = run_one_event(
+      PolicyKind::kVCover, setup.trace(), setup.cache_capacity(),
+      setup.params(), 2, workload::SplitStrategy::kRoundRobin, options);
+
+  std::int64_t response_samples = 0;
+  std::int64_t staleness_samples = 0;
+  double staleness_max = 0.0;
+  for (const EndpointEventYardsticks& endpoint : r.per_endpoint) {
+    response_samples += endpoint.response_seconds.count();
+    staleness_samples += endpoint.staleness_seconds.count();
+    staleness_max = std::max(staleness_max, endpoint.staleness_seconds.max());
+  }
+  EXPECT_EQ(response_samples, r.response_seconds.count());
+  EXPECT_EQ(response_samples, r.replay.combined.postwarmup_latency.count());
+  EXPECT_EQ(response_samples,
+            static_cast<std::int64_t>(r.response_sketch.size()));
+  EXPECT_EQ(staleness_samples, r.staleness_seconds.count());
+  EXPECT_EQ(staleness_max, r.staleness_seconds.max());
+  delta::testing::ExpectPerEndpointResultsPartitionCombined(r.replay);
 }
 
 // Slower links can only push simulated completion later, never earlier.

@@ -1,6 +1,9 @@
 // EventQueue/SimClock: the determinism contract the whole event-driven
 // stack rests on — strict (time, schedule-sequence) execution order,
-// forward-only clock, and well-defined advance/pump primitives.
+// forward-only clock, and well-defined advance/pump primitives. Every
+// ordering test runs against both scheduler backends (the calendar queue
+// and the binary-heap oracle); the randomized cross-backend equivalence
+// lives in event_queue_differential_test.cpp.
 #include "util/event_queue.h"
 
 #include <gtest/gtest.h>
@@ -11,6 +14,31 @@
 namespace delta::util {
 namespace {
 
+/// Typed-record test fixture state: the queue's EventFn is a function
+/// pointer, so recorded values travel through the 64-bit argument and the
+/// recorder travels through the context pointer.
+struct Recorder {
+  std::vector<int> ran;
+  EventQueue* queue = nullptr;  // for events that schedule further events
+
+  static void record(void* ctx, std::uint64_t arg) {
+    static_cast<Recorder*>(ctx)->ran.push_back(static_cast<int>(arg));
+  }
+  static void nothing(void*, std::uint64_t) {}
+};
+
+class EventQueueBackendTest
+    : public ::testing::TestWithParam<EventQueue::Backend> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, EventQueueBackendTest,
+    ::testing::Values(EventQueue::Backend::kCalendar,
+                      EventQueue::Backend::kBinaryHeap),
+    [](const auto& info) {
+      return info.param == EventQueue::Backend::kCalendar ? "Calendar"
+                                                          : "BinaryHeap";
+    });
+
 TEST(SimClockTest, AdvancesForwardOnly) {
   SimClock clock;
   EXPECT_EQ(clock.now(), 0.0);
@@ -20,54 +48,61 @@ TEST(SimClockTest, AdvancesForwardOnly) {
   EXPECT_THROW(clock.advance_to(1.0), std::logic_error);
 }
 
-TEST(EventQueueTest, RunsInTimeOrder) {
-  EventQueue q;
-  std::vector<int> ran;
-  q.schedule(3.0, [&] { ran.push_back(3); });
-  q.schedule(1.0, [&] { ran.push_back(1); });
-  q.schedule(2.0, [&] { ran.push_back(2); });
+TEST_P(EventQueueBackendTest, RunsInTimeOrder) {
+  EventQueue q{GetParam()};
+  Recorder rec;
+  q.schedule(3.0, Recorder::record, &rec, 3);
+  q.schedule(1.0, Recorder::record, &rec, 1);
+  q.schedule(2.0, Recorder::record, &rec, 2);
   q.run_until_idle();
-  EXPECT_EQ(ran, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(rec.ran, (std::vector<int>{1, 2, 3}));
   EXPECT_EQ(q.now(), 3.0);
   EXPECT_EQ(q.executed(), 3);
 }
 
 // The determinism keystone: events scheduled for the same instant run in
-// schedule order, regardless of how the internal heap breaks ties.
-TEST(EventQueueTest, EqualTimestampsRunInScheduleOrder) {
-  EventQueue q;
-  std::vector<int> ran;
+// schedule order, regardless of how the backend stores them.
+TEST_P(EventQueueBackendTest, EqualTimestampsRunInScheduleOrder) {
+  EventQueue q{GetParam()};
+  Recorder rec;
   constexpr int kEvents = 200;
   for (int i = 0; i < kEvents; ++i) {
-    q.schedule(1.0, [&ran, i] { ran.push_back(i); });
+    q.schedule(1.0, Recorder::record, &rec,
+               static_cast<std::uint64_t>(i));
   }
   q.run_until_idle();
-  ASSERT_EQ(ran.size(), static_cast<std::size_t>(kEvents));
-  for (int i = 0; i < kEvents; ++i) EXPECT_EQ(ran[static_cast<size_t>(i)], i);
+  ASSERT_EQ(rec.ran.size(), static_cast<std::size_t>(kEvents));
+  for (int i = 0; i < kEvents; ++i) {
+    EXPECT_EQ(rec.ran[static_cast<size_t>(i)], i);
+  }
 }
 
 // An action scheduling at the *current* instant queues behind every event
 // already scheduled for that instant (its sequence number is larger).
-TEST(EventQueueTest, ActionsScheduledDuringRunKeepStableOrder) {
-  EventQueue q;
-  std::vector<int> ran;
-  q.schedule(1.0, [&] {
-    ran.push_back(0);
-    q.schedule(1.0, [&] { ran.push_back(2); });
-  });
-  q.schedule(1.0, [&] { ran.push_back(1); });
+TEST_P(EventQueueBackendTest, ActionsScheduledDuringRunKeepStableOrder) {
+  EventQueue q{GetParam()};
+  Recorder rec;
+  rec.queue = &q;
+  q.schedule(1.0,
+             [](void* ctx, std::uint64_t) {
+               auto* r = static_cast<Recorder*>(ctx);
+               r->ran.push_back(0);
+               r->queue->schedule(1.0, Recorder::record, r, 2);
+             },
+             &rec);
+  q.schedule(1.0, Recorder::record, &rec, 1);
   q.run_until_idle();
-  EXPECT_EQ(ran, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(rec.ran, (std::vector<int>{0, 1, 2}));
 }
 
-TEST(EventQueueTest, AdvanceUntilRunsDueEventsAndMovesClock) {
-  EventQueue q;
-  std::vector<int> ran;
-  q.schedule(1.0, [&] { ran.push_back(1); });
-  q.schedule(2.0, [&] { ran.push_back(2); });
-  q.schedule(3.0, [&] { ran.push_back(3); });
+TEST_P(EventQueueBackendTest, AdvanceUntilRunsDueEventsAndMovesClock) {
+  EventQueue q{GetParam()};
+  Recorder rec;
+  q.schedule(1.0, Recorder::record, &rec, 1);
+  q.schedule(2.0, Recorder::record, &rec, 2);
+  q.schedule(3.0, Recorder::record, &rec, 3);
   q.advance_until(2.0);  // inclusive boundary
-  EXPECT_EQ(ran, (std::vector<int>{1, 2}));
+  EXPECT_EQ(rec.ran, (std::vector<int>{1, 2}));
   EXPECT_EQ(q.now(), 2.0);
   EXPECT_EQ(q.pending(), 1u);
   // Advancing into empty time still moves the clock.
@@ -76,28 +111,46 @@ TEST(EventQueueTest, AdvanceUntilRunsDueEventsAndMovesClock) {
   EXPECT_EQ(q.pending(), 1u);
 }
 
-TEST(EventQueueTest, RunReadyOnlyRunsEventsDueNow) {
-  EventQueue q;
-  std::vector<int> ran;
-  q.schedule(0.0, [&] { ran.push_back(0); });
-  q.schedule(1.0, [&] { ran.push_back(1); });
+// After a peek parks the scan at the earliest pending day, a newly
+// scheduled earlier event must still run first (the cursor is pulled
+// back) — the regression case for the calendar's forward-scan invariant.
+TEST_P(EventQueueBackendTest, EarlierEventAfterPeekStillRunsFirst) {
+  EventQueue q{GetParam()};
+  Recorder rec;
+  q.schedule(50.0, Recorder::record, &rec, 50);
+  q.advance_until(10.0);  // peeks at the t=50 event, then moves the clock
+  EXPECT_EQ(q.now(), 10.0);
+  q.schedule(20.0, Recorder::record, &rec, 20);
+  q.run_until_idle();
+  EXPECT_EQ(rec.ran, (std::vector<int>{20, 50}));
+}
+
+TEST_P(EventQueueBackendTest, RunReadyOnlyRunsEventsDueNow) {
+  EventQueue q{GetParam()};
+  Recorder rec;
+  q.schedule(0.0, Recorder::record, &rec, 0);
+  q.schedule(1.0, Recorder::record, &rec, 1);
   q.run_ready();  // clock is 0: only the first is due
-  EXPECT_EQ(ran, (std::vector<int>{0}));
+  EXPECT_EQ(rec.ran, (std::vector<int>{0}));
   EXPECT_EQ(q.now(), 0.0);
 }
 
-TEST(EventQueueTest, SchedulingIntoThePastIsACheckedFailure) {
-  EventQueue q;
-  q.schedule(2.0, [] {});
+TEST_P(EventQueueBackendTest, SchedulingIntoThePastIsACheckedFailure) {
+  EventQueue q{GetParam()};
+  Recorder rec;
+  q.schedule(2.0, Recorder::nothing, &rec);
   q.run_until_idle();
   EXPECT_EQ(q.now(), 2.0);
-  EXPECT_THROW(q.schedule(1.0, [] {}), std::logic_error);
+  EXPECT_THROW(q.schedule(1.0, Recorder::nothing, &rec), std::logic_error);
 }
 
-TEST(EventQueueTest, PumpUntilStopsAtCondition) {
-  EventQueue q;
+TEST_P(EventQueueBackendTest, PumpUntilStopsAtCondition) {
+  EventQueue q{GetParam()};
   int count = 0;
-  for (int i = 0; i < 5; ++i) q.schedule(1.0 * i, [&] { ++count; });
+  const auto bump = [](void* ctx, std::uint64_t) {
+    ++*static_cast<int*>(ctx);
+  };
+  for (int i = 0; i < 5; ++i) q.schedule(1.0 * i, bump, &count);
   q.pump_until([&] { return count == 3; });
   EXPECT_EQ(count, 3);
   EXPECT_EQ(q.pending(), 2u);
@@ -105,10 +158,32 @@ TEST(EventQueueTest, PumpUntilStopsAtCondition) {
 
 // Waiting for a completion that can no longer arrive (queue drained) is a
 // protocol bug, not a hang — it must fail loudly.
-TEST(EventQueueTest, PumpUntilOnDrainedQueueIsACheckedFailure) {
-  EventQueue q;
-  q.schedule(1.0, [] {});
+TEST_P(EventQueueBackendTest, PumpUntilOnDrainedQueueIsACheckedFailure) {
+  EventQueue q{GetParam()};
+  int unused = 0;
+  q.schedule(1.0, Recorder::nothing, &unused);
   EXPECT_THROW(q.pump_until([] { return false; }), std::logic_error);
+}
+
+// Deep churn drives the calendar through grow/shrink resizes without
+// losing events or order (pending() and executed() stay consistent).
+TEST_P(EventQueueBackendTest, DeepQueueGrowsAndDrainsConsistently) {
+  EventQueue q{GetParam()};
+  Recorder rec;
+  constexpr int kEvents = 5000;
+  for (int i = 0; i < kEvents; ++i) {
+    // Interleaved times so insertion is far from monotone.
+    const double t = static_cast<double>((i * 7919) % kEvents);
+    q.schedule(t, Recorder::record, &rec, static_cast<std::uint64_t>(t));
+  }
+  EXPECT_EQ(q.pending(), static_cast<std::size_t>(kEvents));
+  q.run_until_idle();
+  EXPECT_EQ(q.executed(), kEvents);
+  ASSERT_EQ(rec.ran.size(), static_cast<std::size_t>(kEvents));
+  for (int i = 1; i < kEvents; ++i) {
+    EXPECT_LE(rec.ran[static_cast<std::size_t>(i) - 1],
+              rec.ran[static_cast<std::size_t>(i)]);
+  }
 }
 
 }  // namespace

@@ -210,6 +210,34 @@ TEST(SimGoldenTest, EventEngineAtZeroLatencyMatchesGoldenTables) {
   }
 }
 
+// The parallel per-partition event engine must reproduce the same pinned
+// tables for every thread count at zero latency — the partitions replay
+// replica worlds whose merge is the sequential stream, so no thread count
+// may perturb a single byte (and if both engines drifted together, the
+// pinned constants still catch it).
+TEST(SimGoldenTest, ParallelEventEngineReproducesGoldensForEveryThreadCount) {
+  const World setup{golden_params()};
+  for (const GoldenMulti& golden : kMultiGolden) {
+    for (const std::size_t threads : {2u, 4u, 8u}) {
+      EventEngineOptions options;
+      options.parallel.num_threads = threads;
+      const EventRunResult multi = run_one_event(
+          PolicyKind::kVCover, setup.trace(), setup.cache_capacity(),
+          setup.params(), 4, golden.strategy, options);
+      SCOPED_TRACE(::testing::Message()
+                   << workload::to_string(golden.strategy)
+                   << " T=" << threads);
+      expect_matches(multi.replay.combined, golden.combined);
+      ASSERT_EQ(multi.replay.per_endpoint.size(), golden.per_endpoint.size());
+      for (std::size_t e = 0; e < golden.per_endpoint.size(); ++e) {
+        expect_matches(multi.replay.per_endpoint[e], golden.per_endpoint[e]);
+      }
+      EXPECT_EQ(multi.staleness_seconds.max(), 0.0);
+      EXPECT_EQ(multi.dispatch_lag_seconds.max(), 0.0);
+    }
+  }
+}
+
 // Regeneration helper, not a test: prints the golden tables in source form.
 TEST(SimGoldenTest, DISABLED_PrintGoldenTables) {
   const World setup{golden_params()};
