@@ -26,6 +26,7 @@
 //
 // scripts/bench_trajectory.sh wraps this into the committed BENCH_*.json
 // trajectory files (see README "Performance").
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -40,6 +41,7 @@
 #include "sim/experiment.h"
 #include "sim/multi_cache.h"
 #include "util/stats.h"
+#include "workload/synthetic_trace.h"
 #include "workload/trace_split.h"
 
 namespace {
@@ -91,6 +93,74 @@ struct EventParallelCell {
   /// a measurement (per-shard timers), not a model.
   double critical_path_speedup = 0.0;
 };
+
+/// One cell of the object-count scaling sweep: the same zipfian YCSB-B mix
+/// replayed through single-cache VCover at a growing key space. The
+/// tracked property is per-decision solver work (bfs/covers per event)
+/// staying flat while objects grow by four orders of magnitude — the
+/// "no O(n_objects) term on the replay hot path" pin.
+struct ObjectScalingCell {
+  std::int64_t objects = 0;
+  std::int64_t events = 0;
+  double generate_seconds = 0.0;
+  double wall_seconds_best = 0.0;
+  double events_per_sec = 0.0;
+  std::int64_t cache_answers = 0;
+  std::int64_t solver_bfs = 0;
+  std::int64_t covers_computed = 0;
+  double bfs_per_event = 0.0;
+  double covers_per_event = 0.0;
+  std::int64_t postwarmup_traffic = 0;
+};
+
+ObjectScalingCell measure_object_scaling(std::int64_t objects,
+                                         std::int64_t events,
+                                         double cache_frac,
+                                         std::uint64_t seed, int repeats) {
+  ObjectScalingCell cell;
+  cell.objects = objects;
+  const workload::SyntheticTraceParams p =
+      workload::ycsb_params(workload::YcsbMix::kB, objects, events);
+  workload::SyntheticTraceGenerator gen{p};
+  const auto gen_start = std::chrono::steady_clock::now();
+  const workload::Trace trace = gen.generate(seed);
+  cell.generate_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - gen_start)
+                              .count();
+  cell.events = static_cast<std::int64_t>(trace.order.size());
+
+  Bytes total{0};
+  for (const Bytes b : trace.initial_object_bytes) total += b;
+  const Bytes capacity{
+      static_cast<std::int64_t>(total.as_double() * cache_frac)};
+  for (int rep = 0; rep < repeats; ++rep) {
+    core::DeltaSystem system{&trace};
+    core::VCoverOptions vcover;
+    vcover.cache_capacity = capacity;
+    // Pre-size the per-object side tables for the capacity-bounded
+    // resident set (zipfian residency, ~cache_frac of the key space).
+    vcover.expected_resident_objects = static_cast<std::size_t>(
+        cache_frac * static_cast<double>(objects) * 1.25) + 64;
+    core::VCoverPolicy policy{&system, vcover};
+    const sim::RunResult r = sim::run_policy(trace, system, policy, 10'000);
+    if (rep == 0 || r.wall_seconds < cell.wall_seconds_best) {
+      cell.wall_seconds_best = r.wall_seconds;
+    }
+    if (rep == 0) {
+      cell.cache_answers = r.cache_fresh + r.cache_after_updates;
+      cell.solver_bfs = policy.update_manager().flow_bfs_count();
+      cell.covers_computed = policy.update_manager().covers_computed();
+      cell.postwarmup_traffic = r.postwarmup_traffic.count();
+    }
+  }
+  cell.events_per_sec = static_cast<double>(cell.events) /
+                        std::max(cell.wall_seconds_best, 1e-9);
+  cell.bfs_per_event = static_cast<double>(cell.solver_bfs) /
+                       static_cast<double>(cell.events);
+  cell.covers_per_event = static_cast<double>(cell.covers_computed) /
+                          static_cast<double>(cell.events);
+  return cell;
+}
 
 /// One interleaved sweep of the single-cache workload: each repetition
 /// times one synchronous replay AND one event-engine replay back to back,
@@ -208,6 +278,15 @@ std::vector<EventParallelCell> measure_event_parallel(
   return cells;
 }
 
+/// One endpoint-count cell of the fleet-size sweep: the WAN parallel
+/// engine at N partitions, T=1 (sequential replay gives the cleanest
+/// critical-path measurement — no CPU contention inflates the per-shard
+/// walls the sum/max figure is built from).
+struct NSweepCell {
+  std::size_t endpoints = 0;
+  EventParallelCell cell;
+};
+
 MultiCell measure_multi(const sim::Setup& setup, std::size_t endpoints,
                         std::size_t threads, int repeats) {
   MultiCell cell;
@@ -234,9 +313,11 @@ MultiCell measure_multi(const sim::Setup& setup, std::size_t endpoints,
 
 void emit_json(std::ostream& os, const sim::SetupParams& params, int repeats,
                bool smoke, const SingleResult& single,
-               const std::vector<MultiCell>& multi, const EventResult& event,
-               std::size_t parallel_endpoints,
-               const std::vector<EventParallelCell>& parallel) {
+               const std::vector<MultiCell>& multi,
+               const std::vector<ObjectScalingCell>& scaling,
+               const EventResult& event, std::size_t parallel_endpoints,
+               const std::vector<EventParallelCell>& parallel,
+               const std::vector<NSweepCell>& nsweep) {
   // vs_sync baseline for the parallel sweep: the synchronous multi cell at
   // the same endpoint count, sequential engine (T=1).
   double parallel_sync_baseline = single.events_per_sec;
@@ -276,6 +357,26 @@ void emit_json(std::ostream& os, const sim::SetupParams& params, int repeats,
        << (i + 1 < multi.size() ? "," : "") << "\n";
   }
   os << "  ],\n";
+  // Object-count scaling: same zipfian YCSB-B mix, growing key space,
+  // single-cache VCover. bfs/covers per event must stay flat (sublinear in
+  // objects) — the per-decision solver-work pin.
+  os << "  \"object_scaling\": [\n";
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    const ObjectScalingCell& cell = scaling[i];
+    os << "    {\"objects\": " << cell.objects
+       << ", \"events\": " << cell.events
+       << ", \"generate_seconds\": " << cell.generate_seconds
+       << ", \"wall_seconds_best\": " << cell.wall_seconds_best
+       << ", \"events_per_sec\": " << cell.events_per_sec
+       << ", \"cache_answers\": " << cell.cache_answers
+       << ", \"postwarmup_traffic_bytes\": " << cell.postwarmup_traffic
+       << ",\n     \"solver\": {\"bfs_searches\": " << cell.solver_bfs
+       << ", \"covers_computed\": " << cell.covers_computed
+       << ", \"bfs_per_event\": " << cell.bfs_per_event
+       << ", \"covers_per_event\": " << cell.covers_per_event << "}}"
+       << (i + 1 < scaling.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
   // Same workload through the event-driven engine; "single_cache" above is
   // the synchronous baseline for both throughput and (proxy) latency.
   os << "  \"event_engine\": {\n"
@@ -312,6 +413,20 @@ void emit_json(std::ostream& os, const sim::SetupParams& params, int repeats,
        << ", \"self_speedup\": " << cell.self_speedup
        << ", \"critical_path_speedup\": " << cell.critical_path_speedup
        << "}" << (i + 1 < parallel.size() ? "," : "") << "\n";
+  }
+  os << "      ],\n";
+  // Fleet-size sweep: critical_path_speedup tracked at N up to 64 (T=1 —
+  // see NSweepCell). self_speedup is omitted: it only measures the host's
+  // core count, not the engine.
+  os << "      \"n_sweep\": [\n";
+  for (std::size_t i = 0; i < nsweep.size(); ++i) {
+    const NSweepCell& n = nsweep[i];
+    os << "        {\"endpoints\": " << n.endpoints
+       << ", \"threads\": " << n.cell.threads
+       << ", \"wall_seconds_best\": " << n.cell.wall_seconds_best
+       << ", \"events_per_sec\": " << n.cell.events_per_sec
+       << ", \"critical_path_speedup\": " << n.cell.critical_path_speedup
+       << "}" << (i + 1 < nsweep.size() ? "," : "") << "\n";
   }
   os << "      ]\n    }\n  }\n}\n";
 }
@@ -360,6 +475,27 @@ int main(int argc, char** argv) {
               << "k events/s\n";
   }
 
+  // Object-count scaling sweep. Smoke caps the key space at 10^4 so the
+  // sublinear-per-decision property is exercised on every CI run; the full
+  // sweep carries the measured 10^6 figure.
+  const std::vector<std::int64_t> scaling_objects =
+      smoke ? std::vector<std::int64_t>{68, 10'000}
+            : std::vector<std::int64_t>{68, 10'000, 1'000'000};
+  const std::int64_t scaling_events =
+      cfg.get_int("scaling_events", smoke ? 20'000 : 200'000);
+  std::vector<ObjectScalingCell> scaling;
+  for (const std::int64_t n : scaling_objects) {
+    scaling.push_back(measure_object_scaling(
+        n, scaling_events, /*cache_frac=*/0.30, params.trace_seed, repeats));
+    const ObjectScalingCell& cell = scaling.back();
+    std::cerr << "  object scaling n=" << n << ": "
+              << util::fixed(cell.events_per_sec / 1000.0, 1)
+              << "k events/s, bfs/event="
+              << util::fixed(cell.bfs_per_event, 4) << ", covers/event="
+              << util::fixed(cell.covers_per_event, 4) << " (gen "
+              << util::fixed(cell.generate_seconds, 2) << "s)\n";
+  }
+
   std::cerr << "  event engine: "
             << util::fixed(event.events_per_sec / 1000.0, 1)
             << "k events/s (" << util::fixed(event.wall_seconds_best, 3)
@@ -383,18 +519,34 @@ int main(int argc, char** argv) {
               << util::fixed(cell.critical_path_speedup, 2) << ")\n";
   }
 
+  // Fleet-size sweep: N partitions, T=1 (cleanest critical path).
+  const std::vector<std::size_t> nsweep_endpoints =
+      smoke ? std::vector<std::size_t>{4}
+            : std::vector<std::size_t>{4, 16, 64};
+  std::vector<NSweepCell> nsweep;
+  for (const std::size_t n : nsweep_endpoints) {
+    NSweepCell cell;
+    cell.endpoints = n;
+    cell.cell = measure_event_parallel(setup, n, {1}, repeats).front();
+    nsweep.push_back(cell);
+    std::cerr << "  event parallel n-sweep N=" << n << " T=1: "
+              << util::fixed(cell.cell.events_per_sec / 1000.0, 1)
+              << "k events/s, critical path x"
+              << util::fixed(cell.cell.critical_path_speedup, 2) << "\n";
+  }
+
   const std::string out = cfg.get_string("out", "-");
   if (out == "-") {
-    emit_json(std::cout, params, repeats, smoke, single, multi, event,
-              parallel_endpoints, parallel);
+    emit_json(std::cout, params, repeats, smoke, single, multi, scaling,
+              event, parallel_endpoints, parallel, nsweep);
   } else {
     std::ofstream file{out};
     if (!file) {
       std::cerr << "cannot open " << out << " for writing\n";
       return 1;
     }
-    emit_json(file, params, repeats, smoke, single, multi, event,
-              parallel_endpoints, parallel);
+    emit_json(file, params, repeats, smoke, single, multi, scaling, event,
+              parallel_endpoints, parallel, nsweep);
     std::cerr << "wrote " << out << "\n";
   }
   return 0;

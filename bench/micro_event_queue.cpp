@@ -12,6 +12,14 @@
 //   * bursty-ties    — a mixture with frequent zero increments (same-
 //     instant bursts, the zero-latency configuration) and occasional long
 //     jumps that stretch the calendar span.
+// Deep cells (>= 4k pending) additionally measure a third shape:
+//   * drift-narrow   — a deep steady hold whose increment scale decays
+//     smoothly by ~100x before snapping back, so the live event window
+//     keeps drifting away from whatever day width the calendar last tuned
+//     for. This is the known calendar-vs-heap pathology cell: it exists to
+//     keep the pathology measured and visible in bench-smoke output, not
+//     to flatter the calendar (the ladder-queue rung split that would fix
+//     it is a ROADMAP item).
 // The binary heap pays O(log n) per operation; the calendar holds
 // amortized O(1) while its day width matches the live event density.
 // Honest caveat the numbers show: under a deep steady *hold* the pending
@@ -44,35 +52,68 @@ namespace {
 
 using namespace delta;
 
-/// Increment generator: deterministic per (shape, op index), so both
-/// backends replay the identical schedule.
-double increment(bool bursty, util::Rng& rng) {
-  if (!bursty) return 0.0005 + rng.uniform(0.0, 0.002);  // near-monotone
-  const double roll = rng.next_double();
-  if (roll < 0.45) return 0.0;                   // same-instant burst
-  if (roll < 0.95) return rng.uniform(0.0, 0.01);
-  return rng.uniform(10.0, 100.0);               // far jump (sparse years)
+enum class Shape { kNearMonotone, kBurstyTies, kDriftNarrow };
+
+const char* label(Shape s) {
+  switch (s) {
+    case Shape::kNearMonotone:
+      return "near-monotone";
+    case Shape::kBurstyTies:
+      return "bursty-ties  ";
+    case Shape::kDriftNarrow:
+      return "drift-narrow ";
+  }
+  return "?";
 }
+
+/// Increment generator: deterministic per (shape, op index), so both
+/// backends replay the identical schedule. The drift shape carries state:
+/// its scale decays ~0.01%/op until the window is ~100x narrower than at
+/// the last snap, then snaps back — the live density never stays where the
+/// calendar's width watchdog last tuned for.
+struct IncrementStream {
+  Shape shape;
+  double drift_scale = 0.002;
+  double next(util::Rng& rng) {
+    switch (shape) {
+      case Shape::kNearMonotone:
+        return 0.0005 + rng.uniform(0.0, 0.002);
+      case Shape::kBurstyTies: {
+        const double roll = rng.next_double();
+        if (roll < 0.45) return 0.0;             // same-instant burst
+        if (roll < 0.95) return rng.uniform(0.0, 0.01);
+        return rng.uniform(10.0, 100.0);         // far jump (sparse years)
+      }
+      case Shape::kDriftNarrow: {
+        drift_scale *= 0.9999;
+        if (drift_scale < 2e-5) drift_scale = 0.002;  // snap back out
+        return 0.25 * drift_scale + rng.uniform(0.0, drift_scale);
+      }
+    }
+    return 0.0;
+  }
+};
 
 long long g_sink = 0;  // defeat dead-code elimination
 
 void consume(void*, std::uint64_t arg) { g_sink += static_cast<long long>(arg); }
 
 double run_cell(util::EventQueue::Backend backend, std::size_t depth,
-                bool bursty, std::int64_t ops, int repeats) {
+                Shape shape, std::int64_t ops, int repeats) {
   double best = 0.0;
   for (int rep = 0; rep < repeats; ++rep) {
     util::EventQueue q{backend};
-    util::Rng rng{depth * 31 + (bursty ? 7u : 0u)};
+    util::Rng rng{depth * 31 + static_cast<std::size_t>(shape) * 7};
+    IncrementStream inc{shape};
     double horizon = 0.0;
     for (std::size_t i = 0; i < depth; ++i) {
-      horizon += increment(bursty, rng);
+      horizon += inc.next(rng);
       q.schedule(horizon, consume, nullptr, 1);
     }
     const auto start = std::chrono::steady_clock::now();
     for (std::int64_t i = 0; i < ops; ++i) {
       q.run_one();
-      q.schedule(q.now() + increment(bursty, rng), consume, nullptr, 1);
+      q.schedule(q.now() + inc.next(rng), consume, nullptr, 1);
     }
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -93,14 +134,18 @@ int main(int argc, char** argv) {
             << " ops/cell, best of " << repeats << ")\n\n";
   std::cout << "  depth  shape          heap ns/op  calendar ns/op  speedup\n";
   for (const std::size_t depth : {16u, 256u, 4096u, 65536u}) {
-    for (const bool bursty : {false, true}) {
+    std::vector<Shape> shapes{Shape::kNearMonotone, Shape::kBurstyTies};
+    // The deep-steady-hold pathology regime: only meaningful when the
+    // pending population is large enough for width drift to hurt.
+    if (depth >= 4096u) shapes.push_back(Shape::kDriftNarrow);
+    for (const Shape shape : shapes) {
       const double heap = run_cell(util::EventQueue::Backend::kBinaryHeap,
-                                   depth, bursty, ops, repeats);
+                                   depth, shape, ops, repeats);
       const double calendar = run_cell(util::EventQueue::Backend::kCalendar,
-                                       depth, bursty, ops, repeats);
+                                       depth, shape, ops, repeats);
       const double per_op = 1e9 / static_cast<double>(ops);
       std::cout << "  " << util::fixed(static_cast<double>(depth), 0);
-      std::cout << (bursty ? "  bursty-ties  " : "  near-monotone");
+      std::cout << "  " << label(shape);
       std::cout << "  " << util::fixed(heap * per_op, 1) << "        "
                 << util::fixed(calendar * per_op, 1) << "            "
                 << util::fixed(heap / std::max(calendar, 1e-12), 2) << "x\n";

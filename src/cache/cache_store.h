@@ -22,6 +22,10 @@ class CacheStore {
   [[nodiscard]] bool contains(ObjectId id) const;
   [[nodiscard]] Bytes bytes_of(ObjectId id) const;
 
+  /// Pre-sizes the residency table for up to `n` objects so large runs
+  /// never pay growth rehashes on the load path.
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
   /// Admits an object of the given size. The object must not be resident
   /// and must fit: used() + size <= capacity(). Objects enter fresh.
   void load(ObjectId id, Bytes size);

@@ -20,24 +20,26 @@ GreedyDualSize::GreedyDualSize(const CacheStore* store) : store_(store) {
 }
 
 void GreedyDualSize::on_access(ObjectId id) {
-  State* state = states_.find(id);
-  DELTA_CHECK_MSG(state != nullptr,
+  const Priority* p = residents_.find(id);
+  DELTA_CHECK_MSG(p != nullptr,
                   "GDS access to untracked object " << id.value());
-  state->credit = inflation_ + state->cost_ratio;
+  residents_.update(id, Priority{inflation_ + p->cost_ratio, p->cost_ratio});
 }
 
 double GreedyDualSize::credit_of(ObjectId id) const {
-  const State* state = states_.find(id);
-  DELTA_CHECK(state != nullptr);
-  return state->credit;
+  const Priority* p = residents_.find(id);
+  DELTA_CHECK(p != nullptr);
+  return p->credit;
 }
+
+void GreedyDualSize::reserve(std::size_t n) { residents_.reserve(n); }
 
 const BatchDecision& GreedyDualSize::decide_batch(
     const std::vector<LoadCandidate>& candidates) {
   decision_.load.clear();
   decision_.evict.clear();
-  items_.clear();
-  items_.reserve(states_.size() + candidates.size());
+  batch_.clear();
+  batch_.reserve(candidates.size());
 
   Bytes total = store_->used();
   for (const LoadCandidate& c : candidates) {
@@ -45,43 +47,55 @@ const BatchDecision& GreedyDualSize::decide_batch(
                     "load candidate " << c.id.value() << " already resident");
     if (c.size > store_->capacity()) continue;  // can never fit
     const double r = ratio(c.load_cost, c.size);
-    items_.push_back({c.id, c.size, inflation_ + r, r, true});
+    batch_.push_back({c.id, c.size, inflation_ + r, r});
     total += c.size;
   }
-  states_.for_each([this](ObjectId id, const State& state) {
-    items_.push_back(
-        {id, store_->bytes_of(id), state.credit, state.cost_ratio, false});
-  });
+  std::sort(batch_.begin(), batch_.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.credit != b.credit) return a.credit < b.credit;
+              return a.id < b.id;  // deterministic tie-break
+            });
 
   // Lazy GDS: decide the whole batch at once by evicting in increasing
-  // credit order until the tentative set fits. A candidate "evicted" here is
-  // simply never loaded — exactly the inefficiency the lazy variant removes.
-  // The (credit, id) sort is a total order, so the outcome is independent of
-  // the map's visit order above.
-  std::sort(items_.begin(), items_.end(), [](const Item& a, const Item& b) {
-    if (a.credit != b.credit) return a.credit < b.credit;
-    return a.id < b.id;  // deterministic tie-break
-  });
-
+  // (credit, id) order over residents ∪ candidates until the tentative set
+  // fits. A candidate "evicted" here is simply never loaded — exactly the
+  // inefficiency the lazy variant removes. The residents side of that order
+  // comes from the heap top, so the merge walks the same global order the
+  // old full sort produced without ever touching untouched residents.
   std::size_t cursor = 0;
-  dropped_.assign(items_.size(), false);
-  while (total > store_->capacity() && cursor < items_.size()) {
-    const Item& victim = items_[cursor];
-    dropped_[cursor] = true;
-    total -= victim.size;
-    inflation_ = std::max(inflation_, victim.credit);
-    if (!victim.is_candidate) {
-      decision_.evict.push_back(victim.id);
-      states_.erase(victim.id);
+  dropped_.assign(batch_.size(), false);
+  while (total > store_->capacity()) {
+    const bool have_candidate = cursor < batch_.size();
+    const bool have_resident = !residents_.empty();
+    if (!have_candidate && !have_resident) break;
+    bool pick_candidate = have_candidate;
+    if (have_candidate && have_resident) {
+      const Candidate& c = batch_[cursor];
+      const auto& top = residents_.top();
+      pick_candidate = c.credit < top.priority.credit ||
+                       (c.credit == top.priority.credit && c.id < top.key);
     }
-    ++cursor;
+    if (pick_candidate) {
+      const Candidate& victim = batch_[cursor];
+      dropped_[cursor] = true;
+      total -= victim.size;
+      inflation_ = std::max(inflation_, victim.credit);
+      ++cursor;
+    } else {
+      const auto& victim = residents_.top();
+      total -= store_->bytes_of(victim.key);
+      inflation_ = std::max(inflation_, victim.priority.credit);
+      decision_.evict.push_back(victim.key);
+      residents_.pop();
+    }
   }
   DELTA_CHECK(total <= store_->capacity());
 
-  for (std::size_t i = 0; i < items_.size(); ++i) {
-    if (dropped_[i] || !items_[i].is_candidate) continue;
-    decision_.load.push_back(items_[i].id);
-    states_[items_[i].id] = State{items_[i].credit, items_[i].cost_ratio};
+  for (std::size_t i = 0; i < batch_.size(); ++i) {
+    if (dropped_[i]) continue;
+    decision_.load.push_back(batch_[i].id);
+    residents_.push(batch_[i].id,
+                    Priority{batch_[i].credit, batch_[i].cost_ratio});
   }
   return decision_;
 }
@@ -90,26 +104,17 @@ const std::vector<ObjectId>& GreedyDualSize::shed_overflow() {
   shed_victims_.clear();
   Bytes used = store_->used();
   while (used > store_->capacity()) {
-    DELTA_CHECK_MSG(!states_.empty(), "cannot shed: no resident objects");
-    // Deterministic arg-min over (credit, id): victim choice is independent
-    // of the map's visit order.
-    ObjectId victim = ObjectId::invalid();
-    double victim_credit = 0.0;
-    states_.for_each([&](ObjectId id, const State& state) {
-      if (!victim.valid() || state.credit < victim_credit ||
-          (state.credit == victim_credit && id < victim)) {
-        victim = id;
-        victim_credit = state.credit;
-      }
-    });
-    used -= store_->bytes_of(victim);
-    inflation_ = std::max(inflation_, victim_credit);
-    shed_victims_.push_back(victim);
-    states_.erase(victim);
+    DELTA_CHECK_MSG(!residents_.empty(), "cannot shed: no resident objects");
+    // The heap top IS the deterministic (credit, id) arg-min.
+    const auto& victim = residents_.top();
+    used -= store_->bytes_of(victim.key);
+    inflation_ = std::max(inflation_, victim.priority.credit);
+    shed_victims_.push_back(victim.key);
+    residents_.pop();
   }
   return shed_victims_;
 }
 
-void GreedyDualSize::forget(ObjectId id) { states_.erase(id); }
+void GreedyDualSize::forget(ObjectId id) { residents_.erase(id); }
 
 }  // namespace delta::cache

@@ -7,10 +7,15 @@
 // object's load cost (≈ its size), the cost/size ratio is near 1 and GDS
 // degrades gracefully toward recency-based aging for equal-sized objects
 // while still favoring objects that are expensive to re-load per byte.
+//
+// Residents live in a HeapMap ordered by (credit, id) — the same tie-broken
+// total order the batch sort and shed arg-min used to compute by scanning —
+// so every victim selection is O(log n_resident) instead of O(n_resident),
+// and decisions are byte-identical to the scan implementation.
 #pragma once
 
 #include "cache/eviction_policy.h"
-#include "util/flat_map.h"
+#include "util/heap_map.h"
 
 namespace delta::cache {
 
@@ -25,32 +30,38 @@ class GreedyDualSize final : public EvictionPolicy {
       const std::vector<LoadCandidate>& candidates) override;
   const std::vector<ObjectId>& shed_overflow() override;
   void forget(ObjectId id) override;
+  void reserve(std::size_t n) override;
   [[nodiscard]] const char* name() const override { return "gds-lazy"; }
 
   [[nodiscard]] double inflation() const { return inflation_; }
   [[nodiscard]] double credit_of(ObjectId id) const;
 
  private:
-  struct State {
+  /// Heap priority: ordered by credit alone (the heap adds the id
+  /// tie-break); carries the cached cost/size ratio along so refreshes
+  /// need no second lookup.
+  struct Priority {
     double credit = 0.0;
     double cost_ratio = 1.0;  // load cost / size, cached for refreshes
+    friend bool operator<(const Priority& a, const Priority& b) {
+      return a.credit < b.credit;
+    }
   };
-  struct Item {
+  struct Candidate {
     ObjectId id;
     Bytes size;
     double credit;
     double cost_ratio;
-    bool is_candidate;
   };
 
   const CacheStore* store_;
   double inflation_ = 0.0;
-  util::FlatMap<ObjectId, State> states_;
+  util::HeapMap<ObjectId, Priority> residents_;
 
   // Reused scratch for the batch interface (see EvictionPolicy contract).
   BatchDecision decision_;
   std::vector<ObjectId> shed_victims_;
-  std::vector<Item> items_;
+  std::vector<Candidate> batch_;
   std::vector<bool> dropped_;
 };
 

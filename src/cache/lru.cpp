@@ -11,27 +11,12 @@ LruPolicy::LruPolicy(const CacheStore* store) : store_(store) {
 }
 
 void LruPolicy::on_access(ObjectId id) {
-  std::int64_t* stamp = last_use_.find(id);
-  DELTA_CHECK_MSG(stamp != nullptr,
+  DELTA_CHECK_MSG(last_use_.contains(id),
                   "LRU access to untracked object " << id.value());
-  *stamp = ++clock_;
+  last_use_.update(id, ++clock_);
 }
 
-ObjectId LruPolicy::oldest() const {
-  DELTA_CHECK(!last_use_.empty());
-  // Deterministic arg-min (tie-broken by id), so the victim choice is
-  // independent of the map's visit order.
-  ObjectId victim = ObjectId::invalid();
-  std::int64_t victim_stamp = 0;
-  last_use_.for_each([&](ObjectId id, std::int64_t stamp) {
-    if (!victim.valid() || stamp < victim_stamp ||
-        (stamp == victim_stamp && id < victim)) {
-      victim = id;
-      victim_stamp = stamp;
-    }
-  });
-  return victim;
-}
+void LruPolicy::reserve(std::size_t n) { last_use_.reserve(n); }
 
 const BatchDecision& LruPolicy::decide_batch(
     const std::vector<LoadCandidate>& candidates) {
@@ -46,11 +31,12 @@ const BatchDecision& LruPolicy::decide_batch(
     total += c.size;
   }
   // Evict stale residents oldest-first until the batch fits; if the batch
-  // alone exceeds capacity, drop trailing candidates.
+  // alone exceeds capacity, drop trailing candidates. The heap top is the
+  // deterministic (stamp, id) arg-min.
   while (total > store_->capacity() && !last_use_.empty()) {
-    const ObjectId victim = oldest();
+    const ObjectId victim = last_use_.top().key;
     total -= store_->bytes_of(victim);
-    last_use_.erase(victim);
+    last_use_.pop();
     decision_.evict.push_back(victim);
   }
   while (total > store_->capacity() && !admitted_.empty()) {
@@ -60,7 +46,7 @@ const BatchDecision& LruPolicy::decide_batch(
   DELTA_CHECK(total <= store_->capacity());
   for (const LoadCandidate& c : admitted_) {
     decision_.load.push_back(c.id);
-    last_use_[c.id] = ++clock_;
+    last_use_.push(c.id, ++clock_);
   }
   return decision_;
 }
@@ -70,9 +56,9 @@ const std::vector<ObjectId>& LruPolicy::shed_overflow() {
   Bytes used = store_->used();
   while (used > store_->capacity()) {
     DELTA_CHECK_MSG(!last_use_.empty(), "cannot shed: no resident objects");
-    const ObjectId victim = oldest();
+    const ObjectId victim = last_use_.top().key;
     used -= store_->bytes_of(victim);
-    last_use_.erase(victim);
+    last_use_.pop();
     shed_victims_.push_back(victim);
   }
   return shed_victims_;

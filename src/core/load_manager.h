@@ -93,6 +93,10 @@ class LoadManager {
   /// Counter-mode bookkeeping dropped when an object is loaded or evicted.
   void forget(ObjectId o) { counters_.erase(o); }
 
+  /// Pre-sizes the counter table (counter mode tracks objects with partial
+  /// attribution — bounded by the queried-object footprint, not residency).
+  void reserve(std::size_t n) { counters_.reserve(n); }
+
  private:
   Options options_;
   util::Rng rng_;

@@ -63,8 +63,16 @@ class ServerNode {
 
   /// Applies an arriving update to the repository and fans out an
   /// invalidation notice to every attached cache whose subscription covers
-  /// it (in attach order — deterministic).
+  /// it (in attach order — deterministic). The update must be the trace
+  /// entry its id names (validated per call).
   void ingest_update(const workload::Update& u);
+
+  /// Trusted ingest by trace index: identical side effects, but the update
+  /// is read straight from the shared trace, so there is nothing to
+  /// validate beyond the bound. This is the replicated-replay fast path —
+  /// N partitions ingesting the same decoded stream pay the identity check
+  /// zero times instead of N times per update.
+  void ingest_update_at(std::int64_t update_index);
 
   // ---- repository state (metadata caches may read cheaply) ----
 
@@ -98,6 +106,7 @@ class ServerNode {
   [[nodiscard]] std::size_t checked(ObjectId o) const;
   [[nodiscard]] CacheEntry& sender_entry(const net::Message& m);
   void handle_message(const net::Message& m);
+  void apply_update(const workload::Update& u);
 };
 
 }  // namespace delta::core

@@ -55,6 +55,14 @@ class UpdateManager {
   /// outstanding updates are folded into the load).
   void drop_object(ObjectId o);
 
+  /// Pre-sizes the per-object maps for up to `n` stale objects (bounded by
+  /// residency, not by trace length or total object count).
+  void reserve(std::size_t n) {
+    pending_.reserve(n);
+    groups_.reserve(n);
+    node_to_group_.reserve(n);
+  }
+
   struct Decision {
     bool ship_query = false;
     /// Updates selected by the cover — ship them all (remainder rule).

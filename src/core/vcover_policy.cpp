@@ -20,6 +20,14 @@ VCoverPolicy::VCoverPolicy(CacheNode* system, const VCoverOptions& options)
   } else {
     evictor_ = std::make_unique<cache::GreedyDualSize>(&store_);
   }
+  if (options_.expected_resident_objects > 0) {
+    const std::size_t n = options_.expected_resident_objects;
+    store_.reserve(n);
+    evictor_->reserve(n);
+    update_manager_.reserve(n);
+    load_manager_.reserve(n);
+    heat_.reserve(n);
+  }
   system_->set_subscription(MetadataSubscription::kRegisteredOnly);
   system_->set_invalidation_handler(
       [this](const workload::Update& u) { on_update(u); });

@@ -35,6 +35,11 @@ struct VCoverOptions {
   double preship_heat_threshold = 3.0;
   double preship_heat_decay = 0.98;
   std::uint64_t rng_seed = 0xD517A;
+  /// Expected peak resident-object count. Pre-sizes every per-object side
+  /// table (store, evictor, update/load managers, preship heat) so
+  /// million-object runs never pay growth rehashes on the replay hot path.
+  /// 0 keeps the default (grow on demand).
+  std::size_t expected_resident_objects = 0;
 };
 
 class VCoverPolicy final : public CachePolicy {

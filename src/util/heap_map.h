@@ -1,0 +1,148 @@
+// Indexed binary min-heap over unique keys: the resident-set side index
+// that makes eviction/shed victim selection O(log n) instead of a full
+// FlatMap sweep per decision (the million-object data-plane requirement:
+// no O(n_objects) term on the replay hot path).
+//
+// Ordering is the lexicographic total order (priority, key) — exactly the
+// tie-broken arg-min the eviction policies previously computed by scanning,
+// so swapping the scan for top()/pop() changes no observable decision (the
+// heap's internal array layout depends on operation history, but the
+// minimum of a total order does not).
+//
+// Contract:
+//  * Key follows the FlatMap key contract (integral or strong id).
+//  * Priority is totally ordered via operator< and copyable (double, int64).
+//  * Keys are unique; push() requires absence, update()/erase() presence.
+//  * All operations are deterministic functions of the operation sequence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "util/flat_map.h"
+
+namespace delta::util {
+
+template <typename Key, typename Priority>
+class HeapMap {
+ public:
+  struct Entry {
+    Key key{};
+    Priority priority{};
+  };
+
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+
+  void clear() {
+    heap_.clear();
+    pos_.clear();
+  }
+
+  void reserve(std::size_t n) {
+    heap_.reserve(n);
+    pos_.reserve(n);
+  }
+
+  [[nodiscard]] bool contains(Key key) const { return pos_.contains(key); }
+
+  /// Priority of `key`, or nullptr when absent. Read-only: priorities
+  /// change only through update(), which restores the heap order.
+  [[nodiscard]] const Priority* find(Key key) const {
+    const std::uint32_t* i = pos_.find(key);
+    return i == nullptr ? nullptr : &heap_[*i].priority;
+  }
+
+  /// The (priority, key)-minimum entry. Requires a non-empty heap.
+  [[nodiscard]] const Entry& top() const {
+    DELTA_CHECK(!heap_.empty());
+    return heap_.front();
+  }
+
+  /// Inserts an absent key.
+  void push(Key key, Priority priority) {
+    const auto [slot, inserted] =
+        pos_.try_emplace(key, static_cast<std::uint32_t>(heap_.size()));
+    DELTA_CHECK_MSG(inserted, "HeapMap::push of a present key");
+    heap_.push_back(Entry{key, priority});
+    sift_up(heap_.size() - 1);
+  }
+
+  /// Re-prioritizes a present key (either direction).
+  void update(Key key, Priority priority) {
+    const std::uint32_t* slot = pos_.find(key);
+    DELTA_CHECK_MSG(slot != nullptr, "HeapMap::update of an absent key");
+    const std::size_t i = *slot;
+    heap_[i].priority = priority;
+    sift_up(i);
+    sift_down(i);
+  }
+
+  /// Removes the minimum entry. Requires a non-empty heap.
+  void pop() {
+    DELTA_CHECK(!heap_.empty());
+    remove_at(0);
+  }
+
+  /// Removes the key if present; returns true when erased.
+  bool erase(Key key) {
+    const std::uint32_t* slot = pos_.find(key);
+    if (slot == nullptr) return false;
+    remove_at(*slot);
+    return true;
+  }
+
+ private:
+  std::vector<Entry> heap_;
+  FlatMap<Key, std::uint32_t> pos_;
+
+  [[nodiscard]] static bool less(const Entry& a, const Entry& b) {
+    if (a.priority < b.priority) return true;
+    if (b.priority < a.priority) return false;
+    return a.key < b.key;
+  }
+
+  void place(std::size_t i, const Entry& e) {
+    heap_[i] = e;
+    *pos_.find(e.key) = static_cast<std::uint32_t>(i);
+  }
+
+  void sift_up(std::size_t i) {
+    const Entry e = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!less(e, heap_[parent])) break;
+      place(i, heap_[parent]);
+      i = parent;
+    }
+    place(i, e);
+  }
+
+  void sift_down(std::size_t i) {
+    const Entry e = heap_[i];
+    const std::size_t n = heap_.size();
+    while (true) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && less(heap_[child + 1], heap_[child])) ++child;
+      if (!less(heap_[child], e)) break;
+      place(i, heap_[child]);
+      i = child;
+    }
+    place(i, e);
+  }
+
+  void remove_at(std::size_t i) {
+    pos_.erase(heap_[i].key);
+    const Entry tail = heap_.back();
+    heap_.pop_back();
+    if (i == heap_.size()) return;  // removed the tail itself
+    heap_[i] = tail;
+    *pos_.find(tail.key) = static_cast<std::uint32_t>(i);
+    sift_up(i);
+    sift_down(i);
+  }
+};
+
+}  // namespace delta::util

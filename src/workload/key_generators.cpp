@@ -1,0 +1,141 @@
+#include "workload/key_generators.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace delta::workload {
+
+namespace {
+
+/// splitmix64 finalizer: the same fixed mix FlatMap and the trace splitter
+/// use, so scrambling is platform-independent.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double zeta(std::int64_t n, double theta) {
+  double sum = 0.0;
+  for (std::int64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+std::uint64_t thread_seed(std::uint64_t base_seed,
+                          std::uint64_t thread_index) {
+  return mix64(base_seed ^ mix64(thread_index + 0x5DE1A5EEDULL));
+}
+
+UniformKeys::UniformKeys(std::int64_t n) : n_(n) { DELTA_CHECK(n > 0); }
+
+std::int64_t UniformKeys::next(util::Rng& rng) {
+  return rng.uniform_int(0, n_ - 1);
+}
+
+ZipfianKeys::ZipfianKeys(std::int64_t n, double theta, bool scramble)
+    : n_(n), theta_(theta), scramble_(scramble) {
+  DELTA_CHECK(n > 0);
+  DELTA_CHECK_MSG(theta > 0.0, "zipfian theta must be positive");
+  DELTA_CHECK_MSG(n <= static_cast<std::int64_t>(UINT32_MAX),
+                  "alias table is indexed by uint32");
+  zetan_ = zeta(n, theta);
+
+  // Vose's alias construction, run in deterministic (ascending-rank, LIFO)
+  // order. `scaled` holds n * P(rank); columns below 1 borrow the excess
+  // of columns above 1 so every column splits between at most two ranks.
+  std::vector<double> scaled(static_cast<std::size_t>(n));
+  for (std::int64_t r = 0; r < n; ++r) {
+    scaled[static_cast<std::size_t>(r)] =
+        static_cast<double>(n) * rank_probability(r);
+  }
+  accept_.assign(static_cast<std::size_t>(n), 1.0);
+  alias_.resize(static_cast<std::size_t>(n));
+  for (std::int64_t r = 0; r < n; ++r) {
+    alias_[static_cast<std::size_t>(r)] = static_cast<std::uint32_t>(r);
+  }
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  for (std::int64_t r = 0; r < n; ++r) {
+    (scaled[static_cast<std::size_t>(r)] < 1.0 ? small : large)
+        .push_back(static_cast<std::uint32_t>(r));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    const std::uint32_t l = large.back();
+    small.pop_back();
+    large.pop_back();
+    accept_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are exactly-1 columns up to rounding; accept_ is already 1.
+}
+
+std::int64_t ZipfianKeys::next_rank(util::Rng& rng) {
+  // Single uniform draw: integer part picks the column, fractional part
+  // flips the column's biased coin.
+  const double x = rng.next_double() * static_cast<double>(n_);
+  auto column = static_cast<std::int64_t>(x);
+  if (column >= n_) column = n_ - 1;  // guard the u -> 1 edge
+  const double frac = x - static_cast<double>(column);
+  const auto c = static_cast<std::size_t>(column);
+  return frac < accept_[c] ? column
+                           : static_cast<std::int64_t>(alias_[c]);
+}
+
+std::int64_t ZipfianKeys::next(util::Rng& rng) {
+  const std::int64_t rank = next_rank(rng);
+  if (!scramble_) return rank;
+  return static_cast<std::int64_t>(
+      mix64(static_cast<std::uint64_t>(rank)) %
+      static_cast<std::uint64_t>(n_));
+}
+
+double ZipfianKeys::rank_probability(std::int64_t rank) const {
+  DELTA_CHECK(rank >= 0 && rank < n_);
+  return 1.0 / (std::pow(static_cast<double>(rank + 1), theta_) * zetan_);
+}
+
+LatestKeys::LatestKeys(std::int64_t n, double theta)
+    : n_(n), cursor_(n - 1), zipf_(n, theta, /*scramble=*/false) {}
+
+std::int64_t LatestKeys::next(util::Rng& rng) {
+  const std::int64_t offset = zipf_.next_rank(rng);
+  // Recency offset back from the most recent write, wrapped over the fixed
+  // key space (YCSB grows the space on insert; the fixed-space analogue
+  // treats the key ring modulo n).
+  std::int64_t key = cursor_ - offset;
+  if (key < 0) key += n_;
+  return key;
+}
+
+std::int64_t LatestKeys::next_write() {
+  cursor_ = (cursor_ + 1) % n_;
+  return cursor_;
+}
+
+ExponentialKeys::ExponentialKeys(std::int64_t n, double percentile,
+                                 double frac)
+    : n_(n) {
+  DELTA_CHECK(n > 0);
+  DELTA_CHECK(percentile > 0.0 && percentile < 1.0);
+  DELTA_CHECK(frac > 0.0);
+  // `percentile` of the mass inside the first `frac` of the key space:
+  // lambda = -ln(1 - percentile) / (frac * n); mean = 1 / lambda.
+  mean_ = frac * static_cast<double>(n) / -std::log(1.0 - percentile);
+}
+
+std::int64_t ExponentialKeys::next(util::Rng& rng) {
+  const auto draw = static_cast<std::int64_t>(rng.exponential(mean_));
+  return draw % n_;
+}
+
+}  // namespace delta::workload

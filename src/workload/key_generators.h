@@ -1,0 +1,125 @@
+// YCSB-grade key generators for million-object synthetic workloads.
+//
+// Each generator draws keys in [0, n) from a fixed popularity law and is a
+// pure function of the Rng stream fed to it, so traces built on top are
+// reproducible from a single seed. The zipfian sampler draws from the
+// *exact* discrete law via a Walker/Vose alias table: O(n) once at build,
+// O(1) per draw regardless of n — no O(n) CDF walk per draw
+// (util::ZipfSampler remains for the small template/hotspot vocabularies)
+// and, unlike the Gray et al. continuous approximation YCSB ships, no
+// per-rank bias, so chi-square fits against the analytic rank frequencies
+// hold tight (tests/workload_generator_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace delta::workload {
+
+/// Independent, reproducible per-thread seed: a splitmix64-style mix of
+/// (base_seed, thread_index). Thread t's generator stream is a pure
+/// function of these two values, so sharded generation is deterministic
+/// for any thread count and schedule.
+[[nodiscard]] std::uint64_t thread_seed(std::uint64_t base_seed,
+                                        std::uint64_t thread_index);
+
+enum class KeyDistribution : std::uint8_t {
+  kUniform,
+  kZipfian,
+  kLatest,
+  kExponential,
+};
+
+[[nodiscard]] constexpr const char* to_string(KeyDistribution d) {
+  switch (d) {
+    case KeyDistribution::kUniform:
+      return "uniform";
+    case KeyDistribution::kZipfian:
+      return "zipfian";
+    case KeyDistribution::kLatest:
+      return "latest";
+    case KeyDistribution::kExponential:
+      return "exponential";
+  }
+  return "?";
+}
+
+/// Every key equally likely.
+class UniformKeys {
+ public:
+  explicit UniformKeys(std::int64_t n);
+  [[nodiscard]] std::int64_t next(util::Rng& rng);
+
+ private:
+  std::int64_t n_;
+};
+
+/// Zipf(theta) over ranks {0..n-1}: rank r drawn with probability exactly
+/// 1/((r+1)^theta · zeta_n(theta)) via an alias table (~20 bytes/rank).
+/// With `scramble` the popular ranks are scattered across the id space by
+/// a fixed hash, so hot keys are not clustered at low ids.
+class ZipfianKeys {
+ public:
+  ZipfianKeys(std::int64_t n, double theta = 0.99, bool scramble = false);
+
+  [[nodiscard]] std::int64_t next(util::Rng& rng);
+
+  /// P(rank r) — the chi-square oracle (exact for the unscrambled law).
+  [[nodiscard]] double rank_probability(std::int64_t rank) const;
+
+  [[nodiscard]] std::int64_t size() const { return n_; }
+
+ private:
+  std::int64_t n_;
+  double theta_;
+  double zetan_;
+  bool scramble_;
+  /// Alias table: one uniform draw picks a column and a biased coin inside
+  /// it (single-draw Vose construction, deterministic build order).
+  std::vector<double> accept_;
+  std::vector<std::uint32_t> alias_;
+
+  [[nodiscard]] std::int64_t next_rank(util::Rng& rng);
+  friend class LatestKeys;
+};
+
+/// Skewed-latest (YCSB D): reads concentrate on the most recently written
+/// keys. The write stream walks the key space with an insert cursor;
+/// reads draw a zipfian recency offset back from the cursor.
+class LatestKeys {
+ public:
+  LatestKeys(std::int64_t n, double theta = 0.99);
+
+  /// Key for a read: cursor - Zipf offset (mod n).
+  [[nodiscard]] std::int64_t next(util::Rng& rng);
+  /// Key for the next write; advances the cursor.
+  [[nodiscard]] std::int64_t next_write();
+
+  [[nodiscard]] double rank_probability(std::int64_t recency) const {
+    return zipf_.rank_probability(recency);
+  }
+  [[nodiscard]] std::int64_t cursor() const { return cursor_; }
+
+ private:
+  std::int64_t n_;
+  std::int64_t cursor_;  // most recently written key
+  ZipfianKeys zipf_;
+};
+
+/// Exponential decay over the key space (YCSB's exponential generator):
+/// P(k) ∝ exp(-k / scale), with `frac` of the mass inside the first
+/// `percentile` fraction of keys. Draws are folded into range by modulus.
+class ExponentialKeys {
+ public:
+  ExponentialKeys(std::int64_t n, double percentile = 0.95,
+                  double frac = 0.8571);
+  [[nodiscard]] std::int64_t next(util::Rng& rng);
+
+ private:
+  std::int64_t n_;
+  double mean_;
+};
+
+}  // namespace delta::workload

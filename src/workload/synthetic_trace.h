@@ -1,0 +1,112 @@
+// Synthetic YCSB-style workloads over an abstract key space — the
+// million-object counterpart of the astronomy TraceGenerator.
+//
+// Where TraceGenerator derives queries from sky regions over a density
+// model (and is therefore bounded by the HTM base-level partition count),
+// SyntheticTraceGenerator treats data objects as opaque keys and drives
+// them with the standard YCSB machinery: a key popularity law (uniform /
+// zipfian / latest / exponential, see key_generators.h), an operation mix
+// given by read/scan/read-modify-write permille knobs (the YCSB A–F
+// presets are provided), and log-normal object/result/update sizing. The
+// produced Trace passes Trace::validate(), splits across endpoints with
+// assign_queries (cover-less queries hash by id), replays through every
+// engine, and round-trips through trace_io — the file-backed path below
+// caches generation work across bench runs.
+//
+// Determinism: generate(seed) is a pure function of (params, seed); use
+// thread_seed() for sharded multi-stream generation.
+#pragma once
+
+#include <string>
+
+#include "workload/key_generators.h"
+#include "workload/trace.h"
+
+namespace delta::workload {
+
+struct SyntheticTraceParams {
+  std::int64_t object_count = 1'000'000;
+  /// Total merged events (queries + updates; an RMW op contributes both).
+  std::int64_t event_count = 100'000;
+
+  KeyDistribution distribution = KeyDistribution::kZipfian;
+  double zipfian_theta = 0.99;
+  /// Scatter hot zipfian ranks across the id space by a fixed hash.
+  bool scramble = true;
+  double exponential_percentile = 0.95;
+  double exponential_frac = 0.8571;
+
+  /// Operation mix, in permille of operations (remainder = blind updates).
+  int read_permille = 950;
+  int scan_permille = 0;
+  int rmw_permille = 0;
+  /// Scan ops read a contiguous key range of up to this many objects.
+  std::int64_t max_scan_len = 16;
+
+  /// Sizing (log-normal rows, floored at one row).
+  Bytes row_bytes{2048};
+  double object_rows_mean = 64.0;
+  double object_rows_sigma = 1.0;
+  double result_rows_mean = 32.0;
+  double result_rows_sigma = 0.8;
+  double update_rows_mean = 8.0;
+  double update_rows_sigma = 0.5;
+
+  /// Staleness-tolerance mixture: `strict_fraction` of queries demand full
+  /// currency, the rest tolerate a uniform lag in [lo, hi] merged events.
+  double strict_fraction = 0.5;
+  EventTime tolerance_lo = 100;
+  EventTime tolerance_hi = 5'000;
+
+  /// Leading fraction of events excluded from measurement.
+  double warmup_fraction = 0.1;
+};
+
+/// The YCSB core workload letters (op mixes; the key law stays a knob,
+/// defaulting to the letter's canonical distribution).
+enum class YcsbMix : std::uint8_t { kA, kB, kC, kD, kE, kF };
+
+[[nodiscard]] constexpr const char* to_string(YcsbMix mix) {
+  switch (mix) {
+    case YcsbMix::kA:
+      return "A";
+    case YcsbMix::kB:
+      return "B";
+    case YcsbMix::kC:
+      return "C";
+    case YcsbMix::kD:
+      return "D";
+    case YcsbMix::kE:
+      return "E";
+    case YcsbMix::kF:
+      return "F";
+  }
+  return "?";
+}
+
+/// Canonical mix for a YCSB letter over the given scale:
+///   A 500/500 update-heavy · B 950/50 read-mostly · C read-only ·
+///   D 950/50 on latest · E 950/50 scans · F 500/500 read-modify-write.
+[[nodiscard]] SyntheticTraceParams ycsb_params(YcsbMix mix,
+                                               std::int64_t object_count,
+                                               std::int64_t event_count);
+
+class SyntheticTraceGenerator {
+ public:
+  explicit SyntheticTraceGenerator(SyntheticTraceParams params);
+
+  [[nodiscard]] Trace generate(std::uint64_t seed) const;
+
+  [[nodiscard]] const SyntheticTraceParams& params() const { return params_; }
+
+ private:
+  SyntheticTraceParams params_;
+};
+
+/// File-backed path: loads `path` when it holds a delta-trace, otherwise
+/// generates from (params, seed) and saves to `path` before returning.
+[[nodiscard]] Trace load_or_generate(const SyntheticTraceGenerator& generator,
+                                     std::uint64_t seed,
+                                     const std::string& path);
+
+}  // namespace delta::workload

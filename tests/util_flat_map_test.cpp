@@ -154,6 +154,58 @@ TEST(FlatMapTest, StrongIdKeys) {
   EXPECT_EQ(map.find(ObjectId{7}), nullptr);
 }
 
+// Million-key churn: the growth path (with and without reserve) and the
+// backward-shift deletion must stay correct and rehash-free once reserved —
+// the data-plane requirement for 10^6-object cache runs.
+TEST(FlatMapTest, MillionKeyChurn) {
+  constexpr std::int64_t kKeys = 1'000'000;
+
+  // Growth path: no reserve, the table doubles its way up under inserts.
+  FlatMap<ObjectId, std::int64_t> grown;
+  for (std::int64_t k = 0; k < kKeys; ++k) {
+    grown[ObjectId{k}] = k * 3;
+  }
+  ASSERT_EQ(grown.size(), static_cast<std::size_t>(kKeys));
+
+  // Reserved path: capacity must not move again while size stays <= kKeys
+  // (no rehash storms on the replay hot path).
+  FlatMap<ObjectId, std::int64_t> map;
+  map.reserve(static_cast<std::size_t>(kKeys));
+  const std::size_t reserved_capacity = map.capacity();
+  EXPECT_GE(reserved_capacity * 3, static_cast<std::size_t>(kKeys) * 4);
+  for (std::int64_t k = 0; k < kKeys; ++k) {
+    map[ObjectId{k}] = k;
+  }
+  EXPECT_EQ(map.capacity(), reserved_capacity);
+
+  // Churn: erase a dense third (adjacent probe chains exercise the
+  // backward shift), then re-insert under displaced ids.
+  for (std::int64_t k = 0; k < kKeys; k += 3) {
+    ASSERT_TRUE(map.erase(ObjectId{k}));
+  }
+  for (std::int64_t k = 0; k < kKeys; k += 3) {
+    map[ObjectId{k + kKeys}] = k;
+  }
+  EXPECT_EQ(map.size(), static_cast<std::size_t>(kKeys));
+
+  // Every survivor resolves to its value; every erased key is gone.
+  for (std::int64_t k = 0; k < kKeys; ++k) {
+    const std::int64_t* v = map.find(ObjectId{k});
+    if (k % 3 == 0) {
+      ASSERT_EQ(v, nullptr);
+      const std::int64_t* moved = map.find(ObjectId{k + kKeys});
+      ASSERT_NE(moved, nullptr);
+      ASSERT_EQ(*moved, k);
+    } else {
+      ASSERT_NE(v, nullptr);
+      ASSERT_EQ(*v, k);
+    }
+  }
+  std::size_t visited = 0;
+  map.for_each([&](ObjectId, std::int64_t) { ++visited; });
+  EXPECT_EQ(visited, map.size());
+}
+
 TEST(FlatSetTest, InsertEraseContains) {
   FlatSet<ObjectId> set;
   EXPECT_TRUE(set.insert(ObjectId{1}));

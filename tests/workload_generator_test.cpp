@@ -1,0 +1,206 @@
+// Key generators and the synthetic YCSB trace layer: chi-square fits of the
+// zipfian/latest samplers against their analytic rank laws, deterministic
+// streams across seeds and thread-derived seeds, op-mix accounting for the
+// YCSB presets, structural validity, endpoint splitting and trace_io
+// round-trips of generated traces.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/key_generators.h"
+#include "workload/synthetic_trace.h"
+#include "workload/trace_io.h"
+#include "workload/trace_split.h"
+
+namespace delta::workload {
+namespace {
+
+/// Chi-square statistic of observed counts against expected probabilities.
+double chi_square(const std::vector<std::int64_t>& counts,
+                  const std::vector<double>& probs, std::int64_t samples) {
+  double stat = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double expected = probs[i] * static_cast<double>(samples);
+    const double diff = static_cast<double>(counts[i]) - expected;
+    stat += diff * diff / expected;
+  }
+  return stat;
+}
+
+// df = 49; the p=0.001 critical value is 85.35. The seed is fixed, so this
+// is a deterministic regression gate, not a flaky significance test.
+constexpr double kChiSquareBound = 85.35;
+
+TEST(KeyGeneratorsTest, ZipfianMatchesRankLawChiSquare) {
+  const std::int64_t n = 50;
+  const std::int64_t samples = 200'000;
+  ZipfianKeys zipf{n, 0.8, /*scramble=*/false};
+  util::Rng rng{0x2157F1A7};
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(n), 0);
+  for (std::int64_t s = 0; s < samples; ++s) {
+    ++counts[static_cast<std::size_t>(zipf.next(rng))];
+  }
+  std::vector<double> probs;
+  for (std::int64_t r = 0; r < n; ++r) {
+    probs.push_back(zipf.rank_probability(r));
+  }
+  EXPECT_LT(chi_square(counts, probs, samples), kChiSquareBound);
+}
+
+TEST(KeyGeneratorsTest, LatestMatchesRecencyLawChiSquare) {
+  const std::int64_t n = 50;
+  const std::int64_t samples = 200'000;
+  LatestKeys latest{n, 0.8};
+  util::Rng rng{0x7A7E57};
+  // Cursor starts at n-1, so recency offset = (n-1) - key without wrap.
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(n), 0);
+  for (std::int64_t s = 0; s < samples; ++s) {
+    const std::int64_t key = latest.next(rng);
+    ASSERT_GE(key, 0);
+    ASSERT_LT(key, n);
+    ++counts[static_cast<std::size_t>(n - 1 - key)];
+  }
+  std::vector<double> probs;
+  for (std::int64_t r = 0; r < n; ++r) {
+    probs.push_back(latest.rank_probability(r));
+  }
+  EXPECT_LT(chi_square(counts, probs, samples), kChiSquareBound);
+}
+
+TEST(KeyGeneratorsTest, ScrambledZipfianStaysInRangeAndSkewed) {
+  const std::int64_t n = 1000;
+  ZipfianKeys zipf{n, 0.99, /*scramble=*/true};
+  util::Rng rng{42};
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(n), 0);
+  for (int s = 0; s < 100'000; ++s) {
+    const std::int64_t key = zipf.next(rng);
+    ASSERT_GE(key, 0);
+    ASSERT_LT(key, n);
+    ++counts[static_cast<std::size_t>(key)];
+  }
+  // The hottest scrambled key still carries the zipfian head mass.
+  const std::int64_t hottest = *std::max_element(counts.begin(), counts.end());
+  EXPECT_GT(hottest, 100'000 / 20);
+}
+
+TEST(KeyGeneratorsTest, ExponentialConcentratesNearHead) {
+  const std::int64_t n = 10'000;
+  ExponentialKeys expo{n, 0.95, 0.8571};
+  util::Rng rng{7};
+  std::int64_t in_head = 0;
+  const std::int64_t samples = 50'000;
+  for (std::int64_t s = 0; s < samples; ++s) {
+    const std::int64_t key = expo.next(rng);
+    ASSERT_GE(key, 0);
+    ASSERT_LT(key, n);
+    if (key < static_cast<std::int64_t>(0.8571 * static_cast<double>(n))) {
+      ++in_head;
+    }
+  }
+  EXPECT_GT(static_cast<double>(in_head) / static_cast<double>(samples), 0.9);
+}
+
+TEST(KeyGeneratorsTest, StreamsDeterministicAcrossSeedsAndThreads) {
+  // Same seed -> identical stream.
+  ZipfianKeys zipf{1000, 0.99, true};
+  util::Rng a{thread_seed(99, 0)};
+  util::Rng b{thread_seed(99, 0)};
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(zipf.next(a), zipf.next(b));
+  }
+  // Distinct thread indexes -> distinct seeds and (overwhelmingly) streams.
+  EXPECT_NE(thread_seed(99, 0), thread_seed(99, 1));
+  EXPECT_NE(thread_seed(99, 1), thread_seed(100, 1));
+  util::Rng t0{thread_seed(99, 0)};
+  util::Rng t1{thread_seed(99, 1)};
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (zipf.next(t0) != zipf.next(t1)) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(SyntheticTraceTest, GeneratesValidTraceWithRequestedMix) {
+  SyntheticTraceParams p = ycsb_params(YcsbMix::kA, 2000, 6000);
+  SyntheticTraceGenerator gen{p};
+  const Trace trace = gen.generate(0xAB);  // generate() runs validate()
+  EXPECT_EQ(trace.event_count(), 6000);
+  EXPECT_EQ(trace.initial_object_bytes.size(), 2000u);
+  // A is a 50/50 read/update mix.
+  const double read_fraction =
+      static_cast<double>(trace.queries.size()) /
+      static_cast<double>(trace.order.size());
+  EXPECT_NEAR(read_fraction, 0.5, 0.05);
+  EXPECT_EQ(trace.info.warmup_end_event, 600);
+  // Deterministic: same seed, same trace.
+  const Trace again = gen.generate(0xAB);
+  std::ostringstream s1, s2;
+  write_trace(s1, trace);
+  write_trace(s2, again);
+  EXPECT_EQ(s1.str(), s2.str());
+}
+
+TEST(SyntheticTraceTest, ScanMixProducesBoundedSortedRanges) {
+  SyntheticTraceParams p = ycsb_params(YcsbMix::kE, 500, 3000);
+  p.max_scan_len = 8;
+  const Trace trace = SyntheticTraceGenerator{p}.generate(3);
+  ASSERT_FALSE(trace.queries.empty());
+  for (const Query& q : trace.queries) {
+    EXPECT_LE(q.objects.size(), 8u);
+    EXPECT_TRUE(std::is_sorted(q.objects.begin(), q.objects.end()));
+  }
+}
+
+TEST(SyntheticTraceTest, RmwMixPairsReadWithWriteback) {
+  SyntheticTraceParams p = ycsb_params(YcsbMix::kF, 500, 3000);
+  const Trace trace = SyntheticTraceGenerator{p}.generate(11);
+  std::int64_t rmw_pairs = 0;
+  for (std::size_t i = 0; i + 1 < trace.order.size(); ++i) {
+    const Event& e = trace.order[i];
+    if (e.kind != Event::Kind::kQuery) continue;
+    const Query& q = trace.queries[static_cast<std::size_t>(e.index)];
+    if (q.kind != QueryKind::kAggregation) continue;  // the RMW read
+    const Event& next = trace.order[i + 1];
+    ASSERT_EQ(next.kind, Event::Kind::kUpdate);
+    const Update& u = trace.updates[static_cast<std::size_t>(next.index)];
+    ASSERT_EQ(q.objects.size(), 1u);
+    EXPECT_EQ(u.object, q.objects.front());
+    ++rmw_pairs;
+  }
+  EXPECT_GT(rmw_pairs, 0);
+}
+
+TEST(SyntheticTraceTest, SplitsAcrossEndpointsWithoutCovers) {
+  SyntheticTraceParams p = ycsb_params(YcsbMix::kB, 1000, 2000);
+  const Trace trace = SyntheticTraceGenerator{p}.generate(5);
+  // Synthetic queries carry no base cover: hash-by-region must fall back
+  // to the query id and still produce a total, balanced-ish split.
+  const auto assignment =
+      assign_queries(trace, 4, SplitStrategy::kHashByRegion);
+  ASSERT_EQ(assignment.size(), trace.queries.size());
+  std::vector<std::int64_t> per_endpoint(4, 0);
+  for (const std::uint32_t e : assignment) {
+    ASSERT_LT(e, 4u);
+    ++per_endpoint[e];
+  }
+  for (const std::int64_t c : per_endpoint) EXPECT_GT(c, 0);
+}
+
+TEST(SyntheticTraceTest, RoundTripsThroughTraceIo) {
+  SyntheticTraceParams p = ycsb_params(YcsbMix::kD, 300, 1500);
+  const Trace trace = SyntheticTraceGenerator{p}.generate(17);
+  std::ostringstream os;
+  write_trace(os, trace);
+  std::istringstream is{os.str()};
+  const Trace loaded = read_trace(is);
+  std::ostringstream os2;
+  write_trace(os2, loaded);
+  EXPECT_EQ(os.str(), os2.str());
+  EXPECT_EQ(loaded.queries.size(), trace.queries.size());
+  EXPECT_EQ(loaded.updates.size(), trace.updates.size());
+}
+
+}  // namespace
+}  // namespace delta::workload
