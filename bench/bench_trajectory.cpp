@@ -18,14 +18,19 @@
 //     with the p50/p99 of the *simulated* response times — the
 //     "single_cache" section above is the synchronous same-file baseline.
 //
+//   * open-loop drive (ISSUE 7): Poisson arrivals over a 100 Mbit/40 ms
+//     WAN through the async policy API — simulated response p50/p99 vs
+//     arrival rate, with congestion batching off/on (the coalescing delta).
+//
 //   ./build/bench/bench_trajectory [key=value ...]
 //     smoke=0        1 = tiny trace (CI smoke run; numbers not comparable)
-//     repeats=3      timed repetitions per cell (best run is reported)
+//     repeats=3      timed repetitions per cell (best + median reported)
 //     queries=40000 updates=40000 objects=68 cache_frac=0.3 seed=1
 //     out=-          output path ('-' = stdout)
 //
 // scripts/bench_trajectory.sh wraps this into the committed BENCH_*.json
 // trajectory files (see README "Performance").
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -48,9 +53,34 @@ namespace {
 
 using namespace delta;
 
+/// Collected walls of the timed repetitions of one cell. best() is the
+/// capability figure the trajectory has always tracked; median() is the
+/// noise-robust companion every ratio is also reported under, so CI
+/// verdicts and cross-PR comparisons don't ride on a single lucky run.
+class RepeatWalls {
+ public:
+  void add(double wall) { walls_.push_back(wall); }
+  [[nodiscard]] double best() const {
+    return walls_.empty()
+               ? 0.0
+               : *std::min_element(walls_.begin(), walls_.end());
+  }
+  [[nodiscard]] double median() const {
+    if (walls_.empty()) return 0.0;
+    std::vector<double> sorted = walls_;
+    std::sort(sorted.begin(), sorted.end());
+    return sorted[sorted.size() / 2];
+  }
+
+ private:
+  std::vector<double> walls_;
+};
+
 struct SingleResult {
   double events_per_sec = 0.0;
+  double events_per_sec_median = 0.0;
   double wall_seconds_best = 0.0;
+  double wall_seconds_median = 0.0;
   std::int64_t events = 0;
   std::int64_t postwarmup_traffic = 0;  // sanity pin: must not drift
   std::int64_t cache_answers = 0;
@@ -65,12 +95,16 @@ struct MultiCell {
   std::size_t endpoints = 0;
   std::size_t threads = 0;
   double events_per_sec = 0.0;
+  double events_per_sec_median = 0.0;
   double wall_seconds_best = 0.0;
+  double wall_seconds_median = 0.0;
 };
 
 struct EventResult {
   double events_per_sec = 0.0;
+  double events_per_sec_median = 0.0;
   double wall_seconds_best = 0.0;
+  double wall_seconds_median = 0.0;
   std::int64_t postwarmup_traffic = 0;
   double response_p50 = 0.0;
   double response_p99 = 0.0;
@@ -84,10 +118,13 @@ struct EventResult {
 struct EventParallelCell {
   std::size_t threads = 0;
   double wall_seconds_best = 0.0;
+  double wall_seconds_median = 0.0;
   double events_per_sec = 0.0;
+  double events_per_sec_median = 0.0;
   /// Wall-clock speedup vs the T=1 cell of this sweep. On a single-core
   /// host this cannot exceed 1 — see critical_path_speedup.
   double self_speedup = 0.0;
+  double self_speedup_median = 0.0;
   /// sum/max of the per-partition replay walls from the best run: the
   /// load-balance-limited speedup a host with >= N cores achieves. This is
   /// a measurement (per-shard timers), not a model.
@@ -104,7 +141,9 @@ struct ObjectScalingCell {
   std::int64_t events = 0;
   double generate_seconds = 0.0;
   double wall_seconds_best = 0.0;
+  double wall_seconds_median = 0.0;
   double events_per_sec = 0.0;
+  double events_per_sec_median = 0.0;
   std::int64_t cache_answers = 0;
   std::int64_t solver_bfs = 0;
   std::int64_t covers_computed = 0;
@@ -133,6 +172,7 @@ ObjectScalingCell measure_object_scaling(std::int64_t objects,
   for (const Bytes b : trace.initial_object_bytes) total += b;
   const Bytes capacity{
       static_cast<std::int64_t>(total.as_double() * cache_frac)};
+  RepeatWalls walls;
   for (int rep = 0; rep < repeats; ++rep) {
     core::DeltaSystem system{&trace};
     core::VCoverOptions vcover;
@@ -143,9 +183,7 @@ ObjectScalingCell measure_object_scaling(std::int64_t objects,
         cache_frac * static_cast<double>(objects) * 1.25) + 64;
     core::VCoverPolicy policy{&system, vcover};
     const sim::RunResult r = sim::run_policy(trace, system, policy, 10'000);
-    if (rep == 0 || r.wall_seconds < cell.wall_seconds_best) {
-      cell.wall_seconds_best = r.wall_seconds;
-    }
+    walls.add(r.wall_seconds);
     if (rep == 0) {
       cell.cache_answers = r.cache_fresh + r.cache_after_updates;
       cell.solver_bfs = policy.update_manager().flow_bfs_count();
@@ -153,8 +191,12 @@ ObjectScalingCell measure_object_scaling(std::int64_t objects,
       cell.postwarmup_traffic = r.postwarmup_traffic.count();
     }
   }
+  cell.wall_seconds_best = walls.best();
+  cell.wall_seconds_median = walls.median();
   cell.events_per_sec = static_cast<double>(cell.events) /
                         std::max(cell.wall_seconds_best, 1e-9);
+  cell.events_per_sec_median = static_cast<double>(cell.events) /
+                               std::max(cell.wall_seconds_median, 1e-9);
   cell.bfs_per_event = static_cast<double>(cell.solver_bfs) /
                        static_cast<double>(cell.events);
   cell.covers_per_event = static_cast<double>(cell.covers_computed) /
@@ -186,6 +228,8 @@ void measure_single_and_event(const sim::Setup& setup, int repeats,
   options.seconds_per_event = 0.2;
   options.series_stride = 5000;
 
+  RepeatWalls single_walls;
+  RepeatWalls event_walls;
   for (int rep = 0; rep < repeats; ++rep) {
     {
       core::DeltaSystem system{&trace};
@@ -195,9 +239,7 @@ void measure_single_and_event(const sim::Setup& setup, int repeats,
       util::QuantileSketch sketch;
       const sim::RunResult r = sim::run_policy(trace, system, policy, 5000,
                                                sim::LatencyModel{}, &sketch);
-      if (rep == 0 || r.wall_seconds < single.wall_seconds_best) {
-        single.wall_seconds_best = r.wall_seconds;
-      }
+      single_walls.add(r.wall_seconds);
       if (rep == 0) {
         single.postwarmup_traffic = r.postwarmup_traffic.count();
         single.cache_answers = r.cache_fresh + r.cache_after_updates;
@@ -212,10 +254,7 @@ void measure_single_and_event(const sim::Setup& setup, int repeats,
       const sim::EventRunResult r = sim::run_one_event(
           sim::PolicyKind::kVCover, setup.trace(), setup.cache_capacity(),
           setup.params(), 1, workload::SplitStrategy::kRoundRobin, options);
-      const double wall = r.replay.combined.wall_seconds;
-      if (rep == 0 || wall < event.wall_seconds_best) {
-        event.wall_seconds_best = wall;
-      }
+      event_walls.add(r.replay.combined.wall_seconds);
       if (rep == 0) {
         event.postwarmup_traffic = r.replay.combined.postwarmup_traffic.count();
         event.response_p50 = r.response_p50();
@@ -226,10 +265,18 @@ void measure_single_and_event(const sim::Setup& setup, int repeats,
       }
     }
   }
-  single.events_per_sec = static_cast<double>(single.events) /
-                          std::max(single.wall_seconds_best, 1e-9);
-  event.events_per_sec = static_cast<double>(trace.order.size()) /
-                         std::max(event.wall_seconds_best, 1e-9);
+  single.wall_seconds_best = single_walls.best();
+  single.wall_seconds_median = single_walls.median();
+  event.wall_seconds_best = event_walls.best();
+  event.wall_seconds_median = event_walls.median();
+  const auto total_events = static_cast<double>(trace.order.size());
+  single.events_per_sec =
+      total_events / std::max(single.wall_seconds_best, 1e-9);
+  single.events_per_sec_median =
+      total_events / std::max(single.wall_seconds_median, 1e-9);
+  event.events_per_sec = total_events / std::max(event.wall_seconds_best, 1e-9);
+  event.events_per_sec_median =
+      total_events / std::max(event.wall_seconds_median, 1e-9);
 }
 
 /// The WAN-config parallel sweep: N cache partitions on the 1 Gbit/40 ms
@@ -250,14 +297,17 @@ std::vector<EventParallelCell> measure_event_parallel(
     options.parallel.num_threads = threads;
     EventParallelCell cell;
     cell.threads = threads;
+    RepeatWalls walls;
+    double best_wall = 0.0;
     for (int rep = 0; rep < repeats; ++rep) {
       const sim::EventRunResult r = sim::run_one_event(
           sim::PolicyKind::kVCover, setup.trace(), per_endpoint,
           setup.params(), endpoints, workload::SplitStrategy::kHashByRegion,
           options);
       const double wall = r.replay.combined.wall_seconds;
-      if (rep == 0 || wall < cell.wall_seconds_best) {
-        cell.wall_seconds_best = wall;
+      walls.add(wall);
+      if (rep == 0 || wall < best_wall) {
+        best_wall = wall;
         double sum = 0.0;
         double slowest = 0.0;
         for (const sim::RunResult& shard : r.replay.per_endpoint) {
@@ -267,12 +317,20 @@ std::vector<EventParallelCell> measure_event_parallel(
         cell.critical_path_speedup = sum / std::max(slowest, 1e-9);
       }
     }
-    cell.events_per_sec = static_cast<double>(setup.trace().order.size()) /
-                          std::max(cell.wall_seconds_best, 1e-9);
+    cell.wall_seconds_best = walls.best();
+    cell.wall_seconds_median = walls.median();
+    const auto events = static_cast<double>(setup.trace().order.size());
+    cell.events_per_sec = events / std::max(cell.wall_seconds_best, 1e-9);
+    cell.events_per_sec_median =
+        events / std::max(cell.wall_seconds_median, 1e-9);
     cell.self_speedup =
         cells.empty()
             ? 1.0
             : cells.front().wall_seconds_best / cell.wall_seconds_best;
+    cell.self_speedup_median =
+        cells.empty()
+            ? 1.0
+            : cells.front().wall_seconds_median / cell.wall_seconds_median;
     cells.push_back(cell);
   }
   return cells;
@@ -294,6 +352,7 @@ MultiCell measure_multi(const sim::Setup& setup, std::size_t endpoints,
   cell.threads = threads;
   const Bytes per_endpoint{static_cast<std::int64_t>(
       setup.cache_capacity().as_double() / static_cast<double>(endpoints))};
+  RepeatWalls walls;
   for (int rep = 0; rep < repeats; ++rep) {
     sim::ParallelOptions parallel;
     parallel.num_threads = threads;
@@ -301,13 +360,84 @@ MultiCell measure_multi(const sim::Setup& setup, std::size_t endpoints,
         sim::PolicyKind::kVCover, setup.trace(), per_endpoint, setup.params(),
         endpoints, workload::SplitStrategy::kHashByRegion,
         sim::PolicyOverrides{}, /*series_stride=*/5000, parallel);
-    if (rep == 0 || r.combined.wall_seconds < cell.wall_seconds_best) {
-      cell.wall_seconds_best = r.combined.wall_seconds;
+    walls.add(r.combined.wall_seconds);
+  }
+  cell.wall_seconds_best = walls.best();
+  cell.wall_seconds_median = walls.median();
+  const auto events = static_cast<double>(setup.trace().order.size());
+  cell.events_per_sec = events / std::max(cell.wall_seconds_best, 1e-9);
+  cell.events_per_sec_median =
+      events / std::max(cell.wall_seconds_median, 1e-9);
+  return cell;
+}
+
+/// One cell of the open-loop drive sweep (the ISSUE 7 scenario): the merged
+/// stream arrives on a Poisson schedule over a 100 Mbit/40 ms WAN path and
+/// dispatches through the async policy API, with congestion batching of
+/// invalidation notices off or on. Tracked: simulated response p50/p99 vs
+/// arrival rate, dispatch lag (window waits), and the batching delta
+/// (messages saved by coalescing under backlog). The policy is Benefit: it
+/// subscribes to invalidation notices AND ships queries, so notices
+/// contend with query results on the uplink and batching moves both the
+/// message count and the response percentiles (VCover sends no standalone
+/// notices, which would pin the delta at zero; Replica answers every query
+/// locally, which would pin the response delta instead).
+struct OpenLoopCell {
+  double rate_per_sec = 0.0;
+  bool batching = false;
+  double wall_seconds_best = 0.0;
+  double wall_seconds_median = 0.0;
+  double events_per_sec = 0.0;
+  double events_per_sec_median = 0.0;
+  double sim_duration_seconds = 0.0;
+  double response_p50 = 0.0;
+  double response_p99 = 0.0;
+  double dispatch_lag_mean = 0.0;
+  std::int64_t delivered_messages = 0;
+  std::int64_t notice_messages = 0;
+  std::int64_t coalesced_notices = 0;
+};
+
+OpenLoopCell measure_open_loop(const sim::Setup& setup, double rate,
+                               bool batching, int repeats) {
+  sim::EventEngineOptions options;
+  options.default_link = delta::net::LinkModel{12.5e6, 0.040};  // 100 Mbit WAN
+  options.series_stride = 5000;
+  options.open_loop.enabled = true;
+  options.open_loop.arrival = workload::ArrivalProcess::Kind::kPoisson;
+  options.open_loop.rate_per_sec = rate;
+  options.open_loop.max_in_flight = 64;
+  options.open_loop.response_sample_cap = 100'000;
+  options.notice_batching.enabled = batching;
+  options.notice_batching.backlog_threshold_seconds = 0.0;
+
+  OpenLoopCell cell;
+  cell.rate_per_sec = rate;
+  cell.batching = batching;
+  const Bytes per_endpoint{
+      static_cast<std::int64_t>(setup.cache_capacity().as_double() / 2.0)};
+  RepeatWalls walls;
+  for (int rep = 0; rep < repeats; ++rep) {
+    const sim::EventRunResult r = sim::run_one_event(
+        sim::PolicyKind::kBenefit, setup.trace(), per_endpoint, setup.params(),
+        2, workload::SplitStrategy::kRoundRobin, options);
+    walls.add(r.replay.combined.wall_seconds);
+    if (rep == 0) {
+      cell.sim_duration_seconds = r.sim_duration_seconds;
+      cell.response_p50 = r.response_p50();
+      cell.response_p99 = r.response_p99();
+      cell.dispatch_lag_mean = r.dispatch_lag_seconds.mean();
+      cell.delivered_messages = r.delivered_messages;
+      cell.notice_messages = r.notice_messages;
+      cell.coalesced_notices = r.coalesced_notices;
     }
   }
-  cell.events_per_sec =
-      static_cast<double>(setup.trace().order.size()) /
-      std::max(cell.wall_seconds_best, 1e-9);
+  cell.wall_seconds_best = walls.best();
+  cell.wall_seconds_median = walls.median();
+  const auto events = static_cast<double>(setup.trace().order.size());
+  cell.events_per_sec = events / std::max(cell.wall_seconds_best, 1e-9);
+  cell.events_per_sec_median =
+      events / std::max(cell.wall_seconds_median, 1e-9);
   return cell;
 }
 
@@ -317,13 +447,16 @@ void emit_json(std::ostream& os, const sim::SetupParams& params, int repeats,
                const std::vector<ObjectScalingCell>& scaling,
                const EventResult& event, std::size_t parallel_endpoints,
                const std::vector<EventParallelCell>& parallel,
-               const std::vector<NSweepCell>& nsweep) {
+               const std::vector<NSweepCell>& nsweep,
+               const std::vector<OpenLoopCell>& open_loop) {
   // vs_sync baseline for the parallel sweep: the synchronous multi cell at
   // the same endpoint count, sequential engine (T=1).
   double parallel_sync_baseline = single.events_per_sec;
+  double parallel_sync_baseline_median = single.events_per_sec_median;
   for (const MultiCell& cell : multi) {
     if (cell.endpoints == parallel_endpoints && cell.threads == 1) {
       parallel_sync_baseline = cell.events_per_sec;
+      parallel_sync_baseline_median = cell.events_per_sec_median;
     }
   }
   os << "{\n";
@@ -338,7 +471,10 @@ void emit_json(std::ostream& os, const sim::SetupParams& params, int repeats,
   os << "  \"single_cache\": {\n"
      << "    \"events\": " << single.events << ",\n"
      << "    \"wall_seconds_best\": " << single.wall_seconds_best << ",\n"
+     << "    \"wall_seconds_median\": " << single.wall_seconds_median << ",\n"
      << "    \"events_per_sec\": " << single.events_per_sec << ",\n"
+     << "    \"events_per_sec_median\": " << single.events_per_sec_median
+     << ",\n"
      << "    \"postwarmup_traffic_bytes\": " << single.postwarmup_traffic
      << ",\n"
      << "    \"cache_answers\": " << single.cache_answers << ",\n"
@@ -353,8 +489,10 @@ void emit_json(std::ostream& os, const sim::SetupParams& params, int repeats,
     os << "    {\"endpoints\": " << multi[i].endpoints
        << ", \"threads\": " << multi[i].threads
        << ", \"wall_seconds_best\": " << multi[i].wall_seconds_best
-       << ", \"events_per_sec\": " << multi[i].events_per_sec << "}"
-       << (i + 1 < multi.size() ? "," : "") << "\n";
+       << ", \"wall_seconds_median\": " << multi[i].wall_seconds_median
+       << ", \"events_per_sec\": " << multi[i].events_per_sec
+       << ", \"events_per_sec_median\": " << multi[i].events_per_sec_median
+       << "}" << (i + 1 < multi.size() ? "," : "") << "\n";
   }
   os << "  ],\n";
   // Object-count scaling: same zipfian YCSB-B mix, growing key space,
@@ -367,7 +505,9 @@ void emit_json(std::ostream& os, const sim::SetupParams& params, int repeats,
        << ", \"events\": " << cell.events
        << ", \"generate_seconds\": " << cell.generate_seconds
        << ", \"wall_seconds_best\": " << cell.wall_seconds_best
+       << ", \"wall_seconds_median\": " << cell.wall_seconds_median
        << ", \"events_per_sec\": " << cell.events_per_sec
+       << ", \"events_per_sec_median\": " << cell.events_per_sec_median
        << ", \"cache_answers\": " << cell.cache_answers
        << ", \"postwarmup_traffic_bytes\": " << cell.postwarmup_traffic
        << ",\n     \"solver\": {\"bfs_searches\": " << cell.solver_bfs
@@ -381,9 +521,16 @@ void emit_json(std::ostream& os, const sim::SetupParams& params, int repeats,
   // the synchronous baseline for both throughput and (proxy) latency.
   os << "  \"event_engine\": {\n"
      << "    \"wall_seconds_best\": " << event.wall_seconds_best << ",\n"
+     << "    \"wall_seconds_median\": " << event.wall_seconds_median << ",\n"
      << "    \"events_per_sec\": " << event.events_per_sec << ",\n"
+     << "    \"events_per_sec_median\": " << event.events_per_sec_median
+     << ",\n"
      << "    \"events_per_sec_vs_sync\": "
      << event.events_per_sec / std::max(single.events_per_sec, 1e-9) << ",\n"
+     << "    \"events_per_sec_vs_sync_median\": "
+     << event.events_per_sec_median /
+            std::max(single.events_per_sec_median, 1e-9)
+     << ",\n"
      << "    \"postwarmup_traffic_bytes\": " << event.postwarmup_traffic
      << ",\n"
      << "    \"simulated_response_seconds\": {\"p50\": " << event.response_p50
@@ -407,10 +554,16 @@ void emit_json(std::ostream& os, const sim::SetupParams& params, int repeats,
     const EventParallelCell& cell = parallel[i];
     os << "        {\"threads\": " << cell.threads
        << ", \"wall_seconds_best\": " << cell.wall_seconds_best
+       << ", \"wall_seconds_median\": " << cell.wall_seconds_median
        << ", \"events_per_sec\": " << cell.events_per_sec
-       << ", \"events_per_sec_vs_sync\": "
+       << ", \"events_per_sec_median\": " << cell.events_per_sec_median
+       << ",\n         \"events_per_sec_vs_sync\": "
        << cell.events_per_sec / std::max(parallel_sync_baseline, 1e-9)
+       << ", \"events_per_sec_vs_sync_median\": "
+       << cell.events_per_sec_median /
+              std::max(parallel_sync_baseline_median, 1e-9)
        << ", \"self_speedup\": " << cell.self_speedup
+       << ", \"self_speedup_median\": " << cell.self_speedup_median
        << ", \"critical_path_speedup\": " << cell.critical_path_speedup
        << "}" << (i + 1 < parallel.size() ? "," : "") << "\n";
   }
@@ -424,11 +577,43 @@ void emit_json(std::ostream& os, const sim::SetupParams& params, int repeats,
     os << "        {\"endpoints\": " << n.endpoints
        << ", \"threads\": " << n.cell.threads
        << ", \"wall_seconds_best\": " << n.cell.wall_seconds_best
+       << ", \"wall_seconds_median\": " << n.cell.wall_seconds_median
        << ", \"events_per_sec\": " << n.cell.events_per_sec
+       << ", \"events_per_sec_median\": " << n.cell.events_per_sec_median
        << ", \"critical_path_speedup\": " << n.cell.critical_path_speedup
        << "}" << (i + 1 < nsweep.size() ? "," : "") << "\n";
   }
-  os << "      ]\n    }\n  }\n}\n";
+  os << "      ]\n    }\n  },\n";
+  // Open-loop drive (ISSUE 7): Poisson arrivals over a 100 Mbit/40 ms WAN
+  // through the async policy API, N=2 round-robin, window 64 — response
+  // p50/p99 vs arrival rate with congestion batching off/on. The batching
+  // delta (notice_messages saved, coalesced_notices gained) is the tracked
+  // figure; the conservation invariant notice+coalesced == unbatched-notice
+  // is pinned by open_loop_engine_test for kAll-subscription policies.
+  os << "  \"open_loop\": {\n"
+     << "    \"link\": {\"bandwidth_bytes_per_sec\": 1.25e7, "
+     << "\"latency_seconds\": 0.04},\n"
+     << "    \"arrival\": \"poisson\",\n"
+     << "    \"max_in_flight\": 64,\n"
+     << "    \"cells\": [\n";
+  for (std::size_t i = 0; i < open_loop.size(); ++i) {
+    const OpenLoopCell& cell = open_loop[i];
+    os << "      {\"rate_per_sec\": " << cell.rate_per_sec
+       << ", \"batching\": " << (cell.batching ? "true" : "false")
+       << ", \"wall_seconds_best\": " << cell.wall_seconds_best
+       << ", \"wall_seconds_median\": " << cell.wall_seconds_median
+       << ",\n       \"events_per_sec\": " << cell.events_per_sec
+       << ", \"events_per_sec_median\": " << cell.events_per_sec_median
+       << ", \"sim_duration_seconds\": " << cell.sim_duration_seconds
+       << ",\n       \"simulated_response_seconds\": {\"p50\": "
+       << cell.response_p50 << ", \"p99\": " << cell.response_p99 << "}"
+       << ", \"dispatch_lag_mean_seconds\": " << cell.dispatch_lag_mean
+       << ",\n       \"delivered_messages\": " << cell.delivered_messages
+       << ", \"notice_messages\": " << cell.notice_messages
+       << ", \"coalesced_notices\": " << cell.coalesced_notices << "}"
+       << (i + 1 < open_loop.size() ? "," : "") << "\n";
+  }
+  os << "    ]\n  }\n}\n";
 }
 
 }  // namespace
@@ -535,10 +720,28 @@ int main(int argc, char** argv) {
               << util::fixed(cell.cell.critical_path_speedup, 2) << "\n";
   }
 
+  // Open-loop drive sweep: response vs arrival rate, batching off then on.
+  const std::vector<double> open_loop_rates =
+      smoke ? std::vector<double>{500.0, 2000.0}
+            : std::vector<double>{500.0, 2000.0, 8000.0};
+  std::vector<OpenLoopCell> open_loop;
+  for (const double rate : open_loop_rates) {
+    for (const bool batching : {false, true}) {
+      open_loop.push_back(measure_open_loop(setup, rate, batching, repeats));
+      const OpenLoopCell& cell = open_loop.back();
+      std::cerr << "  open loop rate=" << rate
+                << (batching ? " batch=on " : " batch=off") << ": p50="
+                << util::fixed(cell.response_p50, 3) << "s p99="
+                << util::fixed(cell.response_p99, 3) << "s, notices="
+                << cell.notice_messages << " coalesced="
+                << cell.coalesced_notices << "\n";
+    }
+  }
+
   const std::string out = cfg.get_string("out", "-");
   if (out == "-") {
     emit_json(std::cout, params, repeats, smoke, single, multi, scaling,
-              event, parallel_endpoints, parallel, nsweep);
+              event, parallel_endpoints, parallel, nsweep, open_loop);
   } else {
     std::ofstream file{out};
     if (!file) {
@@ -546,7 +749,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     emit_json(file, params, repeats, smoke, single, multi, scaling, event,
-              parallel_endpoints, parallel, nsweep);
+              parallel_endpoints, parallel, nsweep, open_loop);
     std::cerr << "wrote " << out << "\n";
   }
   return 0;

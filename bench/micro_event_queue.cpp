@@ -16,27 +16,28 @@
 //   * drift-narrow   — a deep steady hold whose increment scale decays
 //     smoothly by ~100x before snapping back, so the live event window
 //     keeps drifting away from whatever day width the calendar last tuned
-//     for. This is the known calendar-vs-heap pathology cell: it exists to
-//     keep the pathology measured and visible in bench-smoke output, not
-//     to flatter the calendar (the ladder-queue rung split that would fix
-//     it is a ROADMAP item).
+//     for. This was the calendar-vs-heap pathology cell (0.71x at 4096
+//     pending in BENCH_PR6); the ladder rung split — degenerate days are
+//     split into sub-rungs recursively instead of re-sorted, with a
+//     backoff-throttled width retune — fixed it, and this cell is now the
+//     regression gate that keeps it fixed (gate=1 below).
 // The binary heap pays O(log n) per operation; the calendar holds
-// amortized O(1) while its day width matches the live event density.
-// Honest caveat the numbers show: under a deep steady *hold* the pending
-// window slowly drifts narrower than the tuned width, and although a
-// density watchdog retunes the width (rate-limited to stay robust against
-// tie-heavy schedules), the deep near-monotone cells still favor the heap
-// — the classic calendar-queue drift pathology a ladder queue would fix
-// (see ROADMAP). The engine's operating regime is the shallow and
-// tie-burst cells: closed-loop replay keeps a handful of events pending,
-// and zero-latency runs schedule same-instant bursts. Both backends
-// produce the identical (time, seq) execution order (pinned by
-// tests/event_queue_differential_test.cpp), so this bench is purely about
-// throughput.
+// amortized O(1) while its day width matches the live event density; when
+// it doesn't, the rung ladder bounds the damage to ~O(log n) splits per
+// event instead of an O(n log n) re-sort per pop. The engine's operating
+// regimes are all covered: closed-loop replay keeps a handful of events
+// pending (shallow cells), zero-latency runs schedule same-instant bursts
+// (tie cells), and open-loop arrival processes hold thousands pending
+// (deep cells). Both backends produce the identical (time, seq) execution
+// order (pinned by tests/event_queue_differential_test.cpp), so this
+// bench is purely about throughput.
 //
 //   ./build/bench/micro_event_queue [key=value ...]
 //     ops=2000000   hold operations measured per cell
-//     repeats=3     timed repetitions (best is reported)
+//     repeats=3     timed repetitions (best + median are reported)
+//     gate=0        1 -> exit nonzero unless the deep-steady-hold cell
+//                   (drift-narrow @ 4096) keeps calendar >= gate_min x heap
+//     gate_min=1.0  ratio floor enforced by gate=1 (median-of-repeats)
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -98,9 +99,18 @@ long long g_sink = 0;  // defeat dead-code elimination
 
 void consume(void*, std::uint64_t arg) { g_sink += static_cast<long long>(arg); }
 
-double run_cell(util::EventQueue::Backend backend, std::size_t depth,
-                Shape shape, std::int64_t ops, int repeats) {
+/// Best and median wall time over the timed repetitions. Best-of tracks
+/// the machine's capability; median-of is what the regression gate uses,
+/// because a single lucky (or unlucky) rep should not flip a CI verdict.
+struct CellTiming {
   double best = 0.0;
+  double median = 0.0;
+};
+
+CellTiming run_cell(util::EventQueue::Backend backend, std::size_t depth,
+                    Shape shape, std::int64_t ops, int repeats) {
+  std::vector<double> walls;
+  walls.reserve(static_cast<std::size_t>(repeats));
   for (int rep = 0; rep < repeats; ++rep) {
     util::EventQueue q{backend};
     util::Rng rng{depth * 31 + static_cast<std::size_t>(shape) * 7};
@@ -115,12 +125,12 @@ double run_cell(util::EventQueue::Backend backend, std::size_t depth,
       q.run_one();
       q.schedule(q.now() + inc.next(rng), consume, nullptr, 1);
     }
-    const double wall =
+    walls.push_back(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
-    if (rep == 0 || wall < best) best = wall;
+            .count());
   }
-  return best;
+  std::sort(walls.begin(), walls.end());
+  return CellTiming{walls.front(), walls[walls.size() / 2]};
 }
 
 }  // namespace
@@ -129,28 +139,64 @@ int main(int argc, char** argv) {
   const auto cfg = util::Config::from_args(argc, argv);
   const std::int64_t ops = cfg.get_int("ops", 2'000'000);
   const int repeats = static_cast<int>(cfg.get_int("repeats", 3));
+  const bool gate = cfg.get_int("gate", 0) != 0;
+  const double gate_min = cfg.get_double("gate_min", 1.0);
 
   std::cout << "EventQueue scheduler hold-model throughput (" << ops
             << " ops/cell, best of " << repeats << ")\n\n";
-  std::cout << "  depth  shape          heap ns/op  calendar ns/op  speedup\n";
+  std::cout << "  depth  shape          heap ns/op  calendar ns/op  "
+               "speedup  (median)\n";
+  double gate_ratio = -1.0;  // median calendar speedup on drift-narrow@4096
   for (const std::size_t depth : {16u, 256u, 4096u, 65536u}) {
     std::vector<Shape> shapes{Shape::kNearMonotone, Shape::kBurstyTies};
-    // The deep-steady-hold pathology regime: only meaningful when the
-    // pending population is large enough for width drift to hurt.
+    // The deep-steady-hold regime: only meaningful when the pending
+    // population is large enough for width drift to hurt.
     if (depth >= 4096u) shapes.push_back(Shape::kDriftNarrow);
     for (const Shape shape : shapes) {
-      const double heap = run_cell(util::EventQueue::Backend::kBinaryHeap,
-                                   depth, shape, ops, repeats);
-      const double calendar = run_cell(util::EventQueue::Backend::kCalendar,
-                                       depth, shape, ops, repeats);
+      const auto heap = run_cell(util::EventQueue::Backend::kBinaryHeap,
+                                 depth, shape, ops, repeats);
+      const auto calendar = run_cell(util::EventQueue::Backend::kCalendar,
+                                     depth, shape, ops, repeats);
       const double per_op = 1e9 / static_cast<double>(ops);
+      const double best_ratio = heap.best / std::max(calendar.best, 1e-12);
+      const double median_ratio =
+          heap.median / std::max(calendar.median, 1e-12);
+      if (depth == 4096u && shape == Shape::kDriftNarrow)
+        gate_ratio = median_ratio;
       std::cout << "  " << util::fixed(static_cast<double>(depth), 0);
       std::cout << "  " << label(shape);
-      std::cout << "  " << util::fixed(heap * per_op, 1) << "        "
-                << util::fixed(calendar * per_op, 1) << "            "
-                << util::fixed(heap / std::max(calendar, 1e-12), 2) << "x\n";
+      std::cout << "  " << util::fixed(heap.best * per_op, 1) << "        "
+                << util::fixed(calendar.best * per_op, 1) << "            "
+                << util::fixed(best_ratio, 2) << "x    ("
+                << util::fixed(median_ratio, 2) << "x)\n";
     }
   }
   std::cout << "\n(sink " << g_sink << ")\n";
+  if (gate) {
+    // The drift cycle is ~46k ops long (scale decays 0.01%/op over a 100x
+    // span) and the ladder's retune backoff needs a few cycles to settle,
+    // so a smoke-sized op count under-reports the steady state. Re-measure
+    // just the gated cell at full length — two backends, ~0.6s.
+    const std::int64_t gate_ops = std::max<std::int64_t>(ops, 1'000'000);
+    if (gate_ops != ops) {
+      const auto heap = run_cell(util::EventQueue::Backend::kBinaryHeap,
+                                 4096u, Shape::kDriftNarrow, gate_ops,
+                                 repeats);
+      const auto calendar = run_cell(util::EventQueue::Backend::kCalendar,
+                                     4096u, Shape::kDriftNarrow, gate_ops,
+                                     repeats);
+      gate_ratio = heap.median / std::max(calendar.median, 1e-12);
+    }
+    std::cout << "gate: deep-steady-hold drift-narrow@4096 median speedup "
+              << util::fixed(gate_ratio, 2) << "x at "
+              << std::max(gate_ops, ops) << " ops (floor "
+              << util::fixed(gate_min, 2) << "x)\n";
+    if (gate_ratio < gate_min) {
+      std::cout << "gate: FAIL — calendar trails the heap in the "
+                   "deep-steady-hold cell\n";
+      return 1;
+    }
+    std::cout << "gate: ok\n";
+  }
   return 0;
 }

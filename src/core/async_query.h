@@ -1,0 +1,70 @@
+// Shared completion-correlation context for the policies' on_query_async
+// implementations.
+//
+// A policy dispatching one query may issue several overlapping requests
+// (update ships, the query ship, object loads). Each request parks a
+// completion against the in-flight context; the query's QueryDone fires
+// when the last of them lands. The context starts with one artificial
+// reference — the dispatch barrier — released by the policy after it has
+// issued everything, so a completion that happens to be delivered inline
+// (synchronous transport, or the DelayedTransport fast path) cannot fire
+// QueryDone while later requests of the same query are still unsent.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "core/cache_node.h"
+#include "core/policy.h"
+#include "util/check.h"
+
+namespace delta::core {
+
+struct AsyncQueryContext {
+  QueryOutcome outcome;
+  CachePolicy::QueryDone done;
+  /// Outstanding completions + the dispatch barrier.
+  int remaining = 1;
+};
+
+inline std::shared_ptr<AsyncQueryContext> begin_async_query(
+    CachePolicy::QueryDone done) {
+  auto ctx = std::make_shared<AsyncQueryContext>();
+  ctx->done = std::move(done);
+  return ctx;
+}
+
+/// Releases one reference; the last release fires QueryDone.
+inline void async_query_step(const std::shared_ptr<AsyncQueryContext>& ctx) {
+  DELTA_DCHECK(ctx->remaining > 0);
+  if (--ctx->remaining == 0) ctx->done(ctx->outcome);
+}
+
+/// Transmitter issuing a policy's per-query traffic through the CacheNode
+/// non-blocking API, correlated on one AsyncQueryContext. Mirrors the sync
+/// transmitter the policies use from on_query (see e.g. SyncQueryTx in
+/// vcover_policy.cpp); the dispatch logic is shared, only the transmitter
+/// differs.
+struct AsyncQueryTx {
+  CacheNode* cache;
+  std::shared_ptr<AsyncQueryContext> ctx;
+
+  void ship_update(const workload::Update& u) {
+    ++ctx->remaining;
+    cache->ship_update_async(
+        u, [c = ctx](Bytes) { async_query_step(c); });
+  }
+  void ship_query(const workload::Query& q, QueryOutcome&) {
+    ++ctx->remaining;
+    cache->ship_query_async(q, [c = ctx](Bytes result) {
+      c->outcome.result_bytes = result;
+      async_query_step(c);
+    });
+  }
+  void load_object(ObjectId o) {
+    ++ctx->remaining;
+    cache->load_object_async(o, [c = ctx](Bytes) { async_query_step(c); });
+  }
+};
+
+}  // namespace delta::core

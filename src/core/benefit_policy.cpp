@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
+#include "core/async_query.h"
 #include "util/check.h"
 
 namespace delta::core {
@@ -37,8 +39,8 @@ void BenefitPolicy::on_update(const workload::Update& u) {
   tick();
 }
 
-QueryOutcome BenefitPolicy::on_query(const workload::Query& q) {
-  QueryOutcome outcome;
+bool BenefitPolicy::classify_query(const workload::Query& q,
+                                   QueryOutcome& outcome) {
   bool all_cached = true;
   double size_sum = 0.0;
   for (const ObjectId o : q.objects) {
@@ -56,20 +58,54 @@ QueryOutcome BenefitPolicy::on_query(const workload::Query& q) {
           system_->server_object_bytes(o).as_double() / size_sum;
       saved_window_[i] += share;
     }
-  } else {
-    outcome.path = QueryOutcome::Path::kShipped;
+    return false;
+  }
+  outcome.path = QueryOutcome::Path::kShipped;
+  return true;
+}
+
+void BenefitPolicy::account_shipped(const workload::Query& q) {
+  // Accrued after the ship is issued, like the pre-async code: a blocking
+  // ship pumps deliveries whose on_update calls may close the window, and
+  // the counterfactual savings must land in whichever window is then
+  // current.
+  double size_sum = 0.0;
+  for (const ObjectId o : q.objects) {
+    size_sum += system_->server_object_bytes(o).as_double();
+  }
+  if (size_sum <= 0.0) size_sum = 1.0;
+  for (const ObjectId o : q.objects) {
+    if (store_.contains(o)) continue;
+    const auto i = static_cast<std::size_t>(o.value());
+    const double share =
+        q.cost.as_double() *
+        system_->server_object_bytes(o).as_double() / size_sum;
+    would_window_[i] += share;
+  }
+}
+
+QueryOutcome BenefitPolicy::on_query(const workload::Query& q) {
+  QueryOutcome outcome;
+  if (classify_query(q, outcome)) {
     outcome.result_bytes = system_->ship_query(q);
-    for (const ObjectId o : q.objects) {
-      if (store_.contains(o)) continue;
-      const auto i = static_cast<std::size_t>(o.value());
-      const double share =
-          q.cost.as_double() *
-          system_->server_object_bytes(o).as_double() / size_sum;
-      would_window_[i] += share;
-    }
+    account_shipped(q);
   }
   tick();
   return outcome;
+}
+
+void BenefitPolicy::on_query_async(const workload::Query& q,
+                                   QueryDone done) {
+  const auto ctx = begin_async_query(std::move(done));
+  if (classify_query(q, ctx->outcome)) {
+    AsyncQueryTx{system_, ctx}.ship_query(q, ctx->outcome);
+    account_shipped(q);
+  }
+  // The window boundary may fall here; close_window's loads/evictions use
+  // the synchronous façade — a rare, bounded stall inside an otherwise
+  // open-loop stream.
+  tick();
+  async_query_step(ctx);  // release the dispatch barrier
 }
 
 void BenefitPolicy::tick() {

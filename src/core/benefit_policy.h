@@ -37,6 +37,7 @@ class BenefitPolicy final : public CachePolicy {
 
   void on_update(const workload::Update& u) override;
   QueryOutcome on_query(const workload::Query& q) override;
+  void on_query_async(const workload::Query& q, QueryDone done) override;
   [[nodiscard]] const char* name() const override { return "Benefit"; }
 
   [[nodiscard]] const cache::CacheStore& store() const { return store_; }
@@ -63,6 +64,13 @@ class BenefitPolicy final : public CachePolicy {
   void tick();
   void close_window();
   void evict_lowest_forecast_until_fits();
+  /// Shared bookkeeping of both query entry points. classify_query settles
+  /// the path (accruing realized savings for all-cached queries) and
+  /// returns true when the query must be shipped — the only traffic a
+  /// Benefit query emits; account_shipped accrues the counterfactual
+  /// savings after the ship is issued.
+  bool classify_query(const workload::Query& q, QueryOutcome& outcome);
+  void account_shipped(const workload::Query& q);
 };
 
 }  // namespace delta::core

@@ -96,17 +96,51 @@ Bytes CacheNode::request_and_wait(net::MessageKind kind,
   return reply_payload;
 }
 
+void CacheNode::apply_invalidation(std::int64_t update_id) {
+  const auto idx = static_cast<std::size_t>(update_id);
+  DELTA_CHECK(idx < trace_->updates.size());
+  if (!invalidation_handler_) return;
+  // Re-entrancy flattening: a handler that performs a blocking round trip
+  // (Replica/SOptimal refresh their replicas with ship_update) pumps the
+  // event queue while it waits, which can deliver the NEXT queued notice
+  // — and under a saturating open-loop backlog thousands of notices sit
+  // back-to-back on the link, so running handlers recursively overflows
+  // the stack. Notices arriving while a handler is on the stack are
+  // queued here and drained iteratively by the outermost frame, in
+  // delivery order; the observable message set is unchanged (each queued
+  // handler runs after, instead of nested inside, its predecessor).
+  pending_invalidations_.push_back(update_id);
+  if (in_invalidation_handler_) return;
+  in_invalidation_handler_ = true;
+  while (pending_invalidation_cursor_ < pending_invalidations_.size()) {
+    const auto next = static_cast<std::size_t>(
+        pending_invalidations_[pending_invalidation_cursor_++]);
+    invalidation_handler_(trace_->updates[next]);
+  }
+  pending_invalidations_.clear();
+  pending_invalidation_cursor_ = 0;
+  in_invalidation_handler_ = false;
+}
+
 void CacheNode::handle_message(const net::Message& m) {
   switch (m.kind) {
     case net::MessageKind::kInvalidation: {
-      const auto idx = static_cast<std::size_t>(m.subject_id);
-      DELTA_CHECK(idx < trace_->updates.size());
-      if (invalidation_handler_) invalidation_handler_(trace_->updates[idx]);
+      apply_invalidation(m.subject_id);
+      // Congestion batching: further notices merged into this message, in
+      // server ingest order.
+      for (const std::int64_t id : m.batched_invalidations) {
+        apply_invalidation(id);
+      }
       return;
     }
     case net::MessageKind::kQueryResult:
     case net::MessageKind::kUpdateShip:
     case net::MessageKind::kLoadData: {
+      // Notices piggybacked on the reply are older than the reply itself —
+      // apply them before releasing the request's completion.
+      for (const std::int64_t id : m.batched_invalidations) {
+        apply_invalidation(id);
+      }
       for (std::size_t i = 0; i < pending_.size(); ++i) {
         if (pending_[i].correlation != m.correlation_id) continue;
         DELTA_CHECK_MSG(pending_[i].expected_reply == m.kind,

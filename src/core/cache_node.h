@@ -154,6 +154,13 @@ class CacheNode {
   std::vector<Pending> pending_;
   std::int64_t next_correlation_ = 0;
   bool transport_inline_ = false;  // cached Transport::synchronous()
+  /// Notices queued while an invalidation handler is already on the stack
+  /// (a blocking handler pumps deliveries); drained iteratively by the
+  /// outermost apply_invalidation frame so deep notice backlogs cannot
+  /// recurse the handler (see apply_invalidation).
+  std::vector<std::int64_t> pending_invalidations_;
+  std::size_t pending_invalidation_cursor_ = 0;
+  bool in_invalidation_handler_ = false;
 
   [[nodiscard]] net::Message request(net::MessageKind kind,
                                      std::int64_t subject_id,
@@ -170,6 +177,9 @@ class CacheNode {
                          EventTime sent_at,
                          net::MessageKind expected_reply);
   void handle_message(const net::Message& m);
+  /// Resolves one invalidation notice (an update id) against the shared
+  /// trace and runs the policy's invalidation handler.
+  void apply_invalidation(std::int64_t update_id);
 };
 
 }  // namespace delta::core

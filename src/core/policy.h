@@ -4,6 +4,7 @@
 // NoCachePolicy / ReplicaPolicy / SOptimalPolicy (§6.1).
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "util/types.h"
@@ -45,6 +46,25 @@ class CachePolicy {
   /// A query arrived at the cache; the policy must satisfy it within its
   /// currency requirement and report how.
   virtual QueryOutcome on_query(const workload::Query& q) = 0;
+
+  /// Completion for on_query_async: fires exactly once, when every reply
+  /// the query's decision required has been delivered. The outcome
+  /// reference is valid only for the duration of the call.
+  using QueryDone = std::function<void(const QueryOutcome&)>;
+
+  /// Non-blocking variant of on_query, for open-loop engines that keep
+  /// many queries in flight per cache. The contract: the policy makes the
+  /// same decisions as on_query and applies all of its state transitions
+  /// synchronously at dispatch (decisions never depend on reply payloads —
+  /// replies only carry sizes), issues its traffic through the CacheNode
+  /// *_async API, and calls `done` once the last reply for this query has
+  /// landed. The default adapter runs the synchronous on_query, which is
+  /// correct over any transport (the sync façade pumps the event queue)
+  /// but closed-loop — it admits no overlap. Policies override it to
+  /// sustain a real in-flight window.
+  virtual void on_query_async(const workload::Query& q, QueryDone done) {
+    done(on_query(q));
+  }
 
   [[nodiscard]] virtual const char* name() const = 0;
 };

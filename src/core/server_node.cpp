@@ -81,8 +81,7 @@ void ServerNode::handle_message(const net::Message& m) {
       const auto& q = trace_->queries[static_cast<std::size_t>(m.subject_id)];
       reply.kind = net::MessageKind::kQueryResult;
       reply.payload = q.cost;
-      transport_->send_to(sender_entry(m).transport_slot, reply,
-                          net::Mechanism::kQueryShip);
+      send_reply(sender_entry(m), reply, net::Mechanism::kQueryShip);
       break;
     }
     case net::MessageKind::kControl: {
@@ -90,8 +89,7 @@ void ServerNode::handle_message(const net::Message& m) {
       const auto& u = trace_->updates[static_cast<std::size_t>(m.subject_id)];
       reply.kind = net::MessageKind::kUpdateShip;
       reply.payload = u.cost;
-      transport_->send_to(sender_entry(m).transport_slot, reply,
-                          net::Mechanism::kUpdateShip);
+      send_reply(sender_entry(m), reply, net::Mechanism::kUpdateShip);
       break;
     }
     case net::MessageKind::kLoadRequest: {
@@ -100,8 +98,7 @@ void ServerNode::handle_message(const net::Message& m) {
       reply.kind = net::MessageKind::kLoadData;
       reply.payload = object_bytes_[idx] + kLoadOverheadBytes;
       cache.registered[idx] = 1;
-      transport_->send_to(cache.transport_slot, reply,
-                          net::Mechanism::kObjectLoad);
+      send_reply(cache, reply, net::Mechanism::kObjectLoad);
       break;
     }
     case net::MessageKind::kInvalidation: {
@@ -140,21 +137,85 @@ void ServerNode::ingest_update_at(std::int64_t update_index) {
 void ServerNode::apply_update(const workload::Update& u) {
   const std::size_t idx = checked(u.object);
   object_bytes_[idx] += u.cost;  // inserts grow the repository object
-  for (const CacheEntry& cache : caches_) {
+  for (CacheEntry& cache : caches_) {
     const bool notify =
         cache.subscription == MetadataSubscription::kAll ||
         (cache.subscription == MetadataSubscription::kRegisteredOnly &&
          cache.registered[idx] != 0);
     if (!notify) continue;
-    net::Message msg;
-    msg.kind = net::MessageKind::kInvalidation;
-    msg.subject_id = u.id.value();
-    msg.sent_at = u.time;
-    msg.sender = name_;
-    msg.sender_transport_slot = static_cast<std::int32_t>(transport_slot_);
-    transport_->send_to(cache.transport_slot, msg,
-                        net::Mechanism::kOverhead);
+    if (!batching_.enabled) {
+      net::Message msg;
+      msg.kind = net::MessageKind::kInvalidation;
+      msg.subject_id = u.id.value();
+      msg.sent_at = u.time;
+      msg.sender = name_;
+      msg.sender_transport_slot = static_cast<std::int32_t>(transport_slot_);
+      ++notice_messages_;
+      transport_->send_to(cache.transport_slot, msg,
+                          net::Mechanism::kOverhead);
+      continue;
+    }
+    if (cache.pending_notices.empty()) cache.pending_first_sent_at = u.time;
+    cache.pending_notices.push_back(u.id.value());
+    // Hold the notice only while this cache's egress link is congested;
+    // otherwise flush immediately — a single-id flush emits a message
+    // byte-identical to the unbatched path, so batching changes nothing
+    // until the uplink actually backs up.
+    const double backlog = transport_->egress_backlog_seconds(
+        transport_slot_, cache.transport_slot);
+    if (backlog <= batching_.backlog_threshold_seconds ||
+        cache.pending_notices.size() >= batching_.max_batch) {
+      flush_cache_notices(cache);
+    }
   }
+}
+
+void ServerNode::flush_cache_notices(CacheEntry& cache) {
+  if (cache.pending_notices.empty()) return;
+  net::Message msg;
+  msg.kind = net::MessageKind::kInvalidation;
+  msg.subject_id = cache.pending_notices.front();
+  msg.sent_at = cache.pending_first_sent_at;
+  msg.sender = name_;
+  msg.sender_transport_slot = static_cast<std::int32_t>(transport_slot_);
+  const std::size_t n = cache.pending_notices.size();
+  if (n > 1) {
+    msg.batched_invalidations.assign(cache.pending_notices.begin() + 1,
+                                     cache.pending_notices.end());
+    msg.batch_bytes =
+        net::kBatchedNoticeBytes * static_cast<std::int64_t>(n - 1);
+    coalesced_notices_ += static_cast<std::int64_t>(n - 1);
+  }
+  cache.pending_notices.clear();
+  ++notice_messages_;
+  transport_->send_to(cache.transport_slot, msg, net::Mechanism::kOverhead);
+}
+
+void ServerNode::flush_pending_notices() {
+  for (CacheEntry& cache : caches_) flush_cache_notices(cache);
+}
+
+void ServerNode::send_reply(CacheEntry& cache, net::Message& reply,
+                            net::Mechanism mechanism) {
+  if (batching_.enabled && !cache.pending_notices.empty()) {
+    // Piggyback every pending notice on this data-bearing reply: the ids
+    // ride in the reply's batch fields (metered as overhead, priced into
+    // its serialization) instead of paying their own message.
+    reply.batched_invalidations = std::move(cache.pending_notices);
+    cache.pending_notices.clear();
+    reply.batch_bytes =
+        net::kBatchedNoticeBytes *
+        static_cast<std::int64_t>(reply.batched_invalidations.size());
+    coalesced_notices_ +=
+        static_cast<std::int64_t>(reply.batched_invalidations.size());
+    transport_->send_to(cache.transport_slot, reply, mechanism);
+    // The reply template is reused across requests — the batch fields must
+    // not leak into the next reply.
+    reply.batched_invalidations.clear();
+    reply.batch_bytes = Bytes{};
+    return;
+  }
+  transport_->send_to(cache.transport_slot, reply, mechanism);
 }
 
 Bytes ServerNode::object_bytes(ObjectId o) const {

@@ -25,6 +25,27 @@ enum class MetadataSubscription : std::uint8_t {
   kAll,             // Replica / Benefit: metadata notices for every update
 };
 
+/// Congestion batching of invalidation notices. When the server's egress
+/// link to a cache is backlogged past `backlog_threshold_seconds`
+/// (Transport::egress_backlog_seconds), per-update notices are held in a
+/// per-cache pending list instead of each paying its own message header
+/// and serialization slot. Pending notices drain three ways: merged into
+/// one kInvalidation once the backlog recedes or `max_batch` is reached,
+/// piggybacked onto the next data-bearing reply to that cache, or by the
+/// end-of-run flush_pending_notices(). Off by default — the unbatched
+/// one-notice-per-message fan-out is the golden-pinned behavior, and a
+/// flush of a single pending notice emits a byte-identical message to the
+/// unbatched path.
+struct NoticeBatchingOptions {
+  bool enabled = false;
+  /// Hold notices while the egress backlog exceeds this many simulated
+  /// seconds; 0.0 batches only while the link is busy at all.
+  double backlog_threshold_seconds = 0.0;
+  /// Pending-list bound per cache: the merge flushes at this size even if
+  /// the backlog persists (bounds notice latency under saturation).
+  std::size_t max_batch = 64;
+};
+
 class ServerNode {
  public:
   /// Bulk-copy framing added to every object load.
@@ -74,6 +95,24 @@ class ServerNode {
   /// zero times instead of N times per update.
   void ingest_update_at(std::int64_t update_index);
 
+  // ---- congestion batching of invalidation notices ----
+
+  void set_notice_batching(const NoticeBatchingOptions& options) {
+    batching_ = options;
+  }
+  /// Merges and sends every pending notice (end-of-run drain; no-op when
+  /// nothing is pending or batching is off).
+  void flush_pending_notices();
+  /// Notices coalesced behind another message instead of paying their own
+  /// (merged into a multi-id kInvalidation or piggybacked on a reply).
+  [[nodiscard]] std::int64_t coalesced_notices() const {
+    return coalesced_notices_;
+  }
+  /// Standalone kInvalidation messages actually sent.
+  [[nodiscard]] std::int64_t notice_messages() const {
+    return notice_messages_;
+  }
+
   // ---- repository state (metadata caches may read cheaply) ----
 
   [[nodiscard]] Bytes object_bytes(ObjectId o) const;
@@ -90,6 +129,10 @@ class ServerNode {
     std::size_t transport_slot = 0;  // where replies/invalidations go
     MetadataSubscription subscription = MetadataSubscription::kNone;
     std::vector<std::uint8_t> registered;  // objects resident at this cache
+    /// Notices held back by congestion batching (update ids, ingest order).
+    std::vector<std::int64_t> pending_notices;
+    /// sent_at for a merged flush: the first pending update's trace time.
+    EventTime pending_first_sent_at = 0;
   };
 
   const workload::Trace* trace_;
@@ -103,10 +146,20 @@ class ServerNode {
   std::vector<CacheEntry> caches_;
   std::unordered_map<std::string, std::size_t> slot_by_name_;
 
+  NoticeBatchingOptions batching_;
+  std::int64_t coalesced_notices_ = 0;
+  std::int64_t notice_messages_ = 0;
+
   [[nodiscard]] std::size_t checked(ObjectId o) const;
   [[nodiscard]] CacheEntry& sender_entry(const net::Message& m);
   void handle_message(const net::Message& m);
   void apply_update(const workload::Update& u);
+  /// Sends `reply` to `cache`, piggybacking its pending notices (batching
+  /// on) and restoring the reusable template's batch fields afterwards.
+  void send_reply(CacheEntry& cache, net::Message& reply,
+                  net::Mechanism mechanism);
+  /// Merges `cache`'s pending notices into one kInvalidation and sends it.
+  void flush_cache_notices(CacheEntry& cache);
 };
 
 }  // namespace delta::core

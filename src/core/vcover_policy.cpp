@@ -1,12 +1,32 @@
 #include "core/vcover_policy.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "cache/gds.h"
 #include "cache/lru.h"
+#include "core/async_query.h"
 #include "util/check.h"
 
 namespace delta::core {
+
+namespace {
+
+/// Synchronous transmitter: each emission is a blocking round trip (the
+/// CacheNode façade pumps the event queue until the reply lands). This is
+/// the closed-loop golden path — message order and timing are exactly the
+/// pre-async behavior. AsyncQueryTx (core/async_query.h) is the
+/// overlapping counterpart.
+struct SyncQueryTx {
+  CacheNode* cache;
+  void ship_update(const workload::Update& u) { cache->ship_update(u); }
+  void ship_query(const workload::Query& q, QueryOutcome& outcome) {
+    outcome.result_bytes = cache->ship_query(q);
+  }
+  void load_object(ObjectId o) { cache->load_object(o); }
+};
+
+}  // namespace
 
 VCoverPolicy::VCoverPolicy(CacheNode* system, const VCoverOptions& options)
     : system_(system),
@@ -79,16 +99,17 @@ void VCoverPolicy::shed_overflow() {
   DELTA_CHECK(!store_.over_capacity());
 }
 
-void VCoverPolicy::apply_batch(
-    const std::vector<cache::LoadCandidate>& batch, QueryOutcome& outcome) {
+template <typename Tx>
+void VCoverPolicy::apply_batch(const std::vector<cache::LoadCandidate>& batch,
+                               QueryOutcome& outcome, Tx&& tx) {
   const cache::BatchDecision& decision = evictor_->decide_batch(batch);
   for (const ObjectId victim : decision.evict) {
     evict_object(victim);
   }
   for (const ObjectId o : decision.load) {
     const Bytes size = system_->server_object_bytes(o);
-    system_->load_object(o);  // LoadData message: size + framing
-    store_.load(o, size);     // enters fresh, with all updates folded in
+    tx.load_object(o);     // LoadData message: size + framing
+    store_.load(o, size);  // enters fresh, with all updates folded in
     churn_log_.push_back({now_, o, size, true});
     load_manager_.forget(o);
     ++loads_;
@@ -96,9 +117,10 @@ void VCoverPolicy::apply_batch(
   }
 }
 
-QueryOutcome VCoverPolicy::on_query(const workload::Query& q) {
+template <typename Tx>
+void VCoverPolicy::dispatch_query(const workload::Query& q,
+                                  QueryOutcome& outcome, Tx&& tx) {
   now_ = q.time;
-  QueryOutcome outcome;
   missing_.clear();
   for (const ObjectId o : q.objects) {
     if (!store_.contains(o)) missing_.push_back(o);
@@ -109,7 +131,7 @@ QueryOutcome VCoverPolicy::on_query(const workload::Query& q) {
     // and shipping its interacting updates (Fig. 4).
     const UpdateManager::Decision& decision = update_manager_.decide(q);
     for (const workload::Update* u : decision.ship_updates) {
-      system_->ship_update(*u);
+      tx.ship_update(*u);
       store_.grow(u->object, u->cost);
       outcome.updates_shipped_bytes += u->cost;
       outcome.max_update_bytes = std::max(outcome.max_update_bytes, u->cost);
@@ -120,7 +142,7 @@ QueryOutcome VCoverPolicy::on_query(const workload::Query& q) {
     }
     if (decision.ship_query) {
       outcome.path = QueryOutcome::Path::kShipped;
-      outcome.result_bytes = system_->ship_query(q);
+      tx.ship_query(q, outcome);
     } else {
       outcome.path = decision.ship_updates.empty()
                          ? QueryOutcome::Path::kCacheFresh
@@ -135,13 +157,13 @@ QueryOutcome VCoverPolicy::on_query(const workload::Query& q) {
       }
     }
     shed_overflow();  // shipped updates may have grown past capacity
-    return outcome;
+    return;
   }
 
   // At least one object missing: ship the query, then decide loads in the
   // background (Fig. 3 lines 6-8).
   outcome.path = QueryOutcome::Path::kShipped;
-  outcome.result_bytes = system_->ship_query(q);
+  tx.ship_query(q, outcome);
   const std::vector<cache::LoadCandidate>& candidates =
       load_manager_.consider(
           q, missing_,
@@ -149,16 +171,27 @@ QueryOutcome VCoverPolicy::on_query(const workload::Query& q) {
           [this](ObjectId o) { return system_->load_cost(o); });
   if (!candidates.empty()) {
     if (load_manager_.options().lazy) {
-      apply_batch(candidates, outcome);
+      apply_batch(candidates, outcome, tx);
     } else {
       // Eager mode (ablation A3): each candidate is its own batch.
       for (const cache::LoadCandidate& c : candidates) {
         eager_batch_.assign(1, c);
-        apply_batch(eager_batch_, outcome);
+        apply_batch(eager_batch_, outcome, tx);
       }
     }
   }
+}
+
+QueryOutcome VCoverPolicy::on_query(const workload::Query& q) {
+  QueryOutcome outcome;
+  dispatch_query(q, outcome, SyncQueryTx{system_});
   return outcome;
+}
+
+void VCoverPolicy::on_query_async(const workload::Query& q, QueryDone done) {
+  const auto ctx = begin_async_query(std::move(done));
+  dispatch_query(q, ctx->outcome, AsyncQueryTx{system_, ctx});
+  async_query_step(ctx);  // release the dispatch barrier
 }
 
 }  // namespace delta::core

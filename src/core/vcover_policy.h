@@ -51,6 +51,7 @@ class VCoverPolicy final : public CachePolicy {
 
   void on_update(const workload::Update& u) override;
   QueryOutcome on_query(const workload::Query& q) override;
+  void on_query_async(const workload::Query& q, QueryDone done) override;
   [[nodiscard]] const char* name() const override { return "VCover"; }
 
   // ---- introspection for tests / ablation benches ----
@@ -93,8 +94,18 @@ class VCoverPolicy final : public CachePolicy {
 
   void evict_object(ObjectId o);
   void shed_overflow();
+  /// One dispatch core serves both query entry points; `tx` is the
+  /// transmitter the decisions emit traffic through — synchronous
+  /// (request_and_wait per call, the closed-loop golden path) or async
+  /// (overlapping *_async requests correlated on one AsyncQueryContext).
+  /// Both transmitters are defined in the .cpp, where the instantiations
+  /// live.
+  template <typename Tx>
+  void dispatch_query(const workload::Query& q, QueryOutcome& outcome,
+                      Tx&& tx);
+  template <typename Tx>
   void apply_batch(const std::vector<cache::LoadCandidate>& batch,
-                   QueryOutcome& outcome);
+                   QueryOutcome& outcome, Tx&& tx);
 };
 
 }  // namespace delta::core

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
+#include "core/async_query.h"
 #include "util/check.h"
 
 namespace delta::core {
@@ -23,6 +25,14 @@ QueryOutcome NoCachePolicy::on_query(const workload::Query& q) {
   outcome.path = QueryOutcome::Path::kShipped;
   outcome.result_bytes = system_->ship_query(q);
   return outcome;
+}
+
+void NoCachePolicy::on_query_async(const workload::Query& q,
+                                   QueryDone done) {
+  const auto ctx = begin_async_query(std::move(done));
+  ctx->outcome.path = QueryOutcome::Path::kShipped;
+  AsyncQueryTx{system_, ctx}.ship_query(q, ctx->outcome);
+  async_query_step(ctx);  // release the dispatch barrier
 }
 
 // ---------------------------------------------------------------- Replica
@@ -264,6 +274,20 @@ QueryOutcome SOptimalPolicy::on_query(const workload::Query& q) {
   }
   outcome.path = QueryOutcome::Path::kCacheFresh;
   return outcome;
+}
+
+void SOptimalPolicy::on_query_async(const workload::Query& q,
+                                    QueryDone done) {
+  const auto ctx = begin_async_query(std::move(done));
+  ctx->outcome.path = QueryOutcome::Path::kCacheFresh;
+  for (const ObjectId o : q.objects) {
+    if (chosen_.count(o) == 0) {
+      ctx->outcome.path = QueryOutcome::Path::kShipped;
+      AsyncQueryTx{system_, ctx}.ship_query(q, ctx->outcome);
+      break;
+    }
+  }
+  async_query_step(ctx);  // release the dispatch barrier
 }
 
 }  // namespace delta::core

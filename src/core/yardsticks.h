@@ -27,6 +27,7 @@ class NoCachePolicy final : public CachePolicy {
 
   void on_update(const workload::Update& u) override;
   QueryOutcome on_query(const workload::Query& q) override;
+  void on_query_async(const workload::Query& q, QueryDone done) override;
   [[nodiscard]] const char* name() const override { return "NoCache"; }
 
  private:
@@ -78,6 +79,7 @@ class SOptimalPolicy final : public CachePolicy {
 
   void on_update(const workload::Update& u) override;
   QueryOutcome on_query(const workload::Query& q) override;
+  void on_query_async(const workload::Query& q, QueryDone done) override;
   [[nodiscard]] const char* name() const override { return "SOptimal"; }
 
   [[nodiscard]] const util::FlatSet<ObjectId>& chosen() const {

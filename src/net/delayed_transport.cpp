@@ -93,6 +93,14 @@ void DelayedTransport::wait_until(WaitPredicate done, void* ctx) {
   events_->pump_until([done, ctx] { return done(ctx); });
 }
 
+double DelayedTransport::egress_backlog_seconds(std::size_t from_slot,
+                                                std::size_t to_slot) const {
+  DELTA_CHECK_MSG(from_slot < endpoint_count_ && to_slot < endpoint_count_,
+                  "no backlog: unknown endpoint slot");
+  const Link& link = link_between(from_slot, to_slot);
+  return std::max(0.0, link.busy_until - events_->now());
+}
+
 std::size_t DelayedTransport::resolve_sender(const Message& message) const {
   // Fast path: endpoints stamp their own transport slot, so the per-send
   // name hash is reserved for external senders (mirrors the slot fast path
@@ -140,8 +148,8 @@ DelayedTransport::LinkTiming DelayedTransport::plan_transfer(
 
   const util::SimTime now = events_->now();
   const util::SimTime depart = std::max(now, link.busy_until);
-  const double serialization =
-      link.model.serialization_seconds(message.payload + kMessageHeaderBytes);
+  const double serialization = link.model.serialization_seconds(
+      message.payload + kMessageHeaderBytes + message.batch_bytes);
   link.busy_until = depart + serialization;
 
   if (sender_slot != kExternalSource) {
@@ -262,10 +270,12 @@ void DelayedTransport::deliver(std::size_t destination_slot,
   Endpoint& endpoint = endpoints_[destination_slot];
   if (aggregate_metering_) {
     meter_.record(mechanism, message.payload);
-    meter_.record(Mechanism::kOverhead, kMessageHeaderBytes);
+    meter_.record(Mechanism::kOverhead,
+                  kMessageHeaderBytes + message.batch_bytes);
   }
   endpoint.meter.record(mechanism, message.payload);
-  endpoint.meter.record(Mechanism::kOverhead, kMessageHeaderBytes);
+  endpoint.meter.record(Mechanism::kOverhead,
+                        kMessageHeaderBytes + message.batch_bytes);
   ++delivered_;
   if (observer_ != nullptr &&
       (observer_kind_ < 0 ||

@@ -86,6 +86,12 @@ class DelayedTransport final : public Transport {
                  Mechanism mechanism) override;
   [[nodiscard]] bool synchronous() const override { return false; }
   void wait_until(WaitPredicate done, void* ctx) override;
+  /// Serialization backlog already queued on the directed link: how long a
+  /// message sent now would wait before its own serialization starts
+  /// (max(0, busy_until - now)). The congestion signal ServerNode's notice
+  /// batching gates on.
+  [[nodiscard]] double egress_backlog_seconds(
+      std::size_t from_slot, std::size_t to_slot) const override;
   [[nodiscard]] const TrafficMeter& meter() const override {
     DELTA_CHECK_MSG(aggregate_metering_,
                     "aggregate metering disabled: derive totals from the "
@@ -167,6 +173,10 @@ class DelayedTransport final : public Transport {
     return from == kExternalSource ? 0 : from + 1;
   }
   [[nodiscard]] Link& link_between(std::size_t from, std::size_t to) {
+    return link_grid_[link_row(from) * grid_cols_ + to];
+  }
+  [[nodiscard]] const Link& link_between(std::size_t from,
+                                         std::size_t to) const {
     return link_grid_[link_row(from) * grid_cols_ + to];
   }
 

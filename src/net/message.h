@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "util/types.h"
 
@@ -84,6 +85,20 @@ struct Message {
   /// simulated one-way latency including queueing behind earlier sends.
   double sim_sent_at = 0.0;
   double sim_delivered_at = 0.0;
+  /// Congestion batching (ServerNode): additional invalidation notices
+  /// coalesced into this message. On a merged kInvalidation the ids here
+  /// are the updates BEYOND subject_id; on a data-bearing reply they are
+  /// notices piggybacked alongside the payload. Their wire cost is
+  /// `batch_bytes` — included in serialization occupancy and metered as
+  /// overhead (never as mechanism payload, so figure accounting is
+  /// unaffected). Empty on every message when batching is off.
+  std::vector<std::int64_t> batched_invalidations;
+  Bytes batch_bytes;
 };
+
+/// Modeled wire cost of each coalesced invalidation id in
+/// `batched_invalidations` (the id itself; framing is already paid by the
+/// carrying message's header).
+inline constexpr Bytes kBatchedNoticeBytes{8};
 
 }  // namespace delta::net

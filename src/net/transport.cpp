@@ -54,9 +54,10 @@ void LoopbackTransport::send_to(std::size_t destination_slot,
 void LoopbackTransport::deliver(Endpoint& endpoint, const Message& message,
                                 Mechanism mechanism) {
   meter_.record(mechanism, message.payload);
-  meter_.record(Mechanism::kOverhead, kMessageHeaderBytes);
+  meter_.record(Mechanism::kOverhead, kMessageHeaderBytes + message.batch_bytes);
   endpoint.meter.record(mechanism, message.payload);
-  endpoint.meter.record(Mechanism::kOverhead, kMessageHeaderBytes);
+  endpoint.meter.record(Mechanism::kOverhead,
+                        kMessageHeaderBytes + message.batch_bytes);
   ++delivered_;
   endpoint.handler(message);
 }

@@ -101,6 +101,19 @@ class Transport {
                     "transport");
   }
 
+  /// Congestion signal: simulated seconds of serialization backlog already
+  /// queued on the egress link from `from_slot` to `to_slot` (how long a
+  /// message sent now would wait before its own serialization starts).
+  /// Zero on synchronous transports — there is no queueing to observe —
+  /// so backlog-gated behavior (ServerNode notice batching) degenerates to
+  /// the unbatched path there.
+  [[nodiscard]] virtual double egress_backlog_seconds(
+      std::size_t from_slot, std::size_t to_slot) const {
+    (void)from_slot;
+    (void)to_slot;
+    return 0.0;
+  }
+
   /// Aggregate accounting across all endpoints.
   [[nodiscard]] virtual const TrafficMeter& meter() const = 0;
   virtual TrafficMeter& meter() = 0;

@@ -1,48 +1,181 @@
 // Cold paths of the calendar scheduler: sorted-bucket insertion off the
-// monotone fast path, the direct min search that rescues a sparse queue
-// after an empty "year", the width-retuning resize, and the heap oracle's
-// pop. The hot primitives live in event_queue.h so the replay loops inline
-// them.
+// monotone fast path, the ladder rung split and re-split, the direct min
+// search that rescues a sparse queue after an empty "year", the
+// width-retuning resize, and the heap oracle's pop. The hot primitives
+// live in event_queue.h so the replay loops inline them.
 #include "util/event_queue.h"
 
 #include <algorithm>
 
 namespace delta::util {
 
-void EventQueue::calendar_insert_sorted(Bucket& bucket, const Event& event) {
-  // Position within the unconsumed tail; everything before head is already
-  // executed, so an insert never lands there (the event would have had to
-  // be scheduled into the past, which schedule() rejects).
-  const auto begin = bucket.events.begin() +
-                     static_cast<std::ptrdiff_t>(bucket.head);
-  const auto pos = std::upper_bound(
-      begin, bucket.events.end(), event,
-      [](const Event& a, const Event& b) { return later(b, a); });
-  bucket.events.insert(pos, event);
+void EventQueue::bucket_sort_tail(Bucket& bucket) {
+  // Lazy day sort: the scan reached a day whose appends broke the
+  // ascending order. One sort covers every insert the day absorbed while
+  // it sat ahead of the scan — the work a sorted-insert scheme would have
+  // paid as a memmove per insert.
+  std::sort(bucket.events.begin() + static_cast<std::ptrdiff_t>(bucket.head),
+            bucket.events.end(),
+            [](const Event& a, const Event& b) { return later(b, a); });
+  bucket.dirty = false;
+}
 
-  // Density watchdog: a steady hold pattern drifts the whole pending
-  // window far narrower than the tuned day width (size-triggered resizes
-  // never fire at constant depth), collapsing every event into a couple of
-  // days and turning each insert into a long memmove. When one day holds a
-  // crowd that a narrower width could actually spread (ties cannot be
-  // split — skip those), re-tune — rate-limited so degenerate schedules
-  // cannot thrash the rebuild.
-  if (bucket.events.size() - bucket.head > 64 && size_ > 128 &&
-      schedules_since_retune_ > size_ &&
-      bucket.events.back().time > bucket.events[bucket.head].time) {
-    calendar_resize(buckets_.size());
+void EventQueue::calendar_maybe_split(Bucket& bucket) {
+  // Ladder split: a steady hold pattern drifts the whole pending window
+  // far narrower than the tuned day width (size-triggered resizes never
+  // fire at constant depth), collapsing every event into a couple of
+  // days. When one day holds a crowd that a narrower width could actually
+  // spread (ties cannot be split — skip those), move its pending tail
+  // into a rung of finer sub-buckets in one sort-free pass. Called from
+  // the peek path when the scan reaches a dirty fat day; an all-ties
+  // crowd that declines the split falls back to the lazy day sort.
+  SimTime lo = bucket.events[bucket.head].time;
+  SimTime hi = lo;
+  for (std::size_t i = bucket.head + 1; i < bucket.events.size(); ++i) {
+    const SimTime t = bucket.events[i].time;
+    if (t < lo) lo = t;
+    if (t > hi) hi = t;
   }
+  if (!(hi > lo)) return;
+  split_scratch_.assign(
+      bucket.events.begin() + static_cast<std::ptrdiff_t>(bucket.head),
+      bucket.events.end());
+  bucket.events.clear();
+  bucket.head = 0;
+  bucket.dirty = false;
+  bucket.rung = spare_rung_ != nullptr ? std::move(spare_rung_)
+                                       : std::make_unique<Rung>();
+  rung_build(*bucket.rung);
+}
+
+void EventQueue::rung_build(Rung& rung) {
+  // `split_scratch_` holds the events to redistribute (any order).
+  // Distribute them across ~8-event unsorted sub-buckets by time — no
+  // sort at any point. Rung and sub storage is recycled (the spare slot,
+  // cleared-not-freed sub vectors) so steady churn splits allocate only
+  // on growth. An all-ties batch degenerates gracefully: zero
+  // inv_sub_width lands everything in sub 0 and range_end at the tie
+  // instant routes every later arrival around the rung (any such arrival
+  // carries a larger seq, so consuming it after the batch is exact).
+  const std::vector<Event>& pending = split_scratch_;
+  DELTA_DCHECK(!pending.empty());
+  DELTA_DCHECK(rung.overflow.empty());
+  SimTime lo = pending.front().time;
+  SimTime hi = lo;
+  for (const Event& event : pending) {
+    if (event.time < lo) lo = event.time;
+    if (event.time > hi) hi = event.time;
+  }
+  const std::size_t sub_count = std::max<std::size_t>(pending.size() / 8, 2);
+  rung.base = lo;
+  rung.inv_sub_width =
+      hi > lo ? static_cast<SimTime>(sub_count) / (hi - lo) : 0.0;
+  rung.range_end = hi;
+  if (rung.subs.size() > sub_count) rung.subs.resize(sub_count);
+  for (SubRung& sub : rung.subs) {
+    sub.events.clear();  // keeps capacity for the redistribution below
+  }
+  rung.subs.resize(sub_count);
+  rung.child.reset();  // recycled rungs may carry a stale (drained) chain
+  rung.child_sub = SIZE_MAX;
+  rung.cursor = 0;
+  rung.live = pending.size();
+  rung.scan_work = 0;
+  // Rung activity means the global day width no longer matches the live
+  // window; ask for a (cooldown-gated) retune, which dissolves the rungs.
+  if (!retune_pending_) {
+    retune_pending_ = true;
+    degenerate_at_ = schedules_since_retune_;
+  }
+  for (const Event& event : pending) {
+    const double offset = (event.time - rung.base) * rung.inv_sub_width;
+    std::size_t idx = offset <= 0.0 ? 0 : static_cast<std::size_t>(offset);
+    if (idx >= sub_count) idx = sub_count - 1;
+    rung.subs[idx].events.push_back(event);
+  }
+}
+
+void EventQueue::rung_narrow(Rung& rung) {
+  // The cursor sub holds a crowd too dense for this rung's sub width —
+  // the skew one uniform level cannot spread (a few far events stretch
+  // the span while the mass sits up front, so re-splitting the whole rung
+  // would land the crowd right back in one sub). Descend a ladder level:
+  // move the crowd — and only the crowd — into a child rung over its own,
+  // much narrower span. Later subs stay exactly where they are, so an
+  // event is redistributed at most once per ladder level. The caller's
+  // scan-work cooldown amortizes the O(crowd) pass.
+  DELTA_DCHECK(rung.child == nullptr);
+  std::vector<Event>& crowd = rung.subs[rung.cursor].events;
+  SimTime lo = crowd.front().time;
+  SimTime hi = lo;
+  for (const Event& event : crowd) {
+    if (event.time < lo) lo = event.time;
+    if (event.time > hi) hi = event.time;
+  }
+  if (!(hi > lo)) {
+    // An all-ties crowd cannot be spread by any width. Restart the
+    // cooldown so the pop scans pay for another full budget before the
+    // next attempt (the scans themselves stay correct, just linear).
+    rung.scan_work = 0;
+    return;
+  }
+  split_scratch_.clear();
+  split_scratch_.swap(crowd);
+  rung.child = spare_rung_ != nullptr ? std::move(spare_rung_)
+                                      : std::make_unique<Rung>();
+  rung.child_sub = rung.cursor;
+  rung_build(*rung.child);
+  rung.scan_work = 0;
+}
+
+void EventQueue::rung_descend(Bucket& bucket) {
+  // Every sub has drained; the overflow bag holds the bucket's remaining
+  // pending events, all strictly later (by raw time) than anything the
+  // subs held. Redistribute it as the next, narrower rung — or, when it
+  // cannot be spread (one instant), revert the bucket to plain storage,
+  // marked dirty: the bag is MOSTLY in schedule order, but rung_narrow
+  // dumps sub contents whose order swap-remove pops have shuffled, so the
+  // lazy day sort puts it right (equal times make (time, seq) order
+  // exactly seq order).
+  Rung& rung = *bucket.rung;
+  DELTA_DCHECK(rung.child == nullptr);  // freed when the scan passed it
+  DELTA_DCHECK(rung.live == rung.overflow.size() && rung.live > 0);
+  SimTime lo = rung.overflow.front().time;
+  SimTime hi = lo;
+  for (const Event& event : rung.overflow) {
+    if (event.time < lo) lo = event.time;
+    if (event.time > hi) hi = event.time;
+  }
+  if (!(hi > lo)) {
+    DELTA_DCHECK(bucket.events.empty());
+    bucket.events = std::move(rung.overflow);
+    bucket.dirty = true;
+    bucket.head = 0;
+    rung.overflow.clear();
+    rung.subs.clear();
+    rung.live = 0;
+    spare_rung_ = std::move(bucket.rung);
+    return;
+  }
+  split_scratch_.clear();
+  split_scratch_.swap(rung.overflow);  // empties overflow for the rebuild
+  rung_build(rung);
 }
 
 const EventQueue::Event& EventQueue::calendar_direct_search() {
   // A whole year of days held nothing due: the queue is sparse relative to
-  // its span. Find the global earliest head (buckets are sorted, so heads
-  // suffice) and jump the scan cursor to its day.
+  // its span. Find the global earliest head (buckets and rungs are sorted,
+  // so heads suffice) and jump the scan cursor to its day.
   const Event* earliest = nullptr;
-  for (const Bucket& bucket : buckets_) {
-    if (bucket.head >= bucket.events.size()) continue;
-    const Event& head = bucket.events[bucket.head];
-    if (earliest == nullptr || later(*earliest, head)) earliest = &head;
+  for (Bucket& bucket : buckets_) {
+    const Event* head = nullptr;
+    if (bucket.rung != nullptr) {
+      if (bucket.rung->live > 0) head = &bucket_head(bucket);
+    } else if (bucket.head < bucket.events.size()) {
+      head = &bucket_head(bucket);  // lazily sorts a dirty day
+    }
+    if (head == nullptr) continue;
+    if (earliest == nullptr || later(*earliest, *head)) earliest = head;
   }
   DELTA_CHECK_MSG(earliest != nullptr,
                   "calendar scan found no event while size() > 0");
@@ -51,65 +184,127 @@ const EventQueue::Event& EventQueue::calendar_direct_search() {
 }
 
 void EventQueue::calendar_resize(std::size_t bucket_count) {
-  // Collect the unconsumed records, retune the day width to the density
-  // near the head of the schedule, and redistribute. Ascending reinsertion
-  // keeps every bucket sorted with a plain append.
-  std::vector<Event> live;
+  // Collect the unconsumed records (day buckets, rungs, and the
+  // far-future bag), retune the day width to the density near the head of
+  // the schedule, and redistribute. This must stay O(live) cheap: besides
+  // size-triggered grows/shrinks it runs as the degeneracy retune
+  // (retune_pending_) and as the future-bag integration, i.e. up to once
+  // per live-set turnover under a drifting window. So no global sort —
+  // the head-window density comes from one nth_element over timestamps,
+  // and events are flung into their day by plain append with the day
+  // marked dirty for the lazy sort to finish whenever the scan arrives.
+  std::vector<Event>& live = split_scratch_;
+  live.clear();
   live.reserve(size_);
   for (Bucket& bucket : buckets_) {
-    for (std::size_t i = bucket.head; i < bucket.events.size(); ++i) {
-      live.push_back(bucket.events[i]);
+    if (bucket.rung != nullptr) {
+      for (const Rung* rung = bucket.rung.get(); rung != nullptr;
+           rung = rung->child.get()) {
+        for (const SubRung& sub : rung->subs) {
+          live.insert(live.end(), sub.events.begin(), sub.events.end());
+        }
+        live.insert(live.end(), rung->overflow.begin(),
+                    rung->overflow.end());
+      }
+    } else {
+      for (std::size_t i = bucket.head; i < bucket.events.size(); ++i) {
+        live.push_back(bucket.events[i]);
+      }
     }
   }
-  std::sort(live.begin(), live.end(),
-            [](const Event& a, const Event& b) { return later(b, a); });
+  live.insert(live.end(), future_.begin(), future_.end());
+  future_.clear();
+  future_min_ = std::numeric_limits<SimTime>::infinity();
+  if (retune_pending_) {
+    // Degeneracy that recurred within one turnover of the previous retune
+    // means the window is drifting and retunes are not sticking: back
+    // off. A width that survived a full turnover earns a fresh start.
+    retune_backoff_ = degenerate_at_ < size_
+                          ? std::min<std::uint64_t>(retune_backoff_ * 2, 64)
+                          : 1;
+  }
+  retune_pending_ = false;
+  schedules_since_retune_ = 0;
 
   if (bucket_count == buckets_.size()) {
-    // Width-only retune: reuse every bucket's storage instead of paying a
-    // free+malloc per day (the density watchdog may fire periodically on
-    // drifting steady-state schedules).
+    // Same-size retune (the degeneracy/future-bag path, up to once per
+    // live-set turnover): reset the days in place. Day vectors keep their
+    // capacity, so the redistribution below re-fills them allocation-free.
     for (Bucket& bucket : buckets_) {
       bucket.events.clear();
       bucket.head = 0;
+      bucket.dirty = false;
+      if (bucket.rung != nullptr) {
+        bucket.rung->overflow.clear();
+        if (spare_rung_ == nullptr) {
+          spare_rung_ = std::move(bucket.rung);
+        } else {
+          bucket.rung.reset();
+        }
+      }
     }
+    std::fill(occupied_.begin(), occupied_.end(), 0);
   } else {
-    buckets_.assign(bucket_count, Bucket{});
+    buckets_.clear();
+    buckets_.resize(bucket_count);
+    occupied_.assign(bucket_count <= 64 ? 1 : bucket_count / 64, 0);
   }
-  occupied_.assign(bucket_count <= 64 ? 1 : bucket_count / 64, 0);
-  schedules_since_retune_ = 0;
   if (live.empty()) {
     width_ = 1.0;
     inv_width_ = 1.0;
     scan_vb_ = virtual_bucket(clock_.now());
     return;
   }
+  SimTime tmin = live.front().time;
+  SimTime tmax = tmin;
+  for (const Event& event : live) {
+    if (event.time < tmin) tmin = event.time;
+    if (event.time > tmax) tmax = event.time;
+  }
   // Aim at ~4 events per day, with the density measured over the head of
   // the schedule (up to 1k events) rather than the full span: one far
   // outlier must not widen every day by orders of magnitude. The x4
   // margin keeps the "year" (bucket_count * width) comfortably above the
   // live window, so steady-state inserts do not wrap a year ahead.
-  const std::size_t window =
-      std::min<std::size_t>(live.size() - 1, 1024);
-  SimTime span = window > 0 ? live[window].time - live.front().time : 0.0;
+  const std::size_t window = std::min<std::size_t>(live.size() - 1, 1024);
+  SimTime span = tmax - tmin;
+  if (window < live.size() - 1) {
+    retune_times_.clear();
+    retune_times_.reserve(live.size());
+    for (const Event& event : live) retune_times_.push_back(event.time);
+    std::nth_element(retune_times_.begin(),
+                     retune_times_.begin() + static_cast<std::ptrdiff_t>(window),
+                     retune_times_.end());
+    span = retune_times_[window] - tmin;
+  }
   SimTime width = span * 4.0 / static_cast<SimTime>(window > 0 ? window : 1);
   if (!(width > 0.0)) {
     // Head window is all ties; fall back to the full spread.
-    const SimTime spread = live.back().time - live.front().time;
-    width = spread * 4.0 / static_cast<SimTime>(live.size());
+    width = (tmax - tmin) * 4.0 / static_cast<SimTime>(live.size());
   }
   // Degenerate spreads (everything due the same instant) or widths so
   // small that day numbers would overflow the scan arithmetic fall back to
   // a safe constant / floor.
-  const SimTime floor_width = live.back().time * 1e-12;
+  const SimTime floor_width = tmax * 1e-12;
   if (!(width > floor_width)) width = floor_width;
   if (!(width > 0.0)) width = 1.0;
   width_ = width;
   inv_width_ = 1.0 / width;
-  scan_vb_ = virtual_bucket(live.front().time);
+  scan_vb_ = virtual_bucket(tmin);
   for (const Event& event : live) {
-    const std::size_t slot =
-        static_cast<std::size_t>(virtual_bucket(event.time)) & bucket_mask();
-    buckets_[slot].events.push_back(event);
+    const std::int64_t vb = virtual_bucket(event.time);
+    if (vb - scan_vb_ >= static_cast<std::int64_t>(bucket_count)) {
+      // Still beyond the (new) year: back into the far-future bag.
+      future_.push_back(event);
+      if (event.time < future_min_) future_min_ = event.time;
+      continue;
+    }
+    const std::size_t slot = static_cast<std::size_t>(vb) & bucket_mask();
+    Bucket& bucket = buckets_[slot];
+    if (!bucket.events.empty() && later(bucket.events.back(), event)) {
+      bucket.dirty = true;
+    }
+    bucket.events.push_back(event);
     occupied_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
   }
 }

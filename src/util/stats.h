@@ -109,9 +109,28 @@ class LogHistogram {
 };
 
 /// Exact-quantile helper for modest sample counts (sorts on demand).
+///
+/// Bounded mode: set_stride(k) switches add_tagged() to deterministic
+/// stride decimation — a sample is retained iff its tag is a multiple of
+/// k. Because the decision depends only on the tag (a global sample index
+/// the caller assigns, e.g. trace position), sharded producers that each
+/// call add_tagged with their own subset of tags retain exactly the
+/// samples a single stream would have, so merged percentiles reproduce the
+/// single-stream bounded percentiles bit-for-bit at any shard count. The
+/// plain add() path stays exact and is untouched by the stride.
 class QuantileSketch {
  public:
   void add(double v) { values_.push_back(v); }
+  /// Retain every stride-th tag (1 = keep all). The caller derives the
+  /// stride globally — e.g. max(1, total_samples / cap) — so all shards
+  /// agree on the selection.
+  void set_stride(std::int64_t stride) { stride_ = stride < 1 ? 1 : stride; }
+  [[nodiscard]] std::int64_t stride() const { return stride_; }
+  /// add() gated by the decimation stride; `tag` is the sample's global
+  /// index. Keeps tag 0, stride, 2*stride, ...
+  void add_tagged(double v, std::int64_t tag) {
+    if (stride_ <= 1 || tag % stride_ == 0) values_.push_back(v);
+  }
   /// Pre-sizes the sample buffer (the replay engines know the query count
   /// up front, so the hot loop never pays a reallocation).
   void reserve(std::size_t n) { values_.reserve(n); }
@@ -127,6 +146,7 @@ class QuantileSketch {
 
  private:
   mutable std::vector<double> values_;
+  std::int64_t stride_ = 1;
 };
 
 }  // namespace delta::util

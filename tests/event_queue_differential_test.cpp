@@ -163,5 +163,41 @@ TEST(EventQueueDifferentialTest, ChurnFuzzAcrossResizesAndSparseYears) {
   EXPECT_GT(queues.executed(), 9000u);
 }
 
+// Deep steady hold with decaying increments: the drift-narrow bench shape
+// that used to collapse the calendar (ISSUE 7). The backlog is built past
+// 4k pending, then held there — every pop schedules one replacement —
+// while the inter-event gap decays by four orders of magnitude, so the
+// occupied span narrows under the cursor and the calendar must retune
+// (ladder rung splits) without ever draining. Same-instant injections
+// exercise schedule-during-execute ties at depth.
+TEST(EventQueueDifferentialTest, DeepSteadyHoldWithDecayingIncrements) {
+  Lockstep queues;
+  Rng rng{777};
+  SimTime horizon = 0.0;
+  for (int i = 0; i < 4500; ++i) {
+    horizon += rng.exponential(1.0);
+    queues.schedule(horizon);
+  }
+  ASSERT_GE(queues.pending(), 4500u);
+
+  double mean = 1.0;
+  std::size_t min_depth = queues.pending();
+  for (int step = 0; step < 30000; ++step) {
+    queues.run_one();
+    // Decay the increment scale ~1.0 -> 1e-4 across the hold.
+    mean = mean > 1e-4 ? mean * 0.9997 : 1e-4;
+    if (rng.bernoulli(0.02)) {
+      queues.schedule(queues.now());  // same-instant tie at depth
+    }
+    horizon += rng.exponential(mean);
+    queues.schedule(horizon < queues.now() ? queues.now() : horizon);
+    min_depth = queues.pending() < min_depth ? queues.pending() : min_depth;
+  }
+  EXPECT_GE(min_depth, 4000u);  // the hold really stayed deep
+  while (queues.run_one()) {
+  }
+  queues.expect_identical_history();
+}
+
 }  // namespace
 }  // namespace delta::util

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 namespace delta::util {
 namespace {
 
@@ -52,6 +55,46 @@ TEST(QuantileSketchTest, ExactQuantiles) {
   EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
   EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
   EXPECT_NEAR(s.quantile(0.5), 50.0, 1.0);
+}
+
+// Bounded mode: stride decimation retains every k-th tag, bounding the
+// buffer while keeping the quantiles close to exact on smooth data.
+TEST(QuantileSketchTest, StrideDecimationBoundsSizeAndTracksQuantiles) {
+  QuantileSketch exact;
+  QuantileSketch bounded;
+  bounded.set_stride(10);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = static_cast<double>(i);
+    exact.add(v);
+    bounded.add_tagged(v, i);
+  }
+  EXPECT_EQ(bounded.size(), 1000u);
+  EXPECT_NEAR(bounded.quantile(0.5), exact.quantile(0.5), 10.0);
+  EXPECT_NEAR(bounded.quantile(0.99), exact.quantile(0.99), 10.0);
+}
+
+// The retention decision depends only on the (globally assigned) tag, so
+// sharded producers merge to exactly the single-stream bounded selection —
+// the contract the parallel event engine's response sketch relies on.
+TEST(QuantileSketchTest, ShardedTaggedMergeMatchesSingleStreamBitForBit) {
+  constexpr int kN = 5000;
+  constexpr std::int64_t kStride = 7;
+  QuantileSketch single;
+  single.set_stride(kStride);
+  std::vector<QuantileSketch> shards(3);
+  for (QuantileSketch& s : shards) s.set_stride(kStride);
+  for (int i = 0; i < kN; ++i) {
+    const double v = std::sin(static_cast<double>(i)) * 1e3;
+    single.add_tagged(v, i);
+    shards[static_cast<std::size_t>(i) % shards.size()].add_tagged(v, i);
+  }
+  QuantileSketch merged;
+  merged.set_stride(kStride);
+  for (const QuantileSketch& s : shards) merged.merge(s);
+  ASSERT_EQ(merged.size(), single.size());
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(merged.quantile(q), single.quantile(q)) << "q=" << q;
+  }
 }
 
 }  // namespace
