@@ -41,6 +41,7 @@
 
 #include "bench_common.h"
 #include "core/vcover_policy.h"
+#include "net/fault_plan.h"
 #include "net/link_model.h"
 #include "sim/event_engine.h"
 #include "sim/experiment.h"
@@ -398,6 +399,80 @@ struct OpenLoopCell {
   std::int64_t coalesced_notices = 0;
 };
 
+/// One cell of the chaos suite (ISSUE 8): the open-loop WAN drive with the
+/// hardened protocol armed and a named failure scenario layered on top —
+///   * partition_then_heal — both server<->cache paths go dark for a
+///     window mid-run, then heal; the epoch resync replays the missed
+///     notices (unavailability, recovery staleness, resyncs tracked);
+///   * flash_crowd        — 4x arrival overload with no faults; the
+///     admission controller sheds at the server and degrades at the policy;
+///   * update_storm       — lossy links (drop/duplicate/reorder on every
+///     path) under congestion batching; timeouts, retries and the dedup
+///     windows carry the run.
+/// Every fate is a pure function of (plan seed, link, message seq), so each
+/// cell is bit-identical for any thread count (chaos_engine_test pins it).
+struct ChaosCell {
+  std::string scenario;
+  std::string policy;
+  double rate_per_sec = 0.0;
+  double wall_seconds_best = 0.0;
+  double wall_seconds_median = 0.0;
+  double events_per_sec = 0.0;
+  double events_per_sec_median = 0.0;
+  double response_p50 = 0.0;
+  double response_p99 = 0.0;
+  std::int64_t queries = 0;
+  sim::ChaosYardsticks chaos;
+};
+
+ChaosCell measure_chaos(const sim::Setup& setup, std::string scenario,
+                        const sim::EventEngineOptions& options,
+                        std::size_t endpoints, int repeats,
+                        sim::PolicyKind policy) {
+  ChaosCell cell;
+  cell.scenario = std::move(scenario);
+  cell.policy = sim::to_string(policy);
+  cell.rate_per_sec = options.open_loop.rate_per_sec;
+  const Bytes per_endpoint{static_cast<std::int64_t>(
+      setup.cache_capacity().as_double() / static_cast<double>(endpoints))};
+  RepeatWalls walls;
+  for (int rep = 0; rep < repeats; ++rep) {
+    const sim::EventRunResult r = sim::run_one_event(
+        policy, setup.trace(), per_endpoint, setup.params(),
+        endpoints, workload::SplitStrategy::kRoundRobin, options);
+    walls.add(r.replay.combined.wall_seconds);
+    if (rep == 0) {
+      cell.response_p50 = r.response_p50();
+      cell.response_p99 = r.response_p99();
+      cell.queries = r.replay.combined.queries;
+      cell.chaos = r.chaos;
+    }
+  }
+  cell.wall_seconds_best = walls.best();
+  cell.wall_seconds_median = walls.median();
+  const auto events = static_cast<double>(setup.trace().order.size());
+  cell.events_per_sec = events / std::max(cell.wall_seconds_best, 1e-9);
+  cell.events_per_sec_median =
+      events / std::max(cell.wall_seconds_median, 1e-9);
+  return cell;
+}
+
+/// Shared base of every chaos cell: the open-loop 100 Mbit/40 ms WAN drive
+/// with protocol hardening and the overload controller armed.
+sim::EventEngineOptions chaos_base_options(double rate) {
+  sim::EventEngineOptions options;
+  options.default_link = delta::net::LinkModel{12.5e6, 0.040};
+  options.series_stride = 5000;
+  options.open_loop.enabled = true;
+  options.open_loop.arrival = workload::ArrivalProcess::Kind::kPoisson;
+  options.open_loop.rate_per_sec = rate;
+  options.open_loop.max_in_flight = 64;
+  options.open_loop.response_sample_cap = 100'000;
+  options.protocol.enabled = true;
+  options.admission.enabled = true;
+  return options;
+}
+
 OpenLoopCell measure_open_loop(const sim::Setup& setup, double rate,
                                bool batching, int repeats) {
   sim::EventEngineOptions options;
@@ -448,7 +523,8 @@ void emit_json(std::ostream& os, const sim::SetupParams& params, int repeats,
                const EventResult& event, std::size_t parallel_endpoints,
                const std::vector<EventParallelCell>& parallel,
                const std::vector<NSweepCell>& nsweep,
-               const std::vector<OpenLoopCell>& open_loop) {
+               const std::vector<OpenLoopCell>& open_loop,
+               const std::vector<ChaosCell>& chaos) {
   // vs_sync baseline for the parallel sweep: the synchronous multi cell at
   // the same endpoint count, sequential engine (T=1).
   double parallel_sync_baseline = single.events_per_sec;
@@ -613,6 +689,52 @@ void emit_json(std::ostream& os, const sim::SetupParams& params, int repeats,
        << ", \"coalesced_notices\": " << cell.coalesced_notices << "}"
        << (i + 1 < open_loop.size() ? "," : "") << "\n";
   }
+  os << "    ]\n  },\n";
+  // Chaos suite (ISSUE 8): failure yardsticks under deterministic fault
+  // injection with the hardened protocol + admission controller armed.
+  // Every cell is bit-identical for any thread count (chaos_engine_test);
+  // conservation — every query completed, retried to completion, or
+  // accounted shed/failed — is pinned there too.
+  os << "  \"chaos\": {\n"
+     << "    \"link\": {\"bandwidth_bytes_per_sec\": 1.25e7, "
+     << "\"latency_seconds\": 0.04},\n"
+     << "    \"cells\": [\n";
+  for (std::size_t i = 0; i < chaos.size(); ++i) {
+    const ChaosCell& cell = chaos[i];
+    const sim::ChaosYardsticks& ch = cell.chaos;
+    os << "      {\"scenario\": \"" << cell.scenario << "\""
+       << ", \"policy\": \"" << cell.policy << "\""
+       << ", \"rate_per_sec\": " << cell.rate_per_sec
+       << ", \"wall_seconds_best\": " << cell.wall_seconds_best
+       << ", \"wall_seconds_median\": " << cell.wall_seconds_median
+       << ",\n       \"events_per_sec\": " << cell.events_per_sec
+       << ", \"events_per_sec_median\": " << cell.events_per_sec_median
+       << ", \"queries\": " << cell.queries
+       << ",\n       \"simulated_response_seconds\": {\"p50\": "
+       << cell.response_p50 << ", \"p99\": " << cell.response_p99 << "}"
+       << ",\n       \"timeouts\": " << ch.timeouts
+       << ", \"retries\": " << ch.retries
+       << ", \"failed_requests\": " << ch.failed_requests
+       << ", \"late_replies\": " << ch.late_replies
+       << ",\n       \"shed_queries\": " << ch.shed_queries
+       << ", \"degraded_queries\": " << ch.degraded_queries
+       << ", \"request_duplicates_suppressed\": "
+       << ch.request_duplicates_suppressed
+       << ", \"duplicate_notices_suppressed\": "
+       << ch.duplicate_notices_suppressed
+       << ",\n       \"resyncs\": " << ch.resyncs
+       << ", \"replayed_notices\": " << ch.replayed_notices
+       << ", \"notices_logged\": " << ch.notices_logged
+       << ", \"notices_applied\": " << ch.notices_applied
+       << ",\n       \"unavailable_seconds\": " << ch.unavailable_seconds
+       << ", \"max_recovery_staleness_seconds\": "
+       << ch.max_recovery_staleness_seconds
+       << ",\n       \"faults\": {\"dropped\": " << ch.faults_dropped
+       << ", \"duplicated\": " << ch.faults_duplicated
+       << ", \"reordered\": " << ch.faults_reordered
+       << ", \"partition_dropped\": " << ch.partition_dropped << "}}"
+       << (i + 1 < chaos.size() ? "," : "") << "\n";
+  }
   os << "    ]\n  }\n}\n";
 }
 
@@ -738,10 +860,87 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Chaos suite (ISSUE 8): N=2 caches on the WAN drive, protocol +
+  // admission armed, one cell per failure scenario. Provisioned on its own
+  // MB-scale workload the 100 Mbit link can carry with headroom, so the
+  // counters measure *faults* (drops, partitions, recovery), not permanent
+  // overload — the bench's main GB-scale trace would saturate the uplink
+  // and turn every scenario into the same retransmit storm. The partition
+  // and storm cells run the full-replica policy (subscribed to every
+  // update, so the invalidation stream the faults disrupt is guaranteed
+  // dense); the flash crowd runs VCover, whose admission/degrade path is
+  // the scenario's subject.
+  const std::size_t chaos_endpoints = 2;
+  sim::SetupParams chaos_params = params;
+  chaos_params.base_level = 4;
+  chaos_params.total_rows = 4e4;
+  chaos_params.object_target = 30;
+  chaos_params.trace.query_count = smoke ? 1200 : 4000;
+  chaos_params.trace.update_count = chaos_params.trace.query_count;
+  chaos_params.trace.postwarmup_query_gb =
+      0.05 * static_cast<double>(chaos_params.trace.query_count) / 1200.0;
+  chaos_params.trace.mean_postwarmup_update_mb = 0.02;
+  chaos_params.trace.hotspot_max_object_gb = 0.01;
+  const sim::Setup chaos_setup{chaos_params};
+  const double chaos_rate = smoke ? 200.0 : 500.0;
+  const double chaos_duration =
+      static_cast<double>(chaos_setup.trace().order.size()) / chaos_rate;
+  std::vector<ChaosCell> chaos;
+  {
+    // Partition-then-heal: both server<->cache paths dark for the middle
+    // fifth of the expected run, then healed; the epoch resync (heal- or
+    // ledger-gap-triggered) closes the staleness hole.
+    sim::EventEngineOptions options = chaos_base_options(chaos_rate);
+    const net::FaultWindow window{0.40 * chaos_duration,
+                                  0.60 * chaos_duration};
+    for (std::size_t i = 0; i < chaos_endpoints; ++i) {
+      options.fault_plan.partitions.push_back(net::LinkPartition{
+          "server", "cache-" + std::to_string(i), true, {window}});
+    }
+    options.fault_plan.enabled = true;
+    chaos.push_back(measure_chaos(chaos_setup, "partition_then_heal",
+                                  options, chaos_endpoints, repeats,
+                                  sim::PolicyKind::kReplica));
+  }
+  {
+    // Flash crowd: arrivals far beyond what the link serves, no faults —
+    // the admission controller sheds at the server and degrades at the
+    // policy instead of collapsing.
+    sim::EventEngineOptions options = chaos_base_options(20'000.0);
+    options.admission.shed_backlog_seconds = 0.5;
+    options.admission.degrade_backlog_seconds = 0.1;
+    chaos.push_back(measure_chaos(chaos_setup, "flash_crowd", options,
+                                  chaos_endpoints, repeats,
+                                  sim::PolicyKind::kVCover));
+  }
+  {
+    // Update storm: lossy links everywhere plus congestion batching; the
+    // retry/dedup machinery carries the coherence stream.
+    sim::EventEngineOptions options = chaos_base_options(chaos_rate);
+    options.fault_plan.enabled = true;
+    options.fault_plan.default_faults.drop = 0.02;
+    options.fault_plan.default_faults.duplicate = 0.02;
+    options.fault_plan.default_faults.reorder = 0.05;
+    options.notice_batching.enabled = true;
+    options.notice_batching.backlog_threshold_seconds = 0.0;
+    chaos.push_back(measure_chaos(chaos_setup, "update_storm", options,
+                                  chaos_endpoints, repeats,
+                                  sim::PolicyKind::kReplica));
+  }
+  for (const ChaosCell& cell : chaos) {
+    std::cerr << "  chaos " << cell.scenario << ": p99="
+              << util::fixed(cell.response_p99, 3) << "s timeouts="
+              << cell.chaos.timeouts << " retries=" << cell.chaos.retries
+              << " shed=" << cell.chaos.shed_queries << " degraded="
+              << cell.chaos.degraded_queries << " resyncs="
+              << cell.chaos.resyncs << " unavailable="
+              << util::fixed(cell.chaos.unavailable_seconds, 3) << "s\n";
+  }
+
   const std::string out = cfg.get_string("out", "-");
   if (out == "-") {
     emit_json(std::cout, params, repeats, smoke, single, multi, scaling,
-              event, parallel_endpoints, parallel, nsweep, open_loop);
+              event, parallel_endpoints, parallel, nsweep, open_loop, chaos);
   } else {
     std::ofstream file{out};
     if (!file) {
@@ -749,7 +948,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     emit_json(file, params, repeats, smoke, single, multi, scaling, event,
-              parallel_endpoints, parallel, nsweep, open_loop);
+              parallel_endpoints, parallel, nsweep, open_loop, chaos);
     std::cerr << "wrote " << out << "\n";
   }
   return 0;

@@ -1,7 +1,9 @@
 #include "core/cache_node.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "net/fault_plan.h"
 #include "util/check.h"
 
 namespace delta::core {
@@ -48,31 +50,53 @@ std::int64_t CacheNode::send_request(net::MessageKind kind,
                                      std::int64_t subject_id,
                                      EventTime sent_at,
                                      net::MessageKind expected_reply,
-                                     Completion complete) {
+                                     Completion complete,
+                                     std::int64_t protocol_epoch) {
   DELTA_CHECK(complete != nullptr);
   const std::int64_t correlation = next_correlation_++;
-  pending_.push_back(Pending{correlation, expected_reply,
-                             std::move(complete), nullptr, nullptr});
+  Pending pending;
+  pending.correlation = correlation;
+  pending.expected_reply = expected_reply;
+  pending.complete = std::move(complete);
+  pending.kind = kind;
+  pending.subject_id = subject_id;
+  pending.sent_at = sent_at;
+  pending.protocol_epoch = protocol_epoch;
+  pending_.push_back(std::move(pending));
   // The send may deliver (and complete the request) inline on a
   // synchronous transport, so the pending entry must be parked first.
-  transport_->send_to(server_transport_slot_,
-                      request(kind, subject_id, sent_at, correlation),
-                      net::Mechanism::kOverhead);
+  net::Message msg = request(kind, subject_id, sent_at, correlation);
+  msg.protocol_epoch = protocol_epoch;
+  transport_->send_to(server_transport_slot_, msg, net::Mechanism::kOverhead);
+  if (protocol_on_) {
+    // An event-driven send only schedules — no delivery can have touched
+    // pending_ — so the parked entry is still at the back.
+    DELTA_DCHECK(pending_.back().correlation == correlation);
+    arm_deadline(pending_.back());
+  }
   return correlation;
 }
 
 Bytes CacheNode::request_and_wait(net::MessageKind kind,
                                   std::int64_t subject_id, EventTime sent_at,
-                                  net::MessageKind expected_reply) {
+                                  net::MessageKind expected_reply,
+                                  std::int64_t protocol_epoch) {
   // Stack locals as the completion destination: reentrancy-safe (a nested
   // sync call during an event-queue pump gets its own pair) and free of
   // std::function construction on the replay hot path.
   bool done = false;
   Bytes reply_payload{};
   const std::int64_t correlation = next_correlation_++;
-  pending_.push_back(
-      Pending{correlation, expected_reply, Completion{}, &done,
-              &reply_payload});
+  Pending pending;
+  pending.correlation = correlation;
+  pending.expected_reply = expected_reply;
+  pending.sync_done = &done;
+  pending.sync_payload = &reply_payload;
+  pending.kind = kind;
+  pending.subject_id = subject_id;
+  pending.sent_at = sent_at;
+  pending.protocol_epoch = protocol_epoch;
+  pending_.push_back(std::move(pending));
   // send_call, not send_to: we block on the reply below, which lets an
   // event-driven transport run the whole round trip on its inline fast
   // path when nothing else is due first. The prebuilt request is safe to
@@ -83,6 +107,7 @@ Bytes CacheNode::request_and_wait(net::MessageKind kind,
   msg.subject_id = subject_id;
   msg.sent_at = sent_at;
   msg.correlation_id = correlation;
+  msg.protocol_epoch = protocol_epoch;
   transport_->send_call(server_transport_slot_, msg,
                         net::Mechanism::kOverhead);
   if (transport_inline_) {
@@ -90,15 +115,178 @@ Bytes CacheNode::request_and_wait(net::MessageKind kind,
     DELTA_CHECK_MSG(done, "request did not complete inline on a "
                           "synchronous transport");
   } else if (!done) {
+    if (protocol_on_) {
+      // The round trip did not complete inside the send, so no delivery
+      // ran and the parked entry is still at the back — arm its deadline
+      // before blocking (the wait's pump is what fires it).
+      DELTA_DCHECK(pending_.back().correlation == correlation);
+      arm_deadline(pending_.back());
+    }
     transport_->wait_until(
         [](void* flag) { return *static_cast<bool*>(flag); }, &done);
   }
   return reply_payload;
 }
 
+void CacheNode::set_protocol(const ProtocolOptions& options) {
+  protocol_ = options;
+  events_ = transport_->events();
+  protocol_on_ = protocol_.enabled && !transport_inline_ && events_ != nullptr;
+  if (!protocol_on_) return;
+  applied_.assign(trace_->updates.size(), 0);
+  reg_gen_.assign(server_->object_count(), 0);
+  notice_stamp_high_ = 0;
+}
+
+void CacheNode::finish(Pending& done, Bytes payload) {
+  if (done.sync_done != nullptr) {
+    *done.sync_done = true;
+    *done.sync_payload = payload;
+  } else {
+    done.complete(payload);
+  }
+}
+
+double CacheNode::deadline_delay(std::int32_t attempt,
+                                 std::int64_t correlation) const {
+  double delay = protocol_.timeout_seconds;
+  for (std::int32_t i = 1; i < attempt; ++i) {
+    delay = std::min(delay * protocol_.backoff_factor,
+                     protocol_.max_timeout_seconds);
+  }
+  // Deterministic jitter in [-f, +f): a pure function of (seed,
+  // correlation, attempt), so retry instants desynchronize across requests
+  // without admitting any run-order dependence.
+  const std::uint64_t mixed = net::fault_mix64(
+      protocol_.seed ^
+      (static_cast<std::uint64_t>(correlation) * 0x9e3779b97f4a7c15ULL) ^
+      static_cast<std::uint64_t>(attempt));
+  return delay *
+         (1.0 + protocol_.jitter_fraction * (2.0 * net::fault_u01(mixed) - 1.0));
+}
+
+void CacheNode::arm_deadline(Pending& p) {
+  p.deadline = events_->schedule_cancellable(
+      events_->now() + deadline_delay(p.attempts, p.correlation),
+      &CacheNode::on_deadline, this,
+      static_cast<std::uint64_t>(p.correlation));
+}
+
+void CacheNode::on_deadline(void* self, std::uint64_t correlation) {
+  static_cast<CacheNode*>(self)->handle_deadline(
+      static_cast<std::int64_t>(correlation));
+}
+
+void CacheNode::handle_deadline(std::int64_t correlation) {
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    Pending& p = pending_[i];
+    if (p.correlation != correlation) continue;
+    ++stats_.timeouts;
+    note_failure();
+    if (!retries_forever(p.expected_reply) &&
+        p.attempts >= protocol_.max_attempts) {
+      // Budget exhausted: the request completes empty — accounted as a
+      // failure, never abandoned (every query conserves).
+      ++stats_.failed_requests;
+      Pending done = std::move(p);
+      pending_[i] = std::move(pending_.back());
+      pending_.pop_back();
+      finish(done, Bytes{});
+      return;
+    }
+    ++p.attempts;
+    ++stats_.retries;
+    net::Message msg =
+        request(p.kind, p.subject_id, p.sent_at, correlation);
+    msg.attempt = p.attempts;
+    msg.protocol_epoch = p.protocol_epoch;
+    arm_deadline(p);
+    transport_->send_to(server_transport_slot_, msg,
+                        net::Mechanism::kOverhead);
+    return;
+  }
+  // Unreachable in practice: completing a request cancels its deadline.
+  // A fired deadline for a retired correlation is a harmless no-op.
+}
+
+void CacheNode::note_failure() {
+  ++consecutive_failures_;
+  if (!suspected_ &&
+      consecutive_failures_ >= protocol_.partition_suspect_threshold) {
+    suspected_ = true;
+    suspect_since_ = transport_->now();
+  }
+}
+
+void CacheNode::note_success() {
+  consecutive_failures_ = 0;
+  if (!suspected_) return;
+  // First completed round trip after suspicion: the partition healed.
+  suspected_ = false;
+  stats_.unavailable_seconds += transport_->now() - suspect_since_;
+  if (protocol_.resync_on_heal) start_resync();
+}
+
+void CacheNode::start_resync() {
+  if (resync_inflight_) return;
+  resync_inflight_ = true;
+  ++stats_.resyncs;
+  ++epoch_;
+  // The new epoch rides subject_id; the server replays every notice this
+  // cache has not been replayed before (the missed-invalidations span).
+  send_request(net::MessageKind::kResyncRequest, epoch_, 0,
+               net::MessageKind::kResyncData,
+               [this](Bytes) { resync_inflight_ = false; });
+}
+
+void CacheNode::apply_resync_payload(const net::Message& m) {
+  const double now = transport_->now();
+  const bool stamped =
+      m.batched_ingest_at.size() == m.batched_invalidations.size();
+  for (std::size_t i = 0; i < m.batched_invalidations.size(); ++i) {
+    const std::int64_t id = m.batched_invalidations[i];
+    ++stats_.replayed_notices;
+    // The staleness spike only counts notices the wire really lost (ids
+    // already applied are dedup'd, not stale).
+    if (stamped && applied_[static_cast<std::size_t>(id)] == 0) {
+      stats_.max_recovery_staleness_seconds =
+          std::max(stats_.max_recovery_staleness_seconds,
+                   now - m.batched_ingest_at[i]);
+    }
+    apply_invalidation(id);
+  }
+}
+
+void CacheNode::observe_notice_stamp(const net::Message& m,
+                                     std::int64_t ids) {
+  if (!protocol_on_ || m.notice_ledger < 0) return;
+  // The message covers ledger positions (notice_ledger - ids,
+  // notice_ledger]. A range starting above the high-water mark means the
+  // positions in between never arrived: either the wire lost them (a
+  // partition is invisible to a cache with no request traffic — notices
+  // are one-way) or a reorder let this message overtake them. Resync
+  // either way; the replay is idempotent, so a reorder false-positive
+  // costs one cheap round trip, while a real loss is repaired at the
+  // FIRST post-heal notice instead of waiting for luck to put a request
+  // in flight across the outage.
+  if (m.notice_ledger - ids > notice_stamp_high_) start_resync();
+  notice_stamp_high_ = std::max(notice_stamp_high_, m.notice_ledger);
+}
+
 void CacheNode::apply_invalidation(std::int64_t update_id) {
   const auto idx = static_cast<std::size_t>(update_id);
   DELTA_CHECK(idx < trace_->updates.size());
+  if (protocol_on_) {
+    // Applied-notice ledger: a fault-duplicated delivery, or a resync
+    // replay of a notice that did arrive, must not double-run the policy's
+    // invalidation handler (VCover counts pending updates per notice).
+    if (applied_[idx] != 0) {
+      ++stats_.duplicate_notices;
+      return;
+    }
+    applied_[idx] = 1;
+    ++stats_.notices_applied;
+  }
   if (!invalidation_handler_) return;
   // Re-entrancy flattening: a handler that performs a blocking round trip
   // (Replica/SOptimal refresh their replicas with ship_update) pumps the
@@ -125,6 +313,8 @@ void CacheNode::apply_invalidation(std::int64_t update_id) {
 void CacheNode::handle_message(const net::Message& m) {
   switch (m.kind) {
     case net::MessageKind::kInvalidation: {
+      observe_notice_stamp(
+          m, 1 + static_cast<std::int64_t>(m.batched_invalidations.size()));
       apply_invalidation(m.subject_id);
       // Congestion batching: further notices merged into this message, in
       // server ingest order.
@@ -135,29 +325,53 @@ void CacheNode::handle_message(const net::Message& m) {
     }
     case net::MessageKind::kQueryResult:
     case net::MessageKind::kUpdateShip:
-    case net::MessageKind::kLoadData: {
-      // Notices piggybacked on the reply are older than the reply itself —
-      // apply them before releasing the request's completion.
-      for (const std::int64_t id : m.batched_invalidations) {
-        apply_invalidation(id);
+    case net::MessageKind::kLoadData:
+    case net::MessageKind::kQueryReject:
+    case net::MessageKind::kResyncData: {
+      if (m.kind == net::MessageKind::kResyncData) {
+        // Replayed notices carry their ingest instants — the recovery
+        // staleness spike is measured before the ledger absorbs them.
+        apply_resync_payload(m);
+      } else {
+        // Notices piggybacked on the reply are older than the reply itself
+        // — apply them before releasing the request's completion.
+        observe_notice_stamp(
+            m, static_cast<std::int64_t>(m.batched_invalidations.size()));
+        for (const std::int64_t id : m.batched_invalidations) {
+          apply_invalidation(id);
+        }
       }
       for (std::size_t i = 0; i < pending_.size(); ++i) {
         if (pending_[i].correlation != m.correlation_id) continue;
-        DELTA_CHECK_MSG(pending_[i].expected_reply == m.kind,
-                        "reply kind " << net::to_string(m.kind)
-                                      << " does not match the pending "
-                                         "request's expectation");
-        // Detach before completing: the completion may issue new requests
-        // (mutating pending_).
+        if (m.kind == net::MessageKind::kQueryReject) {
+          // The server shed the query: the empty reject completes the
+          // request (accounted, not lost).
+          DELTA_CHECK_MSG(pending_[i].expected_reply ==
+                              net::MessageKind::kQueryResult,
+                          "kQueryReject answers only query requests");
+          ++stats_.shed_replies;
+        } else {
+          DELTA_CHECK_MSG(pending_[i].expected_reply == m.kind,
+                          "reply kind " << net::to_string(m.kind)
+                                        << " does not match the pending "
+                                           "request's expectation");
+        }
+        // Detach before completing: the completion (or the resync a healed
+        // partition triggers) may issue new requests (mutating pending_).
         Pending done = std::move(pending_[i]);
         pending_[i] = std::move(pending_.back());
         pending_.pop_back();
-        if (done.sync_done != nullptr) {
-          *done.sync_done = true;
-          *done.sync_payload = m.payload;
-        } else {
-          done.complete(m.payload);
+        if (protocol_on_) {
+          events_->cancel(done.deadline);
+          note_success();
         }
+        finish(done, m.payload);
+        return;
+      }
+      if (protocol_on_) {
+        // The request was retired before this reply landed: it timed out
+        // past its budget, or an earlier attempt's reply won the race.
+        ++stats_.late_replies;
         return;
       }
       DELTA_CHECK_MSG(false, "reply with unknown correlation id "
@@ -192,8 +406,12 @@ void CacheNode::ship_update_async(const workload::Update& u,
 }
 
 void CacheNode::load_object_async(ObjectId o, Completion complete) {
+  std::int64_t generation = -1;
+  if (protocol_on_) {
+    generation = ++reg_gen_[static_cast<std::size_t>(o.value())];
+  }
   send_request(net::MessageKind::kLoadRequest, o.value(), 0,
-               net::MessageKind::kLoadData, std::move(complete));
+               net::MessageKind::kLoadData, std::move(complete), generation);
 }
 
 Bytes CacheNode::ship_query(const workload::Query& q) {
@@ -207,18 +425,30 @@ Bytes CacheNode::ship_update(const workload::Update& u) {
 }
 
 Bytes CacheNode::load_object(ObjectId o) {
+  std::int64_t generation = -1;
+  if (protocol_on_) {
+    generation = ++reg_gen_[static_cast<std::size_t>(o.value())];
+  }
   const Bytes loaded = request_and_wait(net::MessageKind::kLoadRequest,
                                         o.value(), 0,
-                                        net::MessageKind::kLoadData);
-  DELTA_CHECK(is_registered(o));
+                                        net::MessageKind::kLoadData,
+                                        generation);
+  // Under the hardened protocol a reordered eviction notice can still be
+  // in flight when the load completes — registration is guaranteed by the
+  // generation guard, not instantaneously observable.
+  if (!protocol_on_) DELTA_CHECK(is_registered(o));
   return loaded;
 }
 
 void CacheNode::notify_eviction(ObjectId o) {
-  transport_->send_to(server_transport_slot_,
-                      request(net::MessageKind::kInvalidation, o.value(), 0,
-                              /*correlation=*/-1),
-                      net::Mechanism::kOverhead);
+  net::Message msg = request(net::MessageKind::kInvalidation, o.value(), 0,
+                             /*correlation=*/-1);
+  if (protocol_on_) {
+    // Stamp the generation of the registration being dropped: the server
+    // ignores this notice if a newer load re-registered the object first.
+    msg.protocol_epoch = reg_gen_[static_cast<std::size_t>(o.value())];
+  }
+  transport_->send_to(server_transport_slot_, msg, net::Mechanism::kOverhead);
   // The notice is unacknowledged; only a synchronous transport has
   // necessarily applied it by the time the send returns.
   if (transport_inline_) DELTA_CHECK(!is_registered(o));

@@ -31,8 +31,10 @@
 #include <string>
 #include <vector>
 
+#include "core/protocol.h"
 #include "core/server_node.h"
 #include "net/transport.h"
+#include "util/event_queue.h"
 #include "util/types.h"
 #include "workload/trace.h"
 
@@ -93,6 +95,25 @@ class CacheNode {
     return pending_.size();
   }
 
+  // ---- protocol hardening (ISSUE 8) ----
+
+  /// Arms the client side of the hardened protocol: per-request deadlines
+  /// on the transport's event queue, timeout -> retry with exponential
+  /// backoff + deterministic jitter + a bounded attempt budget, the
+  /// applied-notice dedup ledger, partition suspicion, and epoch resync on
+  /// heal. Effective only over an event-driven transport (deadlines need a
+  /// simulated clock); on a synchronous transport the options are inert.
+  void set_protocol(const ProtocolOptions& options);
+  [[nodiscard]] const ProtocolStats& protocol_stats() const { return stats_; }
+  /// True when set_protocol actually armed (enabled + event-driven).
+  [[nodiscard]] bool protocol_armed() const { return protocol_on_; }
+  /// Serialization backlog on this cache's uplink to the server — the
+  /// pressure signal the policy-side degrade path gates on.
+  [[nodiscard]] double uplink_backlog_seconds() const {
+    return transport_->egress_backlog_seconds(transport_slot_,
+                                              server_transport_slot_);
+  }
+
   /// True when the transport delivers inline (cached at construction).
   /// Policies use this to tell a protocol violation from a legitimately
   /// stale coherence notice: over an event-driven transport an eviction
@@ -136,6 +157,13 @@ class CacheNode {
     Completion complete;            // async path; empty for sync requests
     bool* sync_done = nullptr;      // sync path: completion flag ...
     Bytes* sync_payload = nullptr;  // ... and reply-payload destination
+    // Retransmission state (protocol on): enough to rebuild the request.
+    net::MessageKind kind = net::MessageKind::kControl;
+    std::int64_t subject_id = -1;
+    EventTime sent_at = 0;
+    std::int64_t protocol_epoch = -1;
+    std::int32_t attempts = 1;
+    util::EventQueue::TimerId deadline;
   };
 
   const workload::Trace* trace_;
@@ -162,6 +190,31 @@ class CacheNode {
   std::size_t pending_invalidation_cursor_ = 0;
   bool in_invalidation_handler_ = false;
 
+  ProtocolOptions protocol_;
+  /// enabled AND the transport is event-driven (deadlines need a clock).
+  bool protocol_on_ = false;
+  util::EventQueue* events_ = nullptr;
+  ProtocolStats stats_;
+  /// Partition detector: consecutive request timeouts raise suspicion; the
+  /// first completed reply afterwards closes the unavailability window and
+  /// (resync_on_heal) triggers an epoch resync.
+  std::int32_t consecutive_failures_ = 0;
+  bool suspected_ = false;
+  double suspect_since_ = 0.0;
+  std::int64_t epoch_ = 0;
+  bool resync_inflight_ = false;
+  /// Gap detector over the server's stamped notice stream: highest ledger
+  /// position seen. A live notice whose stamped range starts above this
+  /// mark proves the wire lost notices in between — the only signal a
+  /// quiet cache gets that a partition silently ate its one-way stream.
+  std::int64_t notice_stamp_high_ = 0;
+  /// Applied-notice ledger by update id: duplicate deliveries and resync
+  /// replays of a notice that did arrive are applied exactly once.
+  std::vector<std::uint8_t> applied_;
+  /// Per-object registration generation, stamped into load requests and
+  /// eviction notices (see ServerNode reg_epoch).
+  std::vector<std::int64_t> reg_gen_;
+
   [[nodiscard]] net::Message request(net::MessageKind kind,
                                      std::int64_t subject_id,
                                      EventTime sent_at,
@@ -171,15 +224,37 @@ class CacheNode {
   std::int64_t send_request(net::MessageKind kind, std::int64_t subject_id,
                             EventTime sent_at,
                             net::MessageKind expected_reply,
-                            Completion complete);
+                            Completion complete,
+                            std::int64_t protocol_epoch = -1);
   /// Sync façade core: sends the request and waits for its reply.
   Bytes request_and_wait(net::MessageKind kind, std::int64_t subject_id,
                          EventTime sent_at,
-                         net::MessageKind expected_reply);
+                         net::MessageKind expected_reply,
+                         std::int64_t protocol_epoch = -1);
   void handle_message(const net::Message& m);
   /// Resolves one invalidation notice (an update id) against the shared
   /// trace and runs the policy's invalidation handler.
   void apply_invalidation(std::int64_t update_id);
+  void observe_notice_stamp(const net::Message& m, std::int64_t ids);
+
+  /// Releases a detached pending entry with the reply's payload.
+  static void finish(Pending& done, Bytes payload);
+  [[nodiscard]] double deadline_delay(std::int32_t attempt,
+                                      std::int64_t correlation) const;
+  void arm_deadline(Pending& p);
+  static void on_deadline(void* self, std::uint64_t correlation);
+  void handle_deadline(std::int64_t correlation);
+  /// True for requests whose loss would diverge durable state (loads keep
+  /// the server registration table in step, resync closes the staleness
+  /// hole) — these retry past the attempt budget, bounded by heal time.
+  [[nodiscard]] static bool retries_forever(net::MessageKind expected_reply) {
+    return expected_reply == net::MessageKind::kLoadData ||
+           expected_reply == net::MessageKind::kResyncData;
+  }
+  void note_success();
+  void note_failure();
+  void start_resync();
+  void apply_resync_payload(const net::Message& m);
 };
 
 }  // namespace delta::core

@@ -7,6 +7,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/protocol.h"
 #include "util/types.h"
 #include "workload/events.h"
 
@@ -65,6 +66,26 @@ class CachePolicy {
   virtual void on_query_async(const workload::Query& q, QueryDone done) {
     done(on_query(q));
   }
+
+  /// Open-loop engines keep many queries in flight per cache; a policy
+  /// whose invalidation handler does a blocking refresh per notice would
+  /// serialize the entire arrival drive behind one round trip (and, under
+  /// a partition, behind one retry ladder). Policies that can ship their
+  /// refresh traffic through the *_async API switch here; the default
+  /// ignores it (handlers that are already non-blocking, or whose
+  /// blocking refresh is the modeled behavior).
+  virtual void set_nonblocking_invalidations(bool on) { (void)on; }
+
+  /// Arms the policy-side overload path: under uplink pressure a policy
+  /// may serve a degraded (stale-but-within-tolerance) answer instead of
+  /// adding load to a congested server. Default: ignored — most policies
+  /// have no degraded mode.
+  virtual void set_admission(const AdmissionOptions& options) {
+    (void)options;
+  }
+  /// Queries answered degraded under overload (0 for policies without a
+  /// degraded mode).
+  [[nodiscard]] virtual std::int64_t degraded_queries() const { return 0; }
 
   [[nodiscard]] virtual const char* name() const = 0;
 };

@@ -1,5 +1,7 @@
 #include "core/server_node.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace delta::core {
@@ -34,7 +36,49 @@ std::size_t ServerNode::attach_cache(const std::string& cache_name,
   entry.registered.assign(object_bytes_.size(), 0);
   caches_.push_back(std::move(entry));
   slot_by_name_.emplace(cache_name, slot);
+  if (protocol_.enabled) {
+    CacheEntry& attached = caches_.back();
+    attached.recent_requests.assign(
+        static_cast<std::size_t>(
+            std::max<std::int32_t>(1, protocol_.dedup_window)),
+        ~std::uint64_t{0});
+    attached.reg_epoch.assign(object_bytes_.size(), 0);
+  }
   return slot;
+}
+
+void ServerNode::set_protocol(const ProtocolOptions& options) {
+  protocol_ = options;
+  if (!protocol_.enabled) return;
+  for (CacheEntry& cache : caches_) {
+    cache.recent_requests.assign(
+        static_cast<std::size_t>(
+            std::max<std::int32_t>(1, protocol_.dedup_window)),
+        ~std::uint64_t{0});
+    cache.recent_next = 0;
+    cache.reg_epoch.assign(object_bytes_.size(), 0);
+  }
+}
+
+bool ServerNode::is_duplicate_request(CacheEntry& cache,
+                                      const net::Message& m) {
+  // (correlation, attempt) keys the window: a duplicated delivery of the
+  // same attempt is suppressed, while a genuine retransmission (attempt+1,
+  // sent because the reply was lost) keys fresh and is answered again.
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(m.correlation_id) << 8) ^
+      static_cast<std::uint64_t>(m.attempt);
+  for (const std::uint64_t seen : cache.recent_requests) {
+    if (seen == key) return true;
+  }
+  cache.recent_requests[cache.recent_next] = key;
+  cache.recent_next = (cache.recent_next + 1) % cache.recent_requests.size();
+  return false;
+}
+
+std::int64_t ServerNode::notices_logged(std::size_t cache_slot) const {
+  DELTA_CHECK(cache_slot < caches_.size());
+  return static_cast<std::int64_t>(caches_[cache_slot].notice_log.size());
 }
 
 void ServerNode::set_subscription(std::size_t cache_slot,
@@ -67,6 +111,14 @@ ServerNode::CacheEntry& ServerNode::sender_entry(const net::Message& m) {
 }
 
 void ServerNode::handle_message(const net::Message& m) {
+  // Correlated requests pass the dedup window first: a fault-duplicated
+  // delivery (or a retransmit whose original did arrive) must be handled
+  // exactly once — the reply to the first delivery is, or was, on the wire.
+  if (protocol_.enabled && m.correlation_id >= 0 &&
+      is_duplicate_request(sender_entry(m), m)) {
+    ++duplicates_suppressed_;
+    return;
+  }
   // The server answers requests with data-bearing replies addressed to the
   // requesting cache endpoint. The prebuilt reply is safe to reuse per
   // request: the transport parks a copy or delivers it before returning.
@@ -78,10 +130,24 @@ void ServerNode::handle_message(const net::Message& m) {
   reply.correlation_id = m.correlation_id;
   switch (m.kind) {
     case net::MessageKind::kQueryRequest: {
+      CacheEntry& cache = sender_entry(m);
+      if (admission_.enabled &&
+          transport_->egress_backlog_seconds(transport_slot_,
+                                             cache.transport_slot) >
+              admission_.shed_backlog_seconds) {
+        // Overloaded reply link: shed instead of queueing another result
+        // behind a multi-second backlog. The tiny reject still completes
+        // the cache's request (accounted, not lost).
+        ++shed_queries_;
+        reply.kind = net::MessageKind::kQueryReject;
+        reply.payload = Bytes{};
+        send_reply(cache, reply, net::Mechanism::kOverhead);
+        break;
+      }
       const auto& q = trace_->queries[static_cast<std::size_t>(m.subject_id)];
       reply.kind = net::MessageKind::kQueryResult;
       reply.payload = q.cost;
-      send_reply(sender_entry(m), reply, net::Mechanism::kQueryShip);
+      send_reply(cache, reply, net::Mechanism::kQueryShip);
       break;
     }
     case net::MessageKind::kControl: {
@@ -98,6 +164,10 @@ void ServerNode::handle_message(const net::Message& m) {
       reply.kind = net::MessageKind::kLoadData;
       reply.payload = object_bytes_[idx] + kLoadOverheadBytes;
       cache.registered[idx] = 1;
+      if (protocol_.enabled && m.protocol_epoch >= 0) {
+        cache.reg_epoch[idx] =
+            std::max(cache.reg_epoch[idx], m.protocol_epoch);
+      }
       send_reply(cache, reply, net::Mechanism::kObjectLoad);
       break;
     }
@@ -105,12 +175,60 @@ void ServerNode::handle_message(const net::Message& m) {
       // Cache -> server: eviction notice (re-using the kind for the
       // reverse coherence direction).
       const auto idx = checked(ObjectId{m.subject_id});
-      sender_entry(m).registered[idx] = 0;
+      CacheEntry& cache = sender_entry(m);
+      if (protocol_.enabled && m.protocol_epoch >= 0 &&
+          m.protocol_epoch < cache.reg_epoch[idx]) {
+        // A reorder fault delivered this eviction after the load that
+        // re-registered the object; honoring it would silence future
+        // invalidations for a resident object.
+        break;
+      }
+      cache.registered[idx] = 0;
+      break;
+    }
+    case net::MessageKind::kResyncRequest: {
+      DELTA_CHECK_MSG(protocol_.enabled,
+                      "resync request without the protocol layer armed");
+      serve_resync(sender_entry(m), m);
       break;
     }
     default:
       DELTA_CHECK_MSG(false, "server received unexpected message kind");
   }
+}
+
+void ServerNode::serve_resync(CacheEntry& cache, const net::Message& m) {
+  const std::int64_t epoch = m.subject_id;
+  if (epoch > cache.resync_epoch) {
+    // New epoch: snapshot the span of notices the cache has never been
+    // replayed. A retransmit (same epoch, lost reply) or a reordered stale
+    // request replays the SAME span — serving resync is idempotent.
+    cache.resync_epoch = epoch;
+    cache.replay_from = cache.next_resync_from;
+    cache.replay_to = cache.notice_log.size();
+    cache.next_resync_from = cache.replay_to;
+  }
+  ++resyncs_served_;
+  net::Message& reply = reply_template_;
+  reply.kind = net::MessageKind::kResyncData;
+  reply.payload = Bytes{};
+  reply.batched_invalidations.assign(
+      cache.notice_log.begin() + static_cast<std::ptrdiff_t>(cache.replay_from),
+      cache.notice_log.begin() + static_cast<std::ptrdiff_t>(cache.replay_to));
+  reply.batched_ingest_at.assign(
+      cache.notice_ingest.begin() +
+          static_cast<std::ptrdiff_t>(cache.replay_from),
+      cache.notice_ingest.begin() +
+          static_cast<std::ptrdiff_t>(cache.replay_to));
+  reply.batch_bytes =
+      net::kBatchedNoticeBytes *
+      static_cast<std::int64_t>(cache.replay_to - cache.replay_from);
+  // Recovery traffic is pure overhead — never figure traffic — and must
+  // not piggyback pending notices (send_reply would overwrite the replay).
+  transport_->send_to(cache.transport_slot, reply, net::Mechanism::kOverhead);
+  reply.batched_invalidations.clear();
+  reply.batched_ingest_at.clear();
+  reply.batch_bytes = Bytes{};
 }
 
 void ServerNode::ingest_update(const workload::Update& u) {
@@ -143,6 +261,15 @@ void ServerNode::apply_update(const workload::Update& u) {
         (cache.subscription == MetadataSubscription::kRegisteredOnly &&
          cache.registered[idx] != 0);
     if (!notify) continue;
+    // Ledger + ingest stamp (protocol on): the log is the epoch-resync
+    // replay source and the convergence yardstick's "notices owed" side;
+    // the stamp lets the staleness observer date every notice even when it
+    // later rides a batch or a resync replay.
+    const double ingest = protocol_.enabled ? transport_->now() : 0.0;
+    if (protocol_.enabled) {
+      cache.notice_log.push_back(u.id.value());
+      cache.notice_ingest.push_back(ingest);
+    }
     if (!batching_.enabled) {
       net::Message msg;
       msg.kind = net::MessageKind::kInvalidation;
@@ -150,6 +277,14 @@ void ServerNode::apply_update(const workload::Update& u) {
       msg.sent_at = u.time;
       msg.sender = name_;
       msg.sender_transport_slot = static_cast<std::int32_t>(transport_slot_);
+      if (protocol_.enabled) {
+        msg.subject_ingest_at = ingest;
+        // Ledger stamp: this notice is position notice_log.size() of the
+        // cache's stream (just pushed above) — the cache's gap detector
+        // turns a missing predecessor into an immediate resync.
+        msg.notice_ledger =
+            static_cast<std::int64_t>(cache.notice_log.size());
+      }
       ++notice_messages_;
       transport_->send_to(cache.transport_slot, msg,
                           net::Mechanism::kOverhead);
@@ -157,6 +292,7 @@ void ServerNode::apply_update(const workload::Update& u) {
     }
     if (cache.pending_notices.empty()) cache.pending_first_sent_at = u.time;
     cache.pending_notices.push_back(u.id.value());
+    if (protocol_.enabled) cache.pending_notice_ingest.push_back(ingest);
     // Hold the notice only while this cache's egress link is congested;
     // otherwise flush immediately — a single-id flush emits a message
     // byte-identical to the unbatched path, so batching changes nothing
@@ -186,6 +322,19 @@ void ServerNode::flush_cache_notices(CacheEntry& cache) {
         net::kBatchedNoticeBytes * static_cast<std::int64_t>(n - 1);
     coalesced_notices_ += static_cast<std::int64_t>(n - 1);
   }
+  if (!cache.pending_notice_ingest.empty()) {
+    msg.subject_ingest_at = cache.pending_notice_ingest.front();
+    if (n > 1) {
+      msg.batched_ingest_at.assign(cache.pending_notice_ingest.begin() + 1,
+                                   cache.pending_notice_ingest.end());
+    }
+    cache.pending_notice_ingest.clear();
+  }
+  if (protocol_.enabled) {
+    // The pending ids are exactly the ledger's tail, so the batch covers
+    // positions (size - n, size] of the cache's notice stream.
+    msg.notice_ledger = static_cast<std::int64_t>(cache.notice_log.size());
+  }
   cache.pending_notices.clear();
   ++notice_messages_;
   transport_->send_to(cache.transport_slot, msg, net::Mechanism::kOverhead);
@@ -203,16 +352,28 @@ void ServerNode::send_reply(CacheEntry& cache, net::Message& reply,
     // its serialization) instead of paying their own message.
     reply.batched_invalidations = std::move(cache.pending_notices);
     cache.pending_notices.clear();
+    if (!cache.pending_notice_ingest.empty()) {
+      reply.batched_ingest_at = std::move(cache.pending_notice_ingest);
+      cache.pending_notice_ingest.clear();
+    }
     reply.batch_bytes =
         net::kBatchedNoticeBytes *
         static_cast<std::int64_t>(reply.batched_invalidations.size());
     coalesced_notices_ +=
         static_cast<std::int64_t>(reply.batched_invalidations.size());
+    if (protocol_.enabled) {
+      // Piggybacked ids are the ledger tail too — stamp so the cache's
+      // gap detector sees one contiguous stream across both carriers.
+      reply.notice_ledger =
+          static_cast<std::int64_t>(cache.notice_log.size());
+    }
     transport_->send_to(cache.transport_slot, reply, mechanism);
     // The reply template is reused across requests — the batch fields must
     // not leak into the next reply.
     reply.batched_invalidations.clear();
+    reply.batched_ingest_at.clear();
     reply.batch_bytes = Bytes{};
+    reply.notice_ledger = -1;
     return;
   }
   transport_->send_to(cache.transport_slot, reply, mechanism);

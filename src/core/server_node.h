@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/protocol.h"
 #include "net/transport.h"
 #include "util/types.h"
 #include "workload/trace.h"
@@ -95,6 +96,29 @@ class ServerNode {
   /// zero times instead of N times per update.
   void ingest_update_at(std::int64_t update_index);
 
+  // ---- protocol hardening & admission control (ISSUE 8) ----
+
+  /// Arms the server side of the hardened protocol: the per-cache
+  /// (correlation, attempt) dedup ring, notice ingest stamping, the
+  /// per-cache notice log that backs epoch resync, and the per-object
+  /// registration generations that make reordered eviction notices safe.
+  /// Every behavior gates on options.enabled — the default-constructed
+  /// options leave the node byte-identical to the pre-protocol build.
+  void set_protocol(const ProtocolOptions& options);
+  /// Arms shedding: overloaded kQueryRequests are answered kQueryReject.
+  void set_admission(const AdmissionOptions& options) { admission_ = options; }
+
+  /// Total invalidation notices ever destined to `cache_slot` (logged
+  /// whether the wire delivered them or not). With the cache's dedup
+  /// accounting this pins the convergence invariant: after heal + resync,
+  /// notices_logged == the cache's distinct applied notices.
+  [[nodiscard]] std::int64_t notices_logged(std::size_t cache_slot) const;
+  [[nodiscard]] std::int64_t shed_queries() const { return shed_queries_; }
+  [[nodiscard]] std::int64_t duplicates_suppressed() const {
+    return duplicates_suppressed_;
+  }
+  [[nodiscard]] std::int64_t resyncs_served() const { return resyncs_served_; }
+
   // ---- congestion batching of invalidation notices ----
 
   void set_notice_batching(const NoticeBatchingOptions& options) {
@@ -133,6 +157,26 @@ class ServerNode {
     std::vector<std::int64_t> pending_notices;
     /// sent_at for a merged flush: the first pending update's trace time.
     EventTime pending_first_sent_at = 0;
+    /// Ingest instants parallel to pending_notices (protocol on only).
+    std::vector<double> pending_notice_ingest;
+    /// Dedup ring of recent (correlation << 8) ^ attempt keys.
+    std::vector<std::uint64_t> recent_requests;
+    std::size_t recent_next = 0;
+    /// Every notice destined to this cache, in send order (protocol on):
+    /// the replay source for epoch resync and the convergence ledger.
+    std::vector<std::int64_t> notice_log;
+    std::vector<double> notice_ingest;
+    /// Epoch-resync bookkeeping. A NEW epoch snapshots the unreplayed span
+    /// [next_resync_from, log end); a retransmitted (or reordered stale)
+    /// kResyncRequest replays the SAME recorded span — retry-idempotent.
+    std::int64_t resync_epoch = -1;
+    std::size_t replay_from = 0;
+    std::size_t replay_to = 0;
+    std::size_t next_resync_from = 0;
+    /// Per-object registration generation (protocol on): a reordered
+    /// eviction notice carrying an older generation than the load that
+    /// re-registered the object must not deregister it.
+    std::vector<std::int64_t> reg_epoch;
   };
 
   const workload::Trace* trace_;
@@ -150,6 +194,12 @@ class ServerNode {
   std::int64_t coalesced_notices_ = 0;
   std::int64_t notice_messages_ = 0;
 
+  ProtocolOptions protocol_;
+  AdmissionOptions admission_;
+  std::int64_t shed_queries_ = 0;
+  std::int64_t duplicates_suppressed_ = 0;
+  std::int64_t resyncs_served_ = 0;
+
   [[nodiscard]] std::size_t checked(ObjectId o) const;
   [[nodiscard]] CacheEntry& sender_entry(const net::Message& m);
   void handle_message(const net::Message& m);
@@ -160,6 +210,11 @@ class ServerNode {
                   net::Mechanism mechanism);
   /// Merges `cache`'s pending notices into one kInvalidation and sends it.
   void flush_cache_notices(CacheEntry& cache);
+  /// True (and the key remembered) when this correlated delivery was
+  /// already handled — a server-side retransmit/duplicate filter.
+  [[nodiscard]] bool is_duplicate_request(CacheEntry& cache,
+                                          const net::Message& m);
+  void serve_resync(CacheEntry& cache, const net::Message& m);
 };
 
 }  // namespace delta::core

@@ -21,6 +21,19 @@ bool UpdateManager::is_stale(ObjectId o) const {
   return groups_.contains(o);
 }
 
+EventTime UpdateManager::oldest_outstanding(ObjectId o) const {
+  EventTime oldest = kNoOutstanding;
+  const auto* pend = pending_.find(o);
+  if (pend != nullptr && !pend->empty()) {
+    oldest = pend->front()->time;  // arrival order: front is oldest
+  }
+  const auto* group = groups_.find(o);
+  if (group != nullptr) {
+    oldest = std::min(oldest, (*group)->min_time);
+  }
+  return oldest;
+}
+
 void UpdateManager::forget_signature(QueryNode node) {
   Signature* sig = node_to_sig_.find(node.index);
   if (sig == nullptr) return;

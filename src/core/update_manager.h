@@ -30,6 +30,7 @@
 //    groups are removed, merging again on collision.
 #pragma once
 
+#include <limits>
 #include <map>
 #include <memory>
 #include <vector>
@@ -50,6 +51,13 @@ class UpdateManager {
 
   /// True when the object has at least one outstanding update (is stale).
   [[nodiscard]] bool is_stale(ObjectId o) const;
+
+  /// Arrival time of the object's OLDEST outstanding update, or
+  /// `kNoOutstanding` when none — how stale a degraded answer for this
+  /// object would be (the admission controller's within-tolerance check).
+  [[nodiscard]] EventTime oldest_outstanding(ObjectId o) const;
+  static constexpr EventTime kNoOutstanding =
+      std::numeric_limits<EventTime>::max();
 
   /// Drops all bookkeeping for an object (evicted, or re-loaded so its
   /// outstanding updates are folded into the load).

@@ -127,6 +127,18 @@ void VCoverPolicy::dispatch_query(const workload::Query& q,
   }
 
   if (missing_.empty()) {
+    if (admission_.enabled && can_degrade(q)) {
+      // Overload degradation: the cached data already satisfies t(q) —
+      // answer as-is instead of pushing cover traffic onto a congested
+      // uplink. kCacheFresh because the answer IS within tolerance.
+      outcome.path = QueryOutcome::Path::kCacheFresh;
+      ++degraded_queries_;
+      ++cache_answers_;
+      for (const ObjectId o : q.objects) {
+        evictor_->on_access(o);
+      }
+      return;
+    }
     // All objects cached: UpdateManager chooses between shipping the query
     // and shipping its interacting updates (Fig. 4).
     const UpdateManager::Decision& decision = update_manager_.decide(q);
@@ -180,6 +192,24 @@ void VCoverPolicy::dispatch_query(const workload::Query& q,
       }
     }
   }
+}
+
+bool VCoverPolicy::can_degrade(const workload::Query& q) const {
+  const bool pressure =
+      system_->uplink_backlog_seconds() > admission_.degrade_backlog_seconds ||
+      (admission_.degrade_in_flight > 0 &&
+       static_cast<std::int64_t>(system_->pending_requests()) >=
+           admission_.degrade_in_flight);
+  if (!pressure) return false;
+  // t(q) semantics: the answer may omit updates newer than
+  // q.time - tolerance. Degrading is valid only when EVERY outstanding
+  // update on the query's objects is omittable (plus configured slack).
+  const EventTime horizon =
+      q.time - q.staleness_tolerance - admission_.degrade_extra_tolerance;
+  for (const ObjectId o : q.objects) {
+    if (update_manager_.oldest_outstanding(o) <= horizon) return false;
+  }
+  return true;
 }
 
 QueryOutcome VCoverPolicy::on_query(const workload::Query& q) {

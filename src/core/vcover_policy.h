@@ -52,6 +52,17 @@ class VCoverPolicy final : public CachePolicy {
   void on_update(const workload::Update& u) override;
   QueryOutcome on_query(const workload::Query& q) override;
   void on_query_async(const workload::Query& q, QueryDone done) override;
+  /// Overload degradation (ISSUE 8): under uplink pressure an all-cached
+  /// query whose outstanding updates are ALL newer than its t(q) horizon
+  /// is answered from the cache as-is — stale-but-within-tolerance — and
+  /// skips the cover computation entirely (no update shipping, no server
+  /// round trip competes with the backlog).
+  void set_admission(const AdmissionOptions& options) override {
+    admission_ = options;
+  }
+  [[nodiscard]] std::int64_t degraded_queries() const override {
+    return degraded_queries_;
+  }
   [[nodiscard]] const char* name() const override { return "VCover"; }
 
   // ---- introspection for tests / ablation benches ----
@@ -89,11 +100,16 @@ class VCoverPolicy final : public CachePolicy {
   std::int64_t evictions_ = 0;
   std::int64_t cache_answers_ = 0;
   std::int64_t preshipped_ = 0;
+  AdmissionOptions admission_;
+  std::int64_t degraded_queries_ = 0;
   std::vector<ChurnEntry> churn_log_;
   EventTime now_ = 0;
 
   void evict_object(ObjectId o);
   void shed_overflow();
+  /// True when overload pressure holds AND a cached answer for `q` (all
+  /// objects resident) is still within its staleness tolerance.
+  [[nodiscard]] bool can_degrade(const workload::Query& q) const;
   /// One dispatch core serves both query entry points; `tx` is the
   /// transmitter the decisions emit traffic through — synchronous
   /// (request_and_wait per call, the closed-loop golden path) or async

@@ -45,7 +45,13 @@ ReplicaPolicy::ReplicaPolicy(CacheNode* system) : system_(system) {
 }
 
 void ReplicaPolicy::on_update(const workload::Update& u) {
-  // Full replica: every update is propagated as soon as it arrives.
+  // Full replica: every update is propagated as soon as it arrives. Open
+  // loop, the refresh goes out fire-and-forget so one slow (or dark) link
+  // can never park the arrival drive behind a blocking round trip.
+  if (async_ship_) {
+    system_->ship_update_async(u, [](Bytes) {});
+    return;
+  }
   system_->ship_update(u);
 }
 

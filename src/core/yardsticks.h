@@ -43,10 +43,12 @@ class ReplicaPolicy final : public CachePolicy {
 
   void on_update(const workload::Update& u) override;
   QueryOutcome on_query(const workload::Query& q) override;
+  void set_nonblocking_invalidations(bool on) override { async_ship_ = on; }
   [[nodiscard]] const char* name() const override { return "Replica"; }
 
  private:
   CacheNode* system_;
+  bool async_ship_ = false;
 };
 
 struct SOptimalOptions {

@@ -48,6 +48,108 @@ void DelayedTransport::grow_link_grid() {
   }
   link_grid_ = std::move(grid);
   grid_cols_ = new_cols;
+  if (faults_active_) {
+    const std::vector<LinkFaultState> old_faults = std::move(fault_grid_);
+    rebuild_fault_grid(old_faults, old_cols);
+  }
+}
+
+void DelayedTransport::set_fault_plan(FaultPlan plan) {
+  plan_ = std::move(plan);
+  faults_active_ = false;
+  if (plan_.enabled) {
+    faults_active_ = plan_.default_faults.any();
+    for (const LinkFaultRule& rule : plan_.rules) {
+      faults_active_ = faults_active_ || rule.faults.any();
+    }
+    for (const LinkPartition& partition : plan_.partitions) {
+      faults_active_ = faults_active_ || !partition.windows.empty();
+    }
+  }
+  rebuild_fault_grid({}, 0);  // a new plan restarts every link's stream
+}
+
+void DelayedTransport::rebuild_fault_grid(
+    const std::vector<LinkFaultState>& old_grid, std::size_t old_cols) {
+  if (!faults_active_) {
+    fault_grid_.clear();
+    return;
+  }
+  fault_grid_.assign((grid_cols_ + 1) * grid_cols_, LinkFaultState{});
+  for (std::size_t row = 0; row < grid_cols_ + 1; ++row) {
+    // Row 0 is the shared external-sender source; a plan addresses it with
+    // an empty endpoint name.
+    static const std::string kExternalName;
+    const std::string& from =
+        row == 0 ? kExternalName : endpoints_[row - 1].name;
+    for (std::size_t col = 0; col < grid_cols_; ++col) {
+      const std::string& to = endpoints_[col].name;
+      LinkFaultState& state = fault_grid_[row * grid_cols_ + col];
+      state.key = fault_link_key(plan_.seed, from, to);
+      state.faults = plan_.default_faults;
+      for (const LinkFaultRule& rule : plan_.rules) {  // last match wins
+        if ((rule.from == from && rule.to == to) ||
+            (rule.duplex && rule.from == to && rule.to == from)) {
+          state.faults = rule.faults;
+        }
+      }
+      for (const LinkPartition& partition : plan_.partitions) {
+        if ((partition.from == from && partition.to == to) ||
+            (partition.duplex && partition.from == to &&
+             partition.to == from)) {
+          state.windows = &partition.windows;
+          break;
+        }
+      }
+    }
+  }
+  // Topology growth preserves every existing link's stream position.
+  for (std::size_t row = 0; row < old_cols + 1; ++row) {
+    for (std::size_t col = 0; col < old_cols; ++col) {
+      fault_grid_[row * grid_cols_ + col].seq =
+          old_grid[row * old_cols + col].seq;
+    }
+  }
+}
+
+DelayedTransport::FaultDecision DelayedTransport::apply_link_faults(
+    std::size_t destination_slot, LinkTiming& timing) {
+  if (!faults_active_) return FaultDecision{};
+  LinkFaultState& state =
+      fault_grid_[link_row(timing.sender_slot) * grid_cols_ +
+                  destination_slot];
+  const std::uint64_t seq = state.seq++;
+  if (state.windows != nullptr) {
+    for (const FaultWindow& window : *state.windows) {
+      if (window.covers(timing.sent_at)) {
+        ++fault_stats_.partition_dropped;
+        return FaultDecision{false, false};
+      }
+    }
+  }
+  if (!state.faults.any()) return FaultDecision{};
+  // The message's private splitmix stream: its fate is a pure function of
+  // (plan seed, link endpoint names, per-link sequence number) — no shared
+  // RNG state, so shard interleaving and thread count cannot touch it.
+  std::uint64_t s = state.key ^ fault_mix64(seq);
+  const auto draw = [&s] {
+    s = fault_mix64(s);
+    return fault_u01(s);
+  };
+  if (draw() < state.faults.drop) {
+    ++fault_stats_.dropped;
+    return FaultDecision{false, false};
+  }
+  FaultDecision fate;
+  if (draw() < state.faults.reorder) {
+    ++fault_stats_.reordered;
+    timing.deliver_at += draw() * state.faults.reorder_max_delay_seconds;
+  }
+  if (draw() < state.faults.duplicate) {
+    ++fault_stats_.duplicated;
+    fate.duplicate = true;
+  }
+  return fate;
 }
 
 std::size_t DelayedTransport::endpoint_slot(const std::string& name) const {
@@ -75,7 +177,9 @@ void DelayedTransport::send_to(std::size_t destination_slot,
                                Message& message, Mechanism mechanism) {
   DELTA_CHECK_MSG(destination_slot < endpoint_count_,
                   "unknown endpoint slot " << destination_slot);
-  const LinkTiming timing = plan_transfer(message, destination_slot);
+  LinkTiming timing = plan_transfer(message, destination_slot);
+  const FaultDecision fate = apply_link_faults(destination_slot, timing);
+  if (!fate.deliver) return;  // lost on the wire; serialization is paid
   if (reply_window_) {
     // First send while a send_call request is being handled: this is the
     // reply its sender is blocked on, and the caller owns the message —
@@ -87,6 +191,9 @@ void DelayedTransport::send_to(std::size_t destination_slot,
     }
   }
   schedule_flight(destination_slot, message, mechanism, timing);
+  if (fate.duplicate) {
+    schedule_flight(destination_slot, message, mechanism, timing);
+  }
 }
 
 void DelayedTransport::wait_until(WaitPredicate done, void* ctx) {
@@ -162,14 +269,16 @@ DelayedTransport::LinkTiming DelayedTransport::plan_transfer(
       uplink.max_queue_wait = std::max(uplink.max_queue_wait, wait);
     }
   }
-  return LinkTiming{now,
-                    depart + serialization + link.model.one_way_seconds()};
+  return LinkTiming{now, depart + serialization + link.model.one_way_seconds(),
+                    sender_slot};
 }
 
 void DelayedTransport::schedule_delivery(std::size_t destination_slot,
                                          const Message& message,
                                          Mechanism mechanism) {
-  const LinkTiming timing = plan_transfer(message, destination_slot);
+  LinkTiming timing = plan_transfer(message, destination_slot);
+  const FaultDecision fate = apply_link_faults(destination_slot, timing);
+  if (!fate.deliver) return;  // lost on the wire; serialization is paid
   if (reply_window_) {
     // First send while a send_call request is being handled: this is the
     // reply its sender is blocked on, so the clock may fast-forward to its
@@ -183,13 +292,18 @@ void DelayedTransport::schedule_delivery(std::size_t destination_slot,
     }
   }
   schedule_flight(destination_slot, message, mechanism, timing);
+  if (fate.duplicate) {
+    schedule_flight(destination_slot, message, mechanism, timing);
+  }
 }
 
 void DelayedTransport::send_call(std::size_t destination_slot,
                                  Message& message, Mechanism mechanism) {
   DELTA_CHECK_MSG(destination_slot < endpoint_count_,
                   "unknown endpoint slot " << destination_slot);
-  const LinkTiming timing = plan_transfer(message, destination_slot);
+  LinkTiming timing = plan_transfer(message, destination_slot);
+  const FaultDecision fate = apply_link_faults(destination_slot, timing);
+  if (!fate.deliver) return;  // the blocked caller only learns via timeout
   // The caller blocks until the reply, so jumping the clock to the
   // request's arrival is exactly what popping it off the queue would have
   // done — minus the queue round trip and the in-flight copy. The message
@@ -199,6 +313,9 @@ void DelayedTransport::send_call(std::size_t destination_slot,
     return;
   }
   schedule_flight(destination_slot, message, mechanism, timing);
+  if (fate.duplicate) {
+    schedule_flight(destination_slot, message, mechanism, timing);
+  }
 }
 
 bool DelayedTransport::deliver_inline(std::size_t destination_slot,

@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/fault_plan.h"
 #include "net/link_model.h"
 #include "net/message.h"
 #include "net/traffic_meter.h"
@@ -86,6 +87,8 @@ class DelayedTransport final : public Transport {
                  Mechanism mechanism) override;
   [[nodiscard]] bool synchronous() const override { return false; }
   void wait_until(WaitPredicate done, void* ctx) override;
+  [[nodiscard]] util::EventQueue* events() override { return events_; }
+  [[nodiscard]] double now() const override { return events_->now(); }
   /// Serialization backlog already queued on the directed link: how long a
   /// message sent now would wait before its own serialization starts
   /// (max(0, busy_until - now)). The congestion signal ServerNode's notice
@@ -123,6 +126,19 @@ class DelayedTransport final : public Transport {
   /// the common duplex server<->cache path.
   void set_duplex_link(const std::string& a, const std::string& b,
                        LinkModel link);
+
+  // ---- fault injection ----
+
+  /// Installs (or replaces) the fault plan. Endpoint names the plan
+  /// mentions but that are not registered are ignored until they register
+  /// (the grid is re-resolved on growth). Installing a plan restarts every
+  /// link's draw stream at sequence zero. A disabled plan — or one with no
+  /// nonzero probability and no partition window — deactivates every fault
+  /// hook, including the inline fast-path gate, so such a config is
+  /// byte-identical to never having called this at all.
+  void set_fault_plan(FaultPlan plan);
+  [[nodiscard]] const FaultStats& fault_stats() const { return fault_stats_; }
+  [[nodiscard]] bool faults_active() const { return faults_active_; }
 
   // ---- simulation-side instrumentation ----
 
@@ -186,17 +202,49 @@ class DelayedTransport final : public Transport {
   struct LinkTiming {
     util::SimTime sent_at = 0.0;
     util::SimTime deliver_at = 0.0;
+    std::size_t sender_slot = kExternalSource;
   };
   [[nodiscard]] LinkTiming plan_transfer(const Message& message,
                                          std::size_t destination_slot);
+
+  /// Per-directed-link fault state, indexed like link_grid_. `seq` is the
+  /// link's message sequence counter — the sole per-run state the draws
+  /// depend on, preserved across grid growth so a link's stream position
+  /// never depends on when later endpoints registered.
+  struct LinkFaultState {
+    LinkFaults faults;
+    const std::vector<FaultWindow>* windows = nullptr;  // into plan_
+    std::uint64_t key = 0;
+    std::uint64_t seq = 0;
+  };
+
+  /// The fate apply_link_faults hands back for one sent message.
+  struct FaultDecision {
+    bool deliver = true;
+    bool duplicate = false;
+  };
+
+  /// Draws this message's fate from its link's stream: partition windows
+  /// and drops kill it (serialization is already paid — the sender cannot
+  /// know the wire ate it), reorder pushes deliver_at forward, duplicate
+  /// asks the caller to schedule a second flight with the same timing (the
+  /// original delivers first by event order). Advances the link's seq.
+  [[nodiscard]] FaultDecision apply_link_faults(std::size_t destination_slot,
+                                                LinkTiming& timing);
+  void rebuild_fault_grid(const std::vector<LinkFaultState>& old_grid,
+                          std::size_t old_cols);
 
   /// True when the queue holds nothing that would execute before an event
   /// at `deliver_at` — the guard under which delivering inline (after
   /// fast-forwarding the clock) is indistinguishable from a trip through
   /// the queue. Strict: a pending event at exactly `deliver_at` was
   /// scheduled earlier, so it must run first.
+  /// Faults force every message through the queue: a dropped or delayed
+  /// reply must NOT short-circuit past the fault draw's consequences, and
+  /// keeping one schedule shape keeps the chaos runs bit-identical across
+  /// thread counts.
   [[nodiscard]] bool can_deliver_inline(util::SimTime deliver_at) {
-    return events_->next_time() > deliver_at;
+    return !faults_active_ && events_->next_time() > deliver_at;
   }
 
   void schedule_delivery(std::size_t destination_slot, const Message& message,
@@ -236,6 +284,11 @@ class DelayedTransport final : public Transport {
   /// (preserving busy horizons) when an endpoint registers.
   std::vector<Link> link_grid_;
   std::size_t grid_cols_ = 0;
+  FaultPlan plan_;
+  /// Parallel to link_grid_; empty while no fault is active.
+  std::vector<LinkFaultState> fault_grid_;
+  FaultStats fault_stats_;
+  bool faults_active_ = false;
   std::vector<InFlight> flight_pool_;
   std::vector<std::uint32_t> flight_free_;
   TrafficMeter meter_;

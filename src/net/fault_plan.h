@@ -1,0 +1,130 @@
+// Seeded, deterministic fault injection for DelayedTransport (ISSUE 8).
+//
+// A FaultPlan describes *which* links misbehave and *how*: per-link
+// drop/duplicate/reorder probabilities plus scheduled partitions (down/heal
+// windows in simulated seconds). Every random draw comes from a splitmix64
+// stream keyed by (link key, per-link message sequence number), so the fate
+// of the n-th message on a link is a pure function of the plan seed and the
+// endpoint names — independent of thread count, shard interleaving, or
+// wall-clock anything. That is what makes chaos runs reproducible instead of
+// flaky: the same plan over the same trace yields bit-identical yardsticks
+// at T=1 and T=8.
+//
+// The zero-fault contract: a plan that is disabled — or enabled but with no
+// nonzero probability and no partition window anywhere — must leave every
+// run byte-identical to a build without the fault layer at all. The
+// transport enforces this by gating every fault hook (including the
+// fast-path changes) on "some link actually has a fault".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace delta::net {
+
+/// Per-link fault probabilities. All default to zero (= no faults).
+struct LinkFaults {
+  /// Probability a message is silently lost after paying its serialization
+  /// (the sender can't know the wire ate it, so the egress link stays busy).
+  double drop = 0.0;
+  /// Probability the link delivers a second copy of the message. The copy
+  /// shares the original's timing and lands right after it (event order),
+  /// modeling a retransmit artifact rather than a second serialization.
+  double duplicate = 0.0;
+  /// Probability a message's delivery is deferred by a uniform draw in
+  /// (0, reorder_max_delay_seconds], letting later sends overtake it.
+  double reorder = 0.0;
+  double reorder_max_delay_seconds = 0.050;
+
+  [[nodiscard]] bool any() const {
+    return drop > 0.0 || duplicate > 0.0 || reorder > 0.0;
+  }
+};
+
+/// Half-open outage window [down, heal) in simulated seconds: messages
+/// whose send instant falls inside are dropped (partition semantics — both
+/// requests and replies die, the sender only learns via timeout).
+struct FaultWindow {
+  double down_seconds = 0.0;
+  double heal_seconds = 0.0;
+
+  [[nodiscard]] bool covers(double t) const {
+    return t >= down_seconds && t < heal_seconds;
+  }
+};
+
+/// Probabilistic faults on one directed link (or both directions when
+/// duplex). Empty `from` means the external-sender row (messages injected
+/// from outside any registered endpoint, e.g. the replay driver).
+struct LinkFaultRule {
+  std::string from;
+  std::string to;
+  bool duplex = true;
+  LinkFaults faults;
+};
+
+/// Scheduled partition of one link: every message sent inside any window
+/// is dropped. Windows may overlap; they are checked linearly (plans hold
+/// a handful at most).
+struct LinkPartition {
+  std::string from;
+  std::string to;
+  bool duplex = true;
+  std::vector<FaultWindow> windows;
+};
+
+/// The full fault configuration handed to DelayedTransport::set_fault_plan.
+struct FaultPlan {
+  bool enabled = false;
+  std::uint64_t seed = 0x5eedFa017ULL;
+  /// Faults applied to every link that no rule matches.
+  LinkFaults default_faults;
+  std::vector<LinkFaultRule> rules;
+  std::vector<LinkPartition> partitions;
+};
+
+/// Counters the transport accumulates while a plan is active.
+struct FaultStats {
+  std::int64_t dropped = 0;
+  std::int64_t duplicated = 0;
+  std::int64_t reordered = 0;
+  std::int64_t partition_dropped = 0;
+};
+
+// ---- deterministic draw helpers ------------------------------------------
+
+/// splitmix64 finalizer: one statelessly-mixed 64-bit output per input.
+[[nodiscard]] inline std::uint64_t fault_mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over an endpoint name — stable link identity that does not depend
+/// on registration order, so grow_link_grid can rebuild the fault grid
+/// without perturbing any link's stream.
+[[nodiscard]] inline std::uint64_t fault_name_hash(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Stream key for the directed link from->to under `seed`.
+[[nodiscard]] inline std::uint64_t fault_link_key(std::uint64_t seed,
+                                                 const std::string& from,
+                                                 const std::string& to) {
+  return fault_mix64(seed ^ fault_mix64(fault_name_hash(from)) ^
+                     (fault_name_hash(to) * 0x9e3779b97f4a7c15ULL));
+}
+
+/// Uniform double in [0, 1) from a mixed 64-bit word.
+[[nodiscard]] inline double fault_u01(std::uint64_t mixed) {
+  return static_cast<double>(mixed >> 11) * 0x1.0p-53;
+}
+
+}  // namespace delta::net

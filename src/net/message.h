@@ -26,6 +26,18 @@ enum class MessageKind : std::uint8_t {
   kLoadData,
   kInvalidation,
   kControl,
+  /// Admission control: the server refuses an overloaded kQueryRequest.
+  /// Echoes the request's correlation id; the cache completes the request
+  /// with zero payload and accounts it as shed (core/protocol.h).
+  kQueryReject,
+  /// Partition recovery: a cache that detected a healed partition asks the
+  /// server to replay the invalidation notices it may have missed.
+  /// subject_id carries the cache's new registration epoch.
+  kResyncRequest,
+  /// Resync reply: missed invalidation ids ride in batched_invalidations
+  /// (with their ingest instants in batched_ingest_at), like a congestion
+  /// batch — recovery data is metered as overhead, never figure traffic.
+  kResyncData,
 };
 
 [[nodiscard]] constexpr const char* to_string(MessageKind kind) {
@@ -44,6 +56,12 @@ enum class MessageKind : std::uint8_t {
       return "invalidation";
     case MessageKind::kControl:
       return "control";
+    case MessageKind::kQueryReject:
+      return "query_reject";
+    case MessageKind::kResyncRequest:
+      return "resync_request";
+    case MessageKind::kResyncData:
+      return "resync_data";
   }
   return "?";
 }
@@ -94,6 +112,33 @@ struct Message {
   /// unaffected). Empty on every message when batching is off.
   std::vector<std::int64_t> batched_invalidations;
   Bytes batch_bytes;
+  /// Retry attempt number for correlated requests (1 = first transmission).
+  /// The server's dedup window keys on (correlation_id, attempt) so a
+  /// retransmission after a lost reply is answered again while a duplicated
+  /// delivery of the same attempt is suppressed.
+  std::int32_t attempt = 1;
+  /// Protocol-hardening epoch/generation stamp. On kResyncRequest it is the
+  /// cache's new registration epoch; on load requests and eviction notices
+  /// it is the cache's per-object registration generation, letting the
+  /// server discard an eviction notice that a reorder fault delivered after
+  /// the object was already reloaded. -1 = unstamped (protocol off).
+  std::int64_t protocol_epoch = -1;
+  /// Server-side ingest instants (sim seconds) for each id in
+  /// `batched_invalidations`, stamped when the protocol layer is on so the
+  /// staleness observer can sample every coalesced/piggybacked notice
+  /// individually. Empty when the protocol layer is off.
+  std::vector<double> batched_ingest_at;
+  /// Cumulative per-cache notice-ledger count, stamped (protocol on) on
+  /// every message that carries live invalidation ids: this message covers
+  /// ledger positions (notice_ledger - ids, notice_ledger]. A cache whose
+  /// high-water mark sits below the range start has provably lost notices
+  /// — the only way a quiet cache can detect a silent partition of its
+  /// one-way notice stream — and resyncs immediately. -1 = unstamped
+  /// (protocol off, or a message carrying no live notices).
+  std::int64_t notice_ledger = -1;
+  /// Ingest instant for subject_id on a kInvalidation (protocol on);
+  /// -1 = unstamped, observer falls back to sim_sent_at.
+  double subject_ingest_at = -1.0;
 };
 
 /// Modeled wire cost of each coalesced invalidation id in

@@ -25,6 +25,10 @@
 #include "net/traffic_meter.h"
 #include "util/check.h"
 
+namespace delta::util {
+class EventQueue;
+}  // namespace delta::util
+
 namespace delta::net {
 
 /// A named endpoint that can receive messages.
@@ -113,6 +117,16 @@ class Transport {
     (void)to_slot;
     return 0.0;
   }
+
+  /// The event queue driving an event-driven transport, or nullptr on a
+  /// synchronous one. Protocol features that need simulated-time timers
+  /// (retry deadlines) probe this and stay disabled when it is absent.
+  [[nodiscard]] virtual util::EventQueue* events() { return nullptr; }
+
+  /// Current simulated time in seconds (0.0 on synchronous transports,
+  /// which have no clock). Used for protocol timestamps (notice ingest
+  /// instants, unavailability windows) without reaching into the queue.
+  [[nodiscard]] virtual double now() const { return 0.0; }
 
   /// Aggregate accounting across all endpoints.
   [[nodiscard]] virtual const TrafficMeter& meter() const = 0;

@@ -81,6 +81,16 @@ class EventQueue {
 
   [[nodiscard]] Backend backend() const { return backend_; }
 
+  /// Handle of a cancellable timer (schedule_cancellable). A TimerId stays
+  /// valid-to-cancel until the timer fires or is cancelled; afterwards the
+  /// slot's generation has moved on and cancel() is a harmless no-op that
+  /// returns false. Default-constructed ids are inert.
+  struct TimerId {
+    std::uint32_t slot = kNoTimerSlot;
+    std::uint32_t generation = 0;
+    [[nodiscard]] bool armed() const { return slot != kNoTimerSlot; }
+  };
+
   /// Schedules `fn(ctx, arg)` at simulated time `time` (>= now, checked).
   /// Events scheduled for the same instant run in schedule order.
   void schedule(SimTime time, EventFn fn, void* ctx, std::uint64_t arg = 0) {
@@ -96,6 +106,61 @@ class EventQueue {
       heap_sift_up(heap_.size() - 1);
     }
     ++size_;
+  }
+
+  /// Cancellable variant of schedule() for deadline/retry timers: O(1) to
+  /// arm and O(1) to cancel. The queued record is a 40-byte trampoline
+  /// carrying (slot, generation); cancel() bumps the slot's generation and
+  /// releases it, turning the still-queued record into a tombstone that
+  /// pops as a no-op when its time comes — nothing is removed from the
+  /// scheduler's ordered storage, so cancellation never touches a bucket.
+  /// Slots are recycled through a free list; a fired or cancelled timer's
+  /// id can never alias a later timer (the generation check).
+  TimerId schedule_cancellable(SimTime time, EventFn fn, void* ctx,
+                               std::uint64_t arg = 0) {
+    DELTA_DCHECK(fn != nullptr);
+    std::uint32_t slot;
+    if (timer_free_.empty()) {
+      slot = static_cast<std::uint32_t>(timer_slots_.size());
+      DELTA_CHECK_MSG(slot != kNoTimerSlot, "timer slot space exhausted");
+      timer_slots_.push_back(TimerSlot{});
+    } else {
+      slot = timer_free_.back();
+      timer_free_.pop_back();
+    }
+    TimerSlot& s = timer_slots_[slot];
+    s.live = true;
+    s.fn = fn;
+    s.ctx = ctx;
+    s.arg = arg;
+    const std::uint64_t packed =
+        (static_cast<std::uint64_t>(slot) << 32) | s.generation;
+    schedule(time, &EventQueue::run_timer, this, packed);
+    return TimerId{slot, s.generation};
+  }
+
+  /// Cancels a timer armed by schedule_cancellable. Returns true when the
+  /// timer was still pending (it will now never fire); false when it had
+  /// already fired, been cancelled, or `id` is inert. O(1): the queued
+  /// record becomes a generation-checked tombstone.
+  bool cancel(TimerId id) {
+    if (id.slot == kNoTimerSlot ||
+        static_cast<std::size_t>(id.slot) >= timer_slots_.size()) {
+      return false;
+    }
+    TimerSlot& s = timer_slots_[id.slot];
+    if (!s.live || s.generation != id.generation) return false;
+    s.live = false;
+    ++s.generation;
+    timer_free_.push_back(id.slot);
+    ++cancelled_timers_;
+    return true;
+  }
+
+  /// Timers cancelled whose tombstone records may still sit in the queue
+  /// (pending() includes them; they pop as no-ops).
+  [[nodiscard]] std::int64_t cancelled_timers() const {
+    return cancelled_timers_;
   }
 
   [[nodiscard]] SimTime now() const { return clock_.now(); }
@@ -189,6 +254,9 @@ class EventQueue {
   }
 
  private:
+  static constexpr std::uint32_t kNoTimerSlot =
+      std::numeric_limits<std::uint32_t>::max();
+
   struct Event {
     SimTime time = 0.0;
     std::uint64_t seq = 0;  // tie-break: schedule order
@@ -196,6 +264,38 @@ class EventQueue {
     void* ctx = nullptr;
     std::uint64_t arg = 0;
   };
+
+  /// Backing state of one cancellable timer. The queued Event only carries
+  /// (slot, generation); the callback lives here so cancel() can retire it
+  /// without finding the record in the scheduler.
+  struct TimerSlot {
+    std::uint32_t generation = 0;
+    bool live = false;
+    EventFn fn = nullptr;
+    void* ctx = nullptr;
+    std::uint64_t arg = 0;
+  };
+
+  /// Trampoline for cancellable timers: validates (slot, generation)
+  /// against the slot's current state — a mismatch is a tombstone from a
+  /// cancelled (or already recycled) timer and pops as a no-op. The slot is
+  /// released BEFORE the callback runs: the callback may arm new timers
+  /// (growing timer_slots_), so everything it needs is copied out first.
+  static void run_timer(void* self, std::uint64_t packed) {
+    auto* queue = static_cast<EventQueue*>(self);
+    const auto slot = static_cast<std::uint32_t>(packed >> 32);
+    TimerSlot& s = queue->timer_slots_[slot];
+    if (!s.live || s.generation != static_cast<std::uint32_t>(packed)) {
+      return;  // cancelled: tombstone
+    }
+    const EventFn fn = s.fn;
+    void* ctx = s.ctx;
+    const std::uint64_t arg = s.arg;
+    s.live = false;
+    ++s.generation;
+    queue->timer_free_.push_back(slot);
+    fn(ctx, arg);
+  }
 
   /// The (time, seq) total order both backends execute in.
   [[nodiscard]] static bool later(const Event& a, const Event& b) {
@@ -673,6 +773,9 @@ class EventQueue {
   /// long the last retuned width survived before a day split again.
   std::uint64_t degenerate_at_ = 0;
   std::vector<Event> heap_;           // heap backend storage
+  std::vector<TimerSlot> timer_slots_;     // cancellable-timer state
+  std::vector<std::uint32_t> timer_free_;  // recycled timer slots
+  std::int64_t cancelled_timers_ = 0;
   std::size_t size_ = 0;
   SimClock clock_;
   std::uint64_t next_seq_ = 0;

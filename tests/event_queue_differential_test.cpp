@@ -199,5 +199,97 @@ TEST(EventQueueDifferentialTest, DeepSteadyHoldWithDecayingIncrements) {
   queues.expect_identical_history();
 }
 
+void note(void* ctx, std::uint64_t token) {
+  static_cast<std::vector<std::uint64_t>*>(ctx)->push_back(token);
+}
+
+// O(1) timer cancellation (ISSUE 8 satellite): a cancelled timer's queued
+// record becomes a tombstone that pops as a no-op, slots recycle through a
+// free list, and generations make stale ids inert — identically on both
+// backends, since cancellation never touches the scheduler's storage.
+TEST(EventQueueDifferentialTest, CancelIsExactAcrossSlotRecycling) {
+  for (const auto backend :
+       {EventQueue::Backend::kCalendar, EventQueue::Backend::kBinaryHeap}) {
+    EventQueue q{backend};
+    std::vector<std::uint64_t> fired;
+    const EventQueue::TimerId a =
+        q.schedule_cancellable(1.0, &note, &fired, 1);
+    EXPECT_TRUE(q.cancel(a));
+    EXPECT_FALSE(q.cancel(a));  // second cancel: harmless no-op
+    // The freed slot is recycled immediately; the stale id must not be
+    // able to hit the new occupant (generation check).
+    const EventQueue::TimerId b =
+        q.schedule_cancellable(2.0, &note, &fired, 2);
+    EXPECT_EQ(a.slot, b.slot);
+    EXPECT_NE(a.generation, b.generation);
+    EXPECT_FALSE(q.cancel(a));
+    q.run_until_idle();
+    ASSERT_EQ(fired, (std::vector<std::uint64_t>{2}));
+    EXPECT_EQ(q.cancelled_timers(), 1);
+    EXPECT_FALSE(q.cancel(b));  // already fired: no-op
+    EXPECT_FALSE(q.cancel(EventQueue::TimerId{}));  // inert default id
+  }
+}
+
+// Randomized arm/cancel/fire churn driven in lockstep on both backends:
+// execution histories must match event for event, every cancel() verdict
+// must agree, and no timer cancelled-while-pending may ever fire.
+TEST(EventQueueDifferentialTest, CancellationChurnKeepsBackendsInLockstep) {
+  EventQueue cal{EventQueue::Backend::kCalendar};
+  EventQueue heap{EventQueue::Backend::kBinaryHeap};
+  std::vector<std::uint64_t> cal_fired;
+  std::vector<std::uint64_t> heap_fired;
+  std::vector<std::pair<EventQueue::TimerId, EventQueue::TimerId>> ids;
+  std::vector<std::uint64_t> cancelled;  // tokens cancelled while pending
+  std::vector<std::uint64_t> id_tokens;
+  Rng rng{555};
+  std::uint64_t token = 0;
+  for (int step = 0; step < 6000; ++step) {
+    if (!ids.empty() && rng.bernoulli(0.25)) {
+      // Cancel a random armed-at-some-point timer; it may have fired
+      // already, in which case both backends must refuse identically.
+      const auto idx = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(ids.size()) - 1));
+      const bool on_cal = cal.cancel(ids[idx].first);
+      const bool on_heap = heap.cancel(ids[idx].second);
+      ASSERT_EQ(on_cal, on_heap);
+      if (on_cal) cancelled.push_back(id_tokens[idx]);
+      ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(idx));
+      id_tokens.erase(id_tokens.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else if (rng.bernoulli(0.55)) {
+      const SimTime t = cal.now() + rng.uniform(0.0, 5.0);
+      ids.emplace_back(cal.schedule_cancellable(t, &note, &cal_fired, token),
+                       heap.schedule_cancellable(t, &note, &heap_fired,
+                                                 token));
+      id_tokens.push_back(token);
+      ++token;
+    } else {
+      // Plain events interleave with timers in the same (time, seq) order.
+      const SimTime t = cal.now() + rng.uniform(0.0, 5.0);
+      cal.schedule(t, &note, &cal_fired, token);
+      heap.schedule(t, &note, &heap_fired, token);
+      ++token;
+    }
+    if (rng.bernoulli(0.4)) {
+      ASSERT_EQ(cal.run_one(), heap.run_one());
+    }
+  }
+  for (;;) {
+    const bool cal_ran = cal.run_one();
+    const bool heap_ran = heap.run_one();
+    ASSERT_EQ(cal_ran, heap_ran);
+    if (!cal_ran) break;
+  }
+  ASSERT_EQ(cal_fired, heap_fired);
+  EXPECT_EQ(cal.cancelled_timers(), heap.cancelled_timers());
+  EXPECT_EQ(cal.cancelled_timers(),
+            static_cast<std::int64_t>(cancelled.size()));
+  for (const std::uint64_t dead : cancelled) {
+    for (const std::uint64_t t : cal_fired) {
+      ASSERT_NE(t, dead) << "cancelled timer fired";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace delta::util
