@@ -130,6 +130,13 @@ struct EventParallelCell {
   /// load-balance-limited speedup a host with >= N cores achieves. This is
   /// a measurement (per-shard timers), not a model.
   double critical_path_speedup = 0.0;
+  /// Measured split balance: max/mean routed queries per partition
+  /// (1.0 = perfect). Bounds critical_path_speedup from above by
+  /// N / balance when query work dominates the per-shard wall.
+  double balance = 1.0;
+  /// Partitions replayed by a worker other than their LPT owner in the
+  /// best run (0 at T=1 or with stealing off).
+  std::int64_t steal_count = 0;
 };
 
 /// One cell of the object-count scaling sweep: the same zipfian YCSB-B mix
@@ -286,6 +293,7 @@ void measure_single_and_event(const sim::Setup& setup, int repeats,
 /// the conservative per-partition event engine at several thread counts.
 std::vector<EventParallelCell> measure_event_parallel(
     const sim::Setup& setup, std::size_t endpoints,
+    workload::SplitStrategy strategy,
     const std::vector<std::size_t>& thread_counts, int repeats) {
   sim::EventEngineOptions options;
   options.default_link = delta::net::LinkModel{};  // 1 Gbit/s, 40 ms WAN
@@ -303,8 +311,7 @@ std::vector<EventParallelCell> measure_event_parallel(
     for (int rep = 0; rep < repeats; ++rep) {
       const sim::EventRunResult r = sim::run_one_event(
           sim::PolicyKind::kVCover, setup.trace(), per_endpoint,
-          setup.params(), endpoints, workload::SplitStrategy::kHashByRegion,
-          options);
+          setup.params(), endpoints, strategy, options);
       const double wall = r.replay.combined.wall_seconds;
       walls.add(wall);
       if (rep == 0 || wall < best_wall) {
@@ -316,6 +323,8 @@ std::vector<EventParallelCell> measure_event_parallel(
           slowest = std::max(slowest, shard.wall_seconds);
         }
         cell.critical_path_speedup = sum / std::max(slowest, 1e-9);
+        cell.balance = r.shard_balance;
+        cell.steal_count = r.steal_count;
       }
     }
     cell.wall_seconds_best = walls.best();
@@ -343,6 +352,7 @@ std::vector<EventParallelCell> measure_event_parallel(
 /// walls the sum/max figure is built from).
 struct NSweepCell {
   std::size_t endpoints = 0;
+  workload::SplitStrategy strategy = workload::SplitStrategy::kBalancedByLoad;
   EventParallelCell cell;
 };
 
@@ -641,23 +651,30 @@ void emit_json(std::ostream& os, const sim::SetupParams& params, int repeats,
        << ", \"self_speedup\": " << cell.self_speedup
        << ", \"self_speedup_median\": " << cell.self_speedup_median
        << ", \"critical_path_speedup\": " << cell.critical_path_speedup
-       << "}" << (i + 1 < parallel.size() ? "," : "") << "\n";
+       << ", \"balance\": " << cell.balance
+       << ", \"steal_count\": " << cell.steal_count << "}"
+       << (i + 1 < parallel.size() ? "," : "") << "\n";
   }
   os << "      ],\n";
   // Fleet-size sweep: critical_path_speedup tracked at N up to 64 (T=1 —
-  // see NSweepCell). self_speedup is omitted: it only measures the host's
-  // core count, not the engine.
+  // see NSweepCell), load-balanced LPT split (per-row "strategy").
+  // self_speedup is omitted: it only measures the host's core count, not
+  // the engine. "balance" is the measured max/mean routed-query ratio the
+  // critical path is bounded by.
   os << "      \"n_sweep\": [\n";
   for (std::size_t i = 0; i < nsweep.size(); ++i) {
     const NSweepCell& n = nsweep[i];
-    os << "        {\"endpoints\": " << n.endpoints
+    os << "        {\"endpoints\": " << n.endpoints << ", \"strategy\": \""
+       << workload::to_string(n.strategy) << "\""
        << ", \"threads\": " << n.cell.threads
        << ", \"wall_seconds_best\": " << n.cell.wall_seconds_best
        << ", \"wall_seconds_median\": " << n.cell.wall_seconds_median
        << ", \"events_per_sec\": " << n.cell.events_per_sec
        << ", \"events_per_sec_median\": " << n.cell.events_per_sec_median
-       << ", \"critical_path_speedup\": " << n.cell.critical_path_speedup
-       << "}" << (i + 1 < nsweep.size() ? "," : "") << "\n";
+       << ",\n         \"critical_path_speedup\": "
+       << n.cell.critical_path_speedup << ", \"balance\": " << n.cell.balance
+       << ", \"steal_count\": " << n.cell.steal_count << "}"
+       << (i + 1 < nsweep.size() ? "," : "") << "\n";
   }
   os << "      ]\n    }\n  },\n";
   // Open-loop drive (ISSUE 7): Poisson arrivals over a 100 Mbit/40 ms WAN
@@ -814,19 +831,24 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> parallel_threads =
       smoke ? std::vector<std::size_t>{1, 2}
             : std::vector<std::size_t>{1, 2, 4};
-  const std::vector<EventParallelCell> parallel =
-      measure_event_parallel(setup, parallel_endpoints, parallel_threads,
-                             repeats);
+  const std::vector<EventParallelCell> parallel = measure_event_parallel(
+      setup, parallel_endpoints, workload::SplitStrategy::kHashByRegion,
+      parallel_threads, repeats);
   for (const EventParallelCell& cell : parallel) {
     std::cerr << "  event parallel N=" << parallel_endpoints
               << " T=" << cell.threads << ": "
               << util::fixed(cell.events_per_sec / 1000.0, 1)
               << "k events/s, self-speedup x"
               << util::fixed(cell.self_speedup, 2) << " (critical path x"
-              << util::fixed(cell.critical_path_speedup, 2) << ")\n";
+              << util::fixed(cell.critical_path_speedup, 2) << ", steals "
+              << cell.steal_count << ")\n";
   }
 
-  // Fleet-size sweep: N partitions, T=1 (cleanest critical path).
+  // Fleet-size sweep: N partitions, T=1 (cleanest critical path), split by
+  // the load-balanced LPT strategy — the tracked critical_path_speedup
+  // trajectory measures the balanced split (the N=4 cells above keep
+  // hash_by_region so events_per_sec_vs_sync stays apples-to-apples with
+  // the sync multi sweep).
   const std::vector<std::size_t> nsweep_endpoints =
       smoke ? std::vector<std::size_t>{4}
             : std::vector<std::size_t>{4, 16, 64};
@@ -834,12 +856,15 @@ int main(int argc, char** argv) {
   for (const std::size_t n : nsweep_endpoints) {
     NSweepCell cell;
     cell.endpoints = n;
-    cell.cell = measure_event_parallel(setup, n, {1}, repeats).front();
+    cell.strategy = workload::SplitStrategy::kBalancedByLoad;
+    cell.cell =
+        measure_event_parallel(setup, n, cell.strategy, {1}, repeats).front();
     nsweep.push_back(cell);
     std::cerr << "  event parallel n-sweep N=" << n << " T=1: "
               << util::fixed(cell.cell.events_per_sec / 1000.0, 1)
               << "k events/s, critical path x"
-              << util::fixed(cell.cell.critical_path_speedup, 2) << "\n";
+              << util::fixed(cell.cell.critical_path_speedup, 2)
+              << ", balance " << util::fixed(cell.cell.balance, 3) << "\n";
   }
 
   // Open-loop drive sweep: response vs arrival rate, batching off then on.

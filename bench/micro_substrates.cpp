@@ -4,6 +4,7 @@
 // per-event bookkeeping cost.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <memory>
 
 #include "cache/cache_store.h"
@@ -12,6 +13,7 @@
 #include "htm/partition_map.h"
 #include "storage/density_model.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "workload/trace_generator.h"
 
 namespace {
@@ -93,6 +95,36 @@ void BM_TraceGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceGeneration)->Arg(2000)->Arg(8000)
     ->Unit(benchmark::kMillisecond);
+
+// Work-stealing substrate (ISSUE 9): 64 jobs with a zipf-like skewed cost
+// profile (job j spins ~1/(j+1) of the heaviest job's work), LPT-packed
+// onto T workers and drained through util::parallel_for_dynamic. Measures
+// the scheduling + stealing overhead the parallel replay engines pay on a
+// deliberately imbalanced shard set — the case stealing exists for.
+void BM_ParallelForDynamicSkewed(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kJobs = 64;
+  constexpr std::size_t kHeaviestSpin = 1 << 14;
+  std::vector<double> weights(kJobs);
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    weights[j] = static_cast<double>(kHeaviestSpin / (j + 1));
+  }
+  const auto assignment = util::lpt_assignment(weights, threads);
+  for (auto _ : state) {
+    std::atomic<std::uint64_t> sink{0};
+    util::parallel_for_dynamic(kJobs, assignment, [&](std::size_t j) {
+      const auto spins = static_cast<std::uint64_t>(weights[j]);
+      std::uint64_t acc = j;
+      for (std::uint64_t s = 0; s < spins; ++s) {
+        acc = acc * 6364136223846793005ULL + 1442695040888963407ULL;
+      }
+      sink.fetch_add(acc, std::memory_order_relaxed);
+    });
+    benchmark::DoNotOptimize(sink.load());
+  }
+  state.SetItemsProcessed(state.iterations() * kJobs);
+}
+BENCHMARK(BM_ParallelForDynamicSkewed)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 

@@ -392,4 +392,15 @@ bool ServerNode::is_registered(std::size_t cache_slot, ObjectId o) const {
   return caches_[cache_slot].registered[checked(o)] != 0;
 }
 
+MetadataSubscription ServerNode::subscription(std::size_t cache_slot) const {
+  DELTA_CHECK(cache_slot < caches_.size());
+  return caches_[cache_slot].subscription;
+}
+
+const std::vector<std::uint8_t>& ServerNode::registered_row(
+    std::size_t cache_slot) const {
+  DELTA_CHECK(cache_slot < caches_.size());
+  return caches_[cache_slot].registered;
+}
+
 }  // namespace delta::core

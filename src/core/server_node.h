@@ -142,6 +142,16 @@ class ServerNode {
   [[nodiscard]] Bytes object_bytes(ObjectId o) const;
   [[nodiscard]] Bytes load_cost(ObjectId o) const;
   [[nodiscard]] bool is_registered(std::size_t cache_slot, ObjectId o) const;
+  /// The metadata subscription of the cache at `cache_slot` (as set by the
+  /// attached policy). The parallel engine's update prefilter reads it
+  /// after the policy factories have run.
+  [[nodiscard]] MetadataSubscription subscription(
+      std::size_t cache_slot) const;
+  /// Read-only registration row of the cache at `cache_slot`, indexed by
+  /// object (nonzero = resident). The prefilter snapshots it post-factory
+  /// to fold preloaded objects into each partition's touch set.
+  [[nodiscard]] const std::vector<std::uint8_t>& registered_row(
+      std::size_t cache_slot) const;
   [[nodiscard]] std::size_t object_count() const {
     return object_bytes_.size();
   }

@@ -275,7 +275,7 @@ MultiRunResult run_multi_parallel(
     workload::SplitStrategy strategy, const CachePolicyFactory& factory,
     std::int64_t series_stride, const LatencyModel& latency,
     const std::vector<std::uint32_t>& routing, std::size_t num_threads,
-    bool deterministic) {
+    bool deterministic, bool work_stealing) {
   const auto start = std::chrono::steady_clock::now();
   // A worker silently skips queries routed out of range, so validate the
   // whole split up front (the sequential engine checks per event).
@@ -300,11 +300,24 @@ MultiRunResult run_multi_parallel(
     DELTA_CHECK(workers[i]->policy != nullptr);
   }
 
-  // ---- replay all shards on the pool ----
-  util::parallel_for(endpoint_count, num_threads, [&](std::size_t i) {
+  // ---- replay all shards on the pool. With stealing on, shards are
+  // LPT-packed onto the workers by exact routed-query counts and a drained
+  // worker steals a straggler's pending shard — never affects results,
+  // since stealing only moves WHICH thread replays a shard. ----
+  const auto replay_one = [&](std::size_t i) {
     replay_shard(trace, routing, i, series_stride, latency, deterministic,
                  *workers[i]);
-  });
+  };
+  if (!work_stealing || endpoint_count <= 1) {
+    util::parallel_for(endpoint_count, num_threads, replay_one);
+  } else {
+    std::vector<double> weights(endpoint_count, 0.0);
+    for (const std::uint32_t e : routing) weights[e] += 1.0;
+    util::parallel_for_dynamic(
+        endpoint_count,
+        util::lpt_assignment(weights, std::min(num_threads, endpoint_count)),
+        replay_one);
+  }
 
   // ---- deterministic merge, in endpoint order ----
   MultiRunResult result;
@@ -423,7 +436,7 @@ MultiRunResult run_policy_multi(const workload::Trace& trace,
   }
   return run_multi_parallel(trace, endpoint_count, strategy, factory,
                             series_stride, latency, routing, threads,
-                            parallel.deterministic);
+                            parallel.deterministic, parallel.work_stealing);
 }
 
 }  // namespace delta::sim

@@ -71,6 +71,13 @@ struct ParallelOptions {
   /// pool of min(num_threads, endpoint_count) threads.
   std::size_t num_threads = 1;
   bool deterministic = true;
+  /// T>1 scheduling: LPT-pack the partitions onto the workers by their
+  /// exact routed-query counts and let a worker that drains its own queue
+  /// steal a straggler's pending partition (util::parallel_for_dynamic).
+  /// Never affects results — stealing only moves WHICH thread replays a
+  /// partition, and the partition stays the atomic determinism unit — so
+  /// it defaults on; off falls back to the FIFO parallel_for pool.
+  bool work_stealing = true;
 };
 
 /// Replays the trace through N cache endpoints sharing one repository.

@@ -57,4 +57,35 @@ class ThreadPool {
 void parallel_for(std::size_t job_count, std::size_t num_threads,
                   const std::function<void(std::size_t)>& job);
 
+/// Longest-processing-time-first bin packing: places jobs 0..weights-1
+/// onto `worker_count` workers, heaviest job first onto the currently
+/// lightest worker (ties — equal weights or equal loads — resolve to the
+/// lower index, so the packing is a pure function of the weights). Returns
+/// one job list per worker, each in descending weight order: exactly the
+/// shape parallel_for_dynamic seeds its deques from. The classic greedy
+/// 4/3-approximation of minimum makespan.
+[[nodiscard]] std::vector<std::vector<std::size_t>> lpt_assignment(
+    const std::vector<double>& weights, std::size_t worker_count);
+
+/// Work-stealing counterpart of parallel_for. `assignment` gives each
+/// worker its initial job queue (one deque per entry; the lists must
+/// exactly partition [0, job_count), checked). Every worker drains its own
+/// deque front first — preserving the seeded (LPT) order — and, once
+/// empty, steals from the BACK of the first non-empty victim, so a
+/// straggler's lightest pending jobs migrate while its owner keeps the
+/// heavy front work. Jobs never spawn jobs, so a worker that finds every
+/// deque empty can retire immediately — no termination protocol beyond
+/// the join. Per the pool's design constraints the deques are plain
+/// mutex-protected (sanitizer-clean, no lock-free cleverness); the
+/// per-job lock cost is irrelevant against coarse jobs like partition
+/// replays. Exceptions follow parallel_for's contract: every job still
+/// runs, the first error by job index is rethrown after the join. With
+/// <= 1 worker (or <= 1 job) everything runs inline on the calling
+/// thread in ascending index order. Returns the number of jobs executed
+/// by a thief — the engine's steal_count yardstick.
+std::int64_t parallel_for_dynamic(
+    std::size_t job_count,
+    const std::vector<std::vector<std::size_t>>& assignment,
+    const std::function<void(std::size_t)>& job);
+
 }  // namespace delta::util

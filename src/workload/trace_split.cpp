@@ -1,6 +1,9 @@
 #include "workload/trace_split.h"
 
+#include <algorithm>
+
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace delta::workload {
 
@@ -15,6 +18,54 @@ std::uint64_t mix(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// The query's locality key: its spatial anchor, or (cover-less) its id —
+/// the same key kHashByRegion hashes, so both strategies group identically.
+std::uint64_t anchor_key(const Query& q) {
+  return q.base_cover.empty()
+             ? mix(static_cast<std::uint64_t>(q.id.value()))
+             : static_cast<std::uint64_t>(q.base_cover.front());
+}
+
+/// kBalancedByLoad: group queries by anchor (the locality unit the hash
+/// split preserves), then LPT-pack the anchors onto endpoints by their
+/// exact query counts. The makespan guarantee is the standard LPT one —
+/// max endpoint load <= mean load + heaviest anchor count — so imbalance
+/// is bounded by the anchor granularity, not by hash luck.
+std::vector<std::uint32_t> assign_balanced(const Trace& trace,
+                                           std::size_t endpoint_count) {
+  // Dense anchor ids, ordered by key value (deterministic, no hash-map
+  // iteration order anywhere).
+  std::vector<std::uint64_t> keys(trace.queries.size());
+  for (std::size_t i = 0; i < trace.queries.size(); ++i) {
+    keys[i] = anchor_key(trace.queries[i]);
+  }
+  std::vector<std::uint64_t> distinct = keys;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  std::vector<double> counts(distinct.size(), 0.0);
+  std::vector<std::size_t> anchor_id(trace.queries.size(), 0);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const auto it =
+        std::lower_bound(distinct.begin(), distinct.end(), keys[i]);
+    anchor_id[i] = static_cast<std::size_t>(it - distinct.begin());
+    counts[anchor_id[i]] += 1.0;
+  }
+  const std::vector<std::vector<std::size_t>> packing =
+      util::lpt_assignment(counts, endpoint_count);
+  std::vector<std::uint32_t> endpoint_of(distinct.size(), 0);
+  for (std::size_t e = 0; e < packing.size(); ++e) {
+    for (const std::size_t a : packing[e]) {
+      endpoint_of[a] = static_cast<std::uint32_t>(e);
+    }
+  }
+  std::vector<std::uint32_t> assignment(trace.queries.size(), 0);
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    assignment[i] = endpoint_of[anchor_id[i]];
+  }
+  return assignment;
+}
+
 }  // namespace
 
 std::vector<std::uint32_t> assign_queries(const Trace& trace,
@@ -23,6 +74,9 @@ std::vector<std::uint32_t> assign_queries(const Trace& trace,
   DELTA_CHECK(endpoint_count > 0);
   std::vector<std::uint32_t> assignment(trace.queries.size(), 0);
   if (endpoint_count == 1) return assignment;
+  if (strategy == SplitStrategy::kBalancedByLoad) {
+    return assign_balanced(trace, endpoint_count);
+  }
   const auto n = static_cast<std::uint64_t>(endpoint_count);
   for (std::size_t i = 0; i < trace.queries.size(); ++i) {
     switch (strategy) {
@@ -41,6 +95,8 @@ std::vector<std::uint32_t> assign_queries(const Trace& trace,
         assignment[i] = static_cast<std::uint32_t>(key % n);
         break;
       }
+      case SplitStrategy::kBalancedByLoad:
+        break;  // handled above
     }
   }
   return assignment;

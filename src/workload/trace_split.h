@@ -3,7 +3,7 @@
 // the shared repository, which fans invalidations out to the subscribed
 // caches (see core::ServerNode).
 //
-// Two strategies:
+// Three strategies:
 //   * kRoundRobin     — queries are dealt to endpoints in arrival order;
 //                       an even load-balance baseline with no locality.
 //   * kHashByRegion   — queries hash by their spatial anchor (the first
@@ -11,7 +11,15 @@
 //                       queries over the same sky region land on the same
 //                       endpoint and its cache can specialize. This is the
 //                       sharding mode the ROADMAP's scale-out targets.
-// Both are deterministic functions of the trace, so multi-endpoint runs
+//   * kBalancedByLoad — anchors keep the hash split's locality (all
+//                       queries sharing an anchor land together), but
+//                       anchors are packed onto endpoints by LPT bin
+//                       packing of their exact query counts instead of by
+//                       hash, so the heaviest endpoint carries as close to
+//                       the mean load as the anchor granularity permits.
+//                       This is the split that closes the parallel
+//                       engine's critical-path gap at large N.
+// All are deterministic functions of the trace, so multi-endpoint runs
 // stay exactly reproducible.
 #pragma once
 
@@ -25,6 +33,7 @@ namespace delta::workload {
 enum class SplitStrategy : std::uint8_t {
   kRoundRobin,
   kHashByRegion,
+  kBalancedByLoad,
 };
 
 [[nodiscard]] constexpr const char* to_string(SplitStrategy strategy) {
@@ -33,6 +42,8 @@ enum class SplitStrategy : std::uint8_t {
       return "round_robin";
     case SplitStrategy::kHashByRegion:
       return "hash_by_region";
+    case SplitStrategy::kBalancedByLoad:
+      return "balanced_by_load";
   }
   return "?";
 }

@@ -4,6 +4,7 @@
 // each shard — for every strategy and endpoint count.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <set>
 #include <unordered_map>
@@ -17,7 +18,8 @@ namespace delta::workload {
 namespace {
 
 constexpr SplitStrategy kStrategies[] = {SplitStrategy::kRoundRobin,
-                                         SplitStrategy::kHashByRegion};
+                                         SplitStrategy::kHashByRegion,
+                                         SplitStrategy::kBalancedByLoad};
 constexpr std::size_t kEndpointCounts[] = {1, 2, 3, 5, 8};
 
 /// A random trace: `object_count` objects with random sizes, a random
@@ -120,6 +122,64 @@ TEST(SplitStrategyPropertyTest, RoundRobinDealsInArrivalOrder) {
       for (std::size_t qi = 0; qi < assignment.size(); ++qi) {
         ASSERT_EQ(assignment[qi], qi % n) << "query " << qi << " n=" << n;
       }
+    }
+  }
+}
+
+TEST(SplitStrategyPropertyTest, BalancedByLoadKeepsAnchorsTogether) {
+  // Like hash-by-region, the balanced split's atomic unit is the spatial
+  // anchor — all queries sharing an anchor land on one endpoint, so a
+  // region's working set is never split across caches.
+  util::Rng rng{20260808};
+  for (int iteration = 0; iteration < 20; ++iteration) {
+    const Trace trace = random_trace(rng);
+    for (const std::size_t n : kEndpointCounts) {
+      const auto assignment =
+          assign_queries(trace, n, SplitStrategy::kBalancedByLoad);
+      std::unordered_map<std::int32_t, std::uint32_t> anchor_endpoint;
+      for (std::size_t qi = 0; qi < trace.queries.size(); ++qi) {
+        const auto& q = trace.queries[qi];
+        if (q.base_cover.empty()) continue;
+        const auto [it, inserted] =
+            anchor_endpoint.emplace(q.base_cover.front(), assignment[qi]);
+        EXPECT_EQ(it->second, assignment[qi])
+            << "anchor " << q.base_cover.front() << " split across endpoints";
+      }
+    }
+  }
+}
+
+TEST(SplitStrategyPropertyTest, BalancedByLoadBoundsTheImbalance) {
+  // LPT guarantee at anchor granularity: the heaviest endpoint carries at
+  // most the mean query load plus one whole anchor's queries (the split
+  // cannot cut an anchor, so this is the best general bound).
+  util::Rng rng{20260809};
+  for (int iteration = 0; iteration < 20; ++iteration) {
+    const Trace trace = random_trace(rng);
+    if (trace.queries.empty()) continue;
+    for (const std::size_t n : kEndpointCounts) {
+      const auto assignment =
+          assign_queries(trace, n, SplitStrategy::kBalancedByLoad);
+      std::unordered_map<std::int64_t, std::size_t> anchor_queries;
+      for (const auto& q : trace.queries) {
+        const std::int64_t anchor =
+            q.base_cover.empty()
+                ? -1 - static_cast<std::int64_t>(q.id.value())
+                : q.base_cover.front();
+        ++anchor_queries[anchor];
+      }
+      std::size_t largest_anchor = 0;
+      for (const auto& [anchor, count] : anchor_queries) {
+        largest_anchor = std::max(largest_anchor, count);
+      }
+      std::vector<std::size_t> load(n, 0);
+      for (const std::uint32_t e : assignment) ++load[e];
+      const std::size_t max_load = *std::max_element(load.begin(), load.end());
+      EXPECT_LE(static_cast<double>(max_load),
+                static_cast<double>(trace.queries.size()) /
+                        static_cast<double>(n) +
+                    static_cast<double>(largest_anchor))
+          << "n=" << n;
     }
   }
 }
