@@ -418,9 +418,16 @@ struct OpenLoopCell {
 ///     admission controller sheds at the server and degrades at the policy;
 ///   * update_storm       — lossy links (drop/duplicate/reorder on every
 ///     path) under congestion batching; timeouts, retries and the dedup
-///     windows carry the run.
+///     windows carry the run;
+///   * rolling_restart    — (ISSUE 10) each cache crash-stops in turn,
+///     restarts cold, and reconverges via the kRecoverRequest ledger
+///     replay (downtime, availability, cold misses, reconvergence time);
+///   * server_crash       — (ISSUE 10) the repository itself crash-stops
+///     mid-run on a clean network; caches detect the new incarnation,
+///     re-register, and the ledger invariant (logged == applied) holds.
 /// Every fate is a pure function of (plan seed, link, message seq), so each
-/// cell is bit-identical for any thread count (chaos_engine_test pins it).
+/// cell is bit-identical for any thread count (chaos_engine_test and
+/// crash_restart_test pin it).
 struct ChaosCell {
   std::string scenario;
   std::string policy;
@@ -432,6 +439,10 @@ struct ChaosCell {
   double response_p50 = 0.0;
   double response_p99 = 0.0;
   std::int64_t queries = 0;
+  double sim_duration_seconds = 0.0;
+  // 1 - crash downtime / simulated duration: the fraction of the run with
+  // every endpoint up (1.0 for scenarios without crash schedules).
+  double availability = 1.0;
   sim::ChaosYardsticks chaos;
 };
 
@@ -455,6 +466,10 @@ ChaosCell measure_chaos(const sim::Setup& setup, std::string scenario,
       cell.response_p50 = r.response_p50();
       cell.response_p99 = r.response_p99();
       cell.queries = r.replay.combined.queries;
+      cell.sim_duration_seconds = r.sim_duration_seconds;
+      cell.availability =
+          1.0 - r.chaos.crash_downtime_seconds /
+                    std::max(r.sim_duration_seconds, 1e-9);
       cell.chaos = r.chaos;
     }
   }
@@ -749,7 +764,18 @@ void emit_json(std::ostream& os, const sim::SetupParams& params, int repeats,
        << ",\n       \"faults\": {\"dropped\": " << ch.faults_dropped
        << ", \"duplicated\": " << ch.faults_duplicated
        << ", \"reordered\": " << ch.faults_reordered
-       << ", \"partition_dropped\": " << ch.partition_dropped << "}}"
+       << ", \"partition_dropped\": " << ch.partition_dropped << "}"
+       << ",\n       \"crash\": {\"restarts\": " << ch.crash_restarts
+       << ", \"downtime_seconds\": " << ch.crash_downtime_seconds
+       << ", \"dropped_while_down\": " << ch.crash_dropped
+       << ", \"cold_misses\": " << ch.cold_misses
+       << ",\n                 \"budget_exceeded_retries\": "
+       << ch.budget_exceeded_retries
+       << ", \"max_reconvergence_seconds\": "
+       << ch.max_reconvergence_seconds
+       << ", \"post_restart_staleness_seconds\": "
+       << ch.post_restart_staleness_seconds
+       << ", \"availability\": " << cell.availability << "}}"
        << (i + 1 < chaos.size() ? "," : "") << "\n";
   }
   os << "    ]\n  }\n}\n";
@@ -952,6 +978,50 @@ int main(int argc, char** argv) {
                                   chaos_endpoints, repeats,
                                   sim::PolicyKind::kReplica));
   }
+  // Crash cells (ISSUE 10) run VCover over a cheap-to-load repository
+  // (objects small enough for the bypass rule to admit loads), so a cold
+  // restart's re-warm burst is measurable and the policy's request traffic
+  // is what detects a restarted server. The in-flight window is unbound:
+  // a tight window stalls the arrival tape as soon as a dead endpoint
+  // fills it with timing-out queries.
+  sim::SetupParams crash_params = chaos_params;
+  crash_params.total_rows = 400;
+  const sim::Setup crash_setup{crash_params};
+  const double crash_duration =
+      static_cast<double>(crash_setup.trace().order.size()) / chaos_rate;
+  {
+    // Rolling restart: each cache crash-stops in turn for a tenth of the
+    // run, restarts cold, and recovers via the kRecoverRequest replay.
+    sim::EventEngineOptions options = chaos_base_options(chaos_rate);
+    options.open_loop.max_in_flight = 4096;
+    options.fault_plan.enabled = true;
+    for (std::size_t i = 0; i < chaos_endpoints; ++i) {
+      const double down =
+          (0.30 + 0.20 * static_cast<double>(i)) * crash_duration;
+      options.fault_plan.crashes.push_back(net::CrashSchedule{
+          "cache-" + std::to_string(i),
+          {net::FaultWindow{down, down + 0.10 * crash_duration}}});
+    }
+    chaos.push_back(measure_chaos(crash_setup, "rolling_restart", options,
+                                  chaos_endpoints, repeats,
+                                  sim::PolicyKind::kVCover));
+  }
+  {
+    // Server crash on a clean network: the repository dies for the middle
+    // tenth of the run and restarts empty; caches detect the incarnation
+    // bump, re-register, and replay. Clean links keep the recorded ledger
+    // invariant (logged == applied) exact — loss + crash can strand
+    // notices whose only replay source died (see crash_restart_test).
+    sim::EventEngineOptions options = chaos_base_options(chaos_rate);
+    options.open_loop.max_in_flight = 4096;
+    options.fault_plan.enabled = true;
+    options.fault_plan.crashes.push_back(net::CrashSchedule{
+        "server",
+        {net::FaultWindow{0.45 * crash_duration, 0.55 * crash_duration}}});
+    chaos.push_back(measure_chaos(crash_setup, "server_crash", options,
+                                  chaos_endpoints, repeats,
+                                  sim::PolicyKind::kVCover));
+  }
   for (const ChaosCell& cell : chaos) {
     std::cerr << "  chaos " << cell.scenario << ": p99="
               << util::fixed(cell.response_p99, 3) << "s timeouts="
@@ -959,7 +1029,10 @@ int main(int argc, char** argv) {
               << " shed=" << cell.chaos.shed_queries << " degraded="
               << cell.chaos.degraded_queries << " resyncs="
               << cell.chaos.resyncs << " unavailable="
-              << util::fixed(cell.chaos.unavailable_seconds, 3) << "s\n";
+              << util::fixed(cell.chaos.unavailable_seconds, 3)
+              << "s crashes=" << cell.chaos.crash_restarts
+              << " availability=" << util::fixed(cell.availability, 4)
+              << "\n";
   }
 
   const std::string out = cfg.get_string("out", "-");

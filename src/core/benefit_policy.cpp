@@ -27,6 +27,15 @@ BenefitPolicy::BenefitPolicy(CacheNode* system,
       [this](const workload::Update& u) { on_update(u); });
 }
 
+void BenefitPolicy::on_crash_restart() {
+  store_.clear();
+  std::fill(forecast_.begin(), forecast_.end(), 0.0);
+  std::fill(saved_window_.begin(), saved_window_.end(), 0.0);
+  std::fill(would_window_.begin(), would_window_.end(), 0.0);
+  std::fill(update_window_.begin(), update_window_.end(), 0.0);
+  events_in_window_ = 0;
+}
+
 void BenefitPolicy::on_update(const workload::Update& u) {
   const auto i = static_cast<std::size_t>(u.object.value());
   update_window_[i] += u.cost.as_double();

@@ -38,6 +38,10 @@ class BenefitPolicy final : public CachePolicy {
   void on_update(const workload::Update& u) override;
   QueryOutcome on_query(const workload::Query& q) override;
   void on_query_async(const workload::Query& q, QueryDone done) override;
+  /// Crash-stop wipe (ISSUE 10): the store, the smoothed forecasts, and the
+  /// open window accruals are all in-memory soft state. Instrument counters
+  /// (loads, evictions, windows closed) survive.
+  void on_crash_restart() override;
   [[nodiscard]] const char* name() const override { return "Benefit"; }
 
   [[nodiscard]] const cache::CacheStore& store() const { return store_; }

@@ -135,7 +135,104 @@ void CacheNode::set_protocol(const ProtocolOptions& options) {
   if (!protocol_on_) return;
   applied_.assign(trace_->updates.size(), 0);
   reg_gen_.assign(server_->object_count(), 0);
+  resident_.assign(server_->object_count(), 0);
   notice_stamp_high_ = 0;
+}
+
+void CacheNode::crash_restart() {
+  DELTA_CHECK_MSG(protocol_on_,
+                  "crash-stop faults require the armed protocol");
+  ++stats_.crash_restarts;
+  // The pending-correlation table dies with the process. Every outstanding
+  // request completes empty and counts failed — sync waiters' pumps unwind
+  // and open-loop in-flight windows drain, so no query leaks through a
+  // crash. Detach the whole table first: completions may issue fresh
+  // requests (which belong to the restarted process).
+  std::vector<Pending> doomed = std::move(pending_);
+  pending_.clear();
+  for (Pending& p : doomed) {
+    events_->cancel(p.deadline);
+    ++stats_.failed_requests;
+    finish(p, Bytes{});
+  }
+  // Soft state lost at the crash instant. The applied-notice ledger and the
+  // monotone correlation / registration-generation / epoch counters are
+  // deliberately kept: they model epoch-prefixed identifiers (a pre-crash
+  // correlation can never match a post-crash request) and the run's
+  // convergence instrument (wiping applied_ would double-count resync
+  // replays of notices the pre-crash process already applied).
+  std::fill(resident_.begin(), resident_.end(), 0);
+  notice_stamp_high_ = 0;
+  consecutive_failures_ = 0;
+  suspected_ = false;
+  // Cold phase: from the wipe until the recovery resync completes, loads
+  // count as cold misses and replayed notices as post-restart staleness.
+  recovering_ = true;
+}
+
+void CacheNode::fill_recover_payload(net::Message& msg) const {
+  msg.batched_invalidations.clear();
+  for (std::size_t i = 0; i < resident_.size(); ++i) {
+    if (resident_[i] != 0) {
+      msg.batched_invalidations.push_back(static_cast<std::int64_t>(i));
+    }
+  }
+  msg.batch_bytes =
+      net::kBatchedNoticeBytes *
+      static_cast<std::int64_t>(msg.batched_invalidations.size());
+}
+
+void CacheNode::begin_recovery() {
+  if (!protocol_on_ || recovery_inflight_) return;
+  recovery_inflight_ = true;
+  recovering_ = true;
+  recovery_started_at_ = transport_->now();
+  // Re-establish the subscription out of band (control plane), then rebuild
+  // the server's registration row and replay the missed notice ledger in
+  // one kRecoverRequest under a fresh epoch. The request retries past the
+  // attempt budget (its expected reply is kResyncData), so recovery
+  // launched at a restart instant — or at a dead server — simply keeps
+  // knocking until the other side is alive again.
+  server_->set_subscription(slot_, subscription_);
+  ++stats_.resyncs;
+  ++epoch_;
+  const std::int64_t correlation = next_correlation_++;
+  Pending pending;
+  pending.correlation = correlation;
+  pending.expected_reply = net::MessageKind::kResyncData;
+  pending.complete = [this](Bytes) {
+    recovery_inflight_ = false;
+    if (recovering_) {
+      stats_.max_reconvergence_seconds =
+          std::max(stats_.max_reconvergence_seconds,
+                   transport_->now() - recovery_started_at_);
+      recovering_ = false;
+    }
+  };
+  pending.kind = net::MessageKind::kRecoverRequest;
+  pending.subject_id = epoch_;
+  pending.sent_at = 0;
+  pending.protocol_epoch = epoch_;
+  pending_.push_back(std::move(pending));
+  net::Message msg =
+      request(net::MessageKind::kRecoverRequest, epoch_, 0, correlation);
+  msg.protocol_epoch = epoch_;
+  fill_recover_payload(msg);
+  transport_->send_to(server_transport_slot_, msg, net::Mechanism::kOverhead);
+  DELTA_DCHECK(pending_.back().correlation == correlation);
+  arm_deadline(pending_.back());
+}
+
+void CacheNode::observe_incarnation(const net::Message& m) {
+  if (!protocol_on_ || m.protocol_epoch <= server_incarnation_seen_) return;
+  // The server stamped a higher incarnation than any we have seen: it died
+  // and restarted since our last contact. Its registration row for us is
+  // gone and its notice ledger restarted at position zero, so the old
+  // high-water mark must not poison the new stream's gap detection —
+  // epoch-stamped notice stamps, reset on incarnation change.
+  server_incarnation_seen_ = m.protocol_epoch;
+  notice_stamp_high_ = 0;
+  begin_recovery();
 }
 
 void CacheNode::finish(Pending& done, Bytes payload) {
@@ -179,10 +276,14 @@ void CacheNode::on_deadline(void* self, std::uint64_t correlation) {
 
 void CacheNode::handle_deadline(std::int64_t correlation) {
   for (std::size_t i = 0; i < pending_.size(); ++i) {
-    Pending& p = pending_[i];
-    if (p.correlation != correlation) continue;
+    if (pending_[i].correlation != correlation) continue;
     ++stats_.timeouts;
+    // note_failure() can fire the suspicion probe (start_resync ->
+    // send_request), which appends to pending_ and may reallocate its
+    // storage. It never removes entries, so index i stays valid — but a
+    // reference must not be held across the call.
     note_failure();
+    Pending& p = pending_[i];
     if (!retries_forever(p.expected_reply) &&
         p.attempts >= protocol_.max_attempts) {
       // Budget exhausted: the request completes empty — accounted as a
@@ -194,12 +295,24 @@ void CacheNode::handle_deadline(std::int64_t correlation) {
       finish(done, Bytes{});
       return;
     }
+    if (retries_forever(p.expected_reply) &&
+        p.attempts >= protocol_.max_attempts) {
+      // Budget-exempt kinds (loads, resyncs/recovery) retry past the
+      // attempt budget — their loss would diverge durable state. Count the
+      // over-budget retries so the behavior is observable, not folklore.
+      ++stats_.budget_exceeded_retries;
+    }
     ++p.attempts;
     ++stats_.retries;
     net::Message msg =
         request(p.kind, p.subject_id, p.sent_at, correlation);
     msg.attempt = p.attempts;
     msg.protocol_epoch = p.protocol_epoch;
+    if (p.kind == net::MessageKind::kRecoverRequest) {
+      // The retransmit carries the sender's *current* resident set — which
+      // is exactly what the server-side row reset means.
+      fill_recover_payload(msg);
+    }
     arm_deadline(p);
     transport_->send_to(server_transport_slot_, msg,
                         net::Mechanism::kOverhead);
@@ -215,6 +328,12 @@ void CacheNode::note_failure() {
       consecutive_failures_ >= protocol_.partition_suspect_threshold) {
     suspected_ = true;
     suspect_since_ = transport_->now();
+    // Crash-stop liveness: launch an epoch resync as a probe the moment
+    // suspicion fires. Resyncs retry past the budget, so the probe keeps
+    // knocking until the server answers — and its reply carries the
+    // incarnation stamp that tells a cache its server didn't just
+    // partition, it died and restarted (triggering begin_recovery).
+    if (protocol_.probe_on_suspect) start_resync();
   }
 }
 
@@ -228,7 +347,9 @@ void CacheNode::note_success() {
 }
 
 void CacheNode::start_resync() {
-  if (resync_inflight_) return;
+  // A crash recovery in flight supersedes a plain resync: kRecoverRequest
+  // ends with the same epoch-snapshotted ledger replay.
+  if (resync_inflight_ || recovery_inflight_) return;
   resync_inflight_ = true;
   ++stats_.resyncs;
   ++epoch_;
@@ -249,9 +370,15 @@ void CacheNode::apply_resync_payload(const net::Message& m) {
     // The staleness spike only counts notices the wire really lost (ids
     // already applied are dedup'd, not stale).
     if (stamped && applied_[static_cast<std::size_t>(id)] == 0) {
+      const double gap = now - m.batched_ingest_at[i];
       stats_.max_recovery_staleness_seconds =
-          std::max(stats_.max_recovery_staleness_seconds,
-                   now - m.batched_ingest_at[i]);
+          std::max(stats_.max_recovery_staleness_seconds, gap);
+      if (recovering_) {
+        // Replayed by a *crash recovery* resync: the post-restart
+        // staleness spike, reported separately from partition recovery.
+        stats_.post_restart_staleness_seconds =
+            std::max(stats_.post_restart_staleness_seconds, gap);
+      }
     }
     apply_invalidation(id);
   }
@@ -311,6 +438,10 @@ void CacheNode::apply_invalidation(std::int64_t update_id) {
 }
 
 void CacheNode::handle_message(const net::Message& m) {
+  // Every server->cache message carries the server's incarnation stamp
+  // while the protocol is armed; a jump means the server restarted and we
+  // must re-register before anything else in this message is interpreted.
+  observe_incarnation(m);
   switch (m.kind) {
     case net::MessageKind::kInvalidation: {
       observe_notice_stamp(
@@ -384,6 +515,9 @@ void CacheNode::handle_message(const net::Message& m) {
 }
 
 void CacheNode::set_subscription(MetadataSubscription subscription) {
+  // Remembered locally so a crash restart can re-subscribe: the server's
+  // copy is exactly the soft state a server crash wipes.
+  subscription_ = subscription;
   server_->set_subscription(slot_, subscription);
 }
 
@@ -409,6 +543,8 @@ void CacheNode::load_object_async(ObjectId o, Completion complete) {
   std::int64_t generation = -1;
   if (protocol_on_) {
     generation = ++reg_gen_[static_cast<std::size_t>(o.value())];
+    resident_[static_cast<std::size_t>(o.value())] = 1;
+    if (recovering_) ++stats_.cold_misses;
   }
   send_request(net::MessageKind::kLoadRequest, o.value(), 0,
                net::MessageKind::kLoadData, std::move(complete), generation);
@@ -428,6 +564,8 @@ Bytes CacheNode::load_object(ObjectId o) {
   std::int64_t generation = -1;
   if (protocol_on_) {
     generation = ++reg_gen_[static_cast<std::size_t>(o.value())];
+    resident_[static_cast<std::size_t>(o.value())] = 1;
+    if (recovering_) ++stats_.cold_misses;
   }
   const Bytes loaded = request_and_wait(net::MessageKind::kLoadRequest,
                                         o.value(), 0,
@@ -447,6 +585,7 @@ void CacheNode::notify_eviction(ObjectId o) {
     // Stamp the generation of the registration being dropped: the server
     // ignores this notice if a newer load re-registered the object first.
     msg.protocol_epoch = reg_gen_[static_cast<std::size_t>(o.value())];
+    resident_[static_cast<std::size_t>(o.value())] = 0;
   }
   transport_->send_to(server_transport_slot_, msg, net::Mechanism::kOverhead);
   // The notice is unacknowledged; only a synchronous transport has

@@ -107,6 +107,28 @@ class CacheNode {
   [[nodiscard]] const ProtocolStats& protocol_stats() const { return stats_; }
   /// True when set_protocol actually armed (enabled + event-driven).
   [[nodiscard]] bool protocol_armed() const { return protocol_on_; }
+
+  // ---- crash-stop endpoint faults (ISSUE 10) ----
+
+  /// The cache process dies at this instant. Soft state is lost: the
+  /// pending-correlation table (every outstanding request completes empty
+  /// and counts failed — sync waiters unwind, open-loop windows drain, no
+  /// query leaks), the resident-set bookkeeping, the notice-stamp
+  /// high-water mark, and the suspicion state. Two ledgers deliberately
+  /// survive as *modeled-durable* identity: the applied-notice ledger (the
+  /// convergence instrument — wiping it would double-count resync replays)
+  /// and the monotone correlation/registration-generation counters (they
+  /// model epoch-prefixed ids, so a pre-crash correlation can never match a
+  /// post-crash request and a stale eviction can never downgrade a
+  /// registration). The policy's wipe (CachePolicy::on_crash_restart) is
+  /// the engine's job, one event later. Requires the armed protocol.
+  void crash_restart();
+  /// The process restarts (cache-crash heal instant) or detects a restarted
+  /// server (incarnation stamp): re-subscribe out of band, then rebuild the
+  /// server's registration row and replay the missed notice ledger through
+  /// one kRecoverRequest under a fresh epoch. Retries past the attempt
+  /// budget like any resync; completion closes the reconvergence clock.
+  void begin_recovery();
   /// Serialization backlog on this cache's uplink to the server — the
   /// pressure signal the policy-side degrade path gates on.
   [[nodiscard]] double uplink_backlog_seconds() const {
@@ -203,6 +225,19 @@ class CacheNode {
   double suspect_since_ = 0.0;
   std::int64_t epoch_ = 0;
   bool resync_inflight_ = false;
+  /// Crash-stop recovery state (ISSUE 10). `subscription_` mirrors the last
+  /// set_subscription so a restart can re-subscribe; `resident_` mirrors
+  /// load/evict traffic so a kRecoverRequest can carry the re-registration
+  /// set; `server_incarnation_seen_` is the highest server incarnation
+  /// stamp observed (restart detector); `recovering_` spans wipe/detection
+  /// -> recovery-resync completion and drives the cold-miss and
+  /// reconvergence yardsticks.
+  MetadataSubscription subscription_ = MetadataSubscription::kNone;
+  std::vector<std::uint8_t> resident_;
+  std::int64_t server_incarnation_seen_ = 0;
+  bool recovery_inflight_ = false;
+  bool recovering_ = false;
+  double recovery_started_at_ = 0.0;
   /// Gap detector over the server's stamped notice stream: highest ledger
   /// position seen. A live notice whose stamped range starts above this
   /// mark proves the wire lost notices in between — the only signal a
@@ -255,6 +290,11 @@ class CacheNode {
   void note_failure();
   void start_resync();
   void apply_resync_payload(const net::Message& m);
+  /// Fills a kRecoverRequest's re-registration payload from the current
+  /// resident set (also used by the retransmit path — the set carried is
+  /// always the sender's current one, which is what the row reset means).
+  void fill_recover_payload(net::Message& msg) const;
+  void observe_incarnation(const net::Message& m);
 };
 
 }  // namespace delta::core

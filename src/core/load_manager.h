@@ -93,6 +93,12 @@ class LoadManager {
   /// Counter-mode bookkeeping dropped when an object is loaded or evicted.
   void forget(ObjectId o) { counters_.erase(o); }
 
+  /// Crash-stop wipe (ISSUE 10): the partial-attribution counters are
+  /// in-memory soft state and die with the process. The RNG keeps its
+  /// stream (randomized mode draws stay a deterministic function of the
+  /// pre-crash draw count — the crash does not reseed the experiment).
+  void clear() { counters_.clear(); }
+
   /// Pre-sizes the counter table (counter mode tracks objects with partial
   /// attribution — bounded by the queried-object footprint, not residency).
   void reserve(std::size_t n) { counters_.reserve(n); }

@@ -87,6 +87,17 @@ class CachePolicy {
   /// degraded mode).
   [[nodiscard]] virtual std::int64_t degraded_queries() const { return 0; }
 
+  /// Crash-stop fault injection (ISSUE 10): the cache process hosting this
+  /// policy died and restarted cold. All in-memory policy state — store
+  /// contents, pending-update bookkeeping, popularity/heat signals — is
+  /// lost; run counters are instruments of the experiment, not process
+  /// memory, and survive. The engine calls this one event after
+  /// CacheNode::crash_restart(), never under a live dispatch frame.
+  /// Default: no-op, for yardstick policies whose "store" is implicit
+  /// (NoCache ships everything; Replica's content is the repository's;
+  /// SOptimal's chosen set is offline configuration, not soft state).
+  virtual void on_crash_restart() {}
+
   [[nodiscard]] virtual const char* name() const = 0;
 };
 

@@ -51,6 +51,14 @@ struct ProtocolOptions {
   bool resync_on_heal = true;
   /// Entries in the server's per-cache (correlation, attempt) dedup ring.
   std::int32_t dedup_window = 64;
+  /// Crash-stop liveness (ISSUE 10): on first suspicion, immediately launch
+  /// an epoch resync as a probe. Resyncs retry past the attempt budget, so
+  /// the probe doubles as heal detection — and its reply carries the
+  /// server's incarnation stamp, which is how a cache discovers that the
+  /// server it suspected actually died and restarted (and must be
+  /// re-registered, not just resynced). The engine arms this automatically
+  /// for any run whose fault plan schedules crashes.
+  bool probe_on_suspect = false;
 };
 
 /// Overload controller: shed at the server, degrade at the policy.
@@ -97,6 +105,25 @@ struct ProtocolStats {
   /// applied from a resync replay — how stale the cache had silently become
   /// before recovery caught it up.
   double max_recovery_staleness_seconds = 0.0;
+
+  // ---- crash-stop endpoint faults (ISSUE 10) ----
+
+  /// Times this cache process crashed and restarted.
+  std::int64_t crash_restarts = 0;
+  /// Loads issued while the cache was rewarming after a crash (from the
+  /// wipe until its recovery resync completed) — the cold-miss burst.
+  std::int64_t cold_misses = 0;
+  /// Retries of budget-exempt requests (kLoadData/kResyncData expected
+  /// replies) issued beyond max_attempts — the retry-past-budget behavior
+  /// those kinds are documented to have, made countable.
+  std::int64_t budget_exceeded_retries = 0;
+  /// Largest restart/detection -> recovery-resync-completion gap: the
+  /// time-to-reconvergence yardstick.
+  double max_reconvergence_seconds = 0.0;
+  /// Largest (now - ingest) gap over notices replayed by a *crash recovery*
+  /// resync — the post-restart staleness spike (also folded into
+  /// max_recovery_staleness_seconds).
+  double post_restart_staleness_seconds = 0.0;
 };
 
 }  // namespace delta::core

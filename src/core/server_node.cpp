@@ -78,7 +78,45 @@ bool ServerNode::is_duplicate_request(CacheEntry& cache,
 
 std::int64_t ServerNode::notices_logged(std::size_t cache_slot) const {
   DELTA_CHECK(cache_slot < caches_.size());
-  return static_cast<std::int64_t>(caches_[cache_slot].notice_log.size());
+  const CacheEntry& cache = caches_[cache_slot];
+  return cache.ledger_base + static_cast<std::int64_t>(cache.notice_log.size());
+}
+
+void ServerNode::crash_restart() {
+  DELTA_CHECK_MSG(protocol_.enabled,
+                  "crash-stop faults require the hardened protocol");
+  ++crash_restarts_;
+  ++incarnation_;
+  for (CacheEntry& cache : caches_) {
+    // Convergence accounting across the wipe: everything in notice_log was
+    // externalized (sent, or already delivered) except the batching layer's
+    // pending tail, which died in process memory without ever reaching the
+    // wire — those notices can never be applied by anyone, so they are
+    // retracted from the "owed" ledger. The rest stays owed via the base.
+    cache.ledger_base +=
+        static_cast<std::int64_t>(cache.notice_log.size()) -
+        static_cast<std::int64_t>(cache.pending_notices.size());
+    cache.notice_log.clear();
+    cache.notice_ingest.clear();
+    cache.pending_notices.clear();
+    cache.pending_notice_ingest.clear();
+    cache.pending_first_sent_at = 0;
+    if (!cache.recent_requests.empty()) {
+      std::fill(cache.recent_requests.begin(), cache.recent_requests.end(),
+                ~std::uint64_t{0});
+    }
+    cache.recent_next = 0;
+    cache.resync_epoch = -1;
+    cache.replay_from = 0;
+    cache.replay_to = 0;
+    cache.next_resync_from = 0;
+    // The registration table and subscriptions are exactly the per-client
+    // soft state a crash-stop restart loses: caches rebuild them through
+    // kRecoverRequest once they detect the new incarnation.
+    std::fill(cache.registered.begin(), cache.registered.end(), 0);
+    cache.subscription = MetadataSubscription::kNone;
+    std::fill(cache.reg_epoch.begin(), cache.reg_epoch.end(), 0);
+  }
 }
 
 void ServerNode::set_subscription(std::size_t cache_slot,
@@ -128,6 +166,12 @@ void ServerNode::handle_message(const net::Message& m) {
   // Echo the request's correlation id so the cache's pending-request table
   // can match the reply even when deliveries interleave (DelayedTransport).
   reply.correlation_id = m.correlation_id;
+  // Incarnation stamp (ISSUE 10): every server->cache message carries the
+  // process incarnation so a cache can detect that the server it was
+  // talking to died and restarted (and must be re-registered with). The
+  // initial incarnation is 0, which caches also start at, so the stamp is
+  // inert until a crash actually happens.
+  reply.protocol_epoch = protocol_.enabled ? incarnation_ : -1;
   switch (m.kind) {
     case net::MessageKind::kQueryRequest: {
       CacheEntry& cache = sender_entry(m);
@@ -190,6 +234,24 @@ void ServerNode::handle_message(const net::Message& m) {
       DELTA_CHECK_MSG(protocol_.enabled,
                       "resync request without the protocol layer armed");
       serve_resync(sender_entry(m), m);
+      break;
+    }
+    case net::MessageKind::kRecoverRequest: {
+      DELTA_CHECK_MSG(protocol_.enabled,
+                      "recover request without the protocol layer armed");
+      // Crash recovery: reset this cache's registration row to exactly the
+      // carried resident set (empty after a cache's own cold restart; the
+      // surviving store after a *server* restart), then serve the same
+      // epoch-snapshotted ledger replay a partition heal would get.
+      // Retransmits re-execute harmlessly: the row reset is last-write-wins
+      // over the same set, and serve_resync is epoch-idempotent.
+      CacheEntry& cache = sender_entry(m);
+      std::fill(cache.registered.begin(), cache.registered.end(), 0);
+      std::fill(cache.reg_epoch.begin(), cache.reg_epoch.end(), 0);
+      for (const std::int64_t oid : m.batched_invalidations) {
+        cache.registered[checked(ObjectId{oid})] = 1;
+      }
+      serve_resync(cache, m);
       break;
     }
     default:
@@ -284,6 +346,7 @@ void ServerNode::apply_update(const workload::Update& u) {
         // turns a missing predecessor into an immediate resync.
         msg.notice_ledger =
             static_cast<std::int64_t>(cache.notice_log.size());
+        msg.protocol_epoch = incarnation_;
       }
       ++notice_messages_;
       transport_->send_to(cache.transport_slot, msg,
@@ -334,6 +397,7 @@ void ServerNode::flush_cache_notices(CacheEntry& cache) {
     // The pending ids are exactly the ledger's tail, so the batch covers
     // positions (size - n, size] of the cache's notice stream.
     msg.notice_ledger = static_cast<std::int64_t>(cache.notice_log.size());
+    msg.protocol_epoch = incarnation_;
   }
   cache.pending_notices.clear();
   ++notice_messages_;

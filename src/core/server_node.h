@@ -119,6 +119,25 @@ class ServerNode {
   }
   [[nodiscard]] std::int64_t resyncs_served() const { return resyncs_served_; }
 
+  // ---- crash-stop endpoint faults (ISSUE 10) ----
+
+  /// The server process dies and restarts cold. Soft state is lost: every
+  /// cache's registration row, subscription, dedup ring, notice ledger,
+  /// pending (batched) notices, and resync bookkeeping. Durable state —
+  /// the repository's object bytes — survives, as does the convergence
+  /// ledger accounting: notices already externalized (sent or in flight)
+  /// stay "owed" via a per-cache ledger base, while notices still pending
+  /// in process memory died unsent and are retracted (they can never be
+  /// applied by anyone). The incarnation number increments; it is stamped
+  /// on every subsequent server->cache message so caches can detect the
+  /// restart and re-register (kRecoverRequest). Requires the hardened
+  /// protocol.
+  void crash_restart();
+  [[nodiscard]] std::int64_t crash_restarts() const { return crash_restarts_; }
+  /// Monotone process-incarnation number (0 = never crashed). Stamped as
+  /// protocol_epoch on server->cache messages while the protocol is armed.
+  [[nodiscard]] std::int64_t incarnation() const { return incarnation_; }
+
   // ---- congestion batching of invalidation notices ----
 
   void set_notice_batching(const NoticeBatchingOptions& options) {
@@ -187,6 +206,11 @@ class ServerNode {
     /// eviction notice carrying an older generation than the load that
     /// re-registered the object must not deregister it.
     std::vector<std::int64_t> reg_epoch;
+    /// Notices owed to this cache by *earlier server incarnations* that
+    /// were externalized before the crash wiped the log they lived in.
+    /// notices_logged() = ledger_base + notice_log.size(), so the
+    /// convergence invariant survives the log being soft state.
+    std::int64_t ledger_base = 0;
   };
 
   const workload::Trace* trace_;
@@ -209,6 +233,8 @@ class ServerNode {
   std::int64_t shed_queries_ = 0;
   std::int64_t duplicates_suppressed_ = 0;
   std::int64_t resyncs_served_ = 0;
+  std::int64_t crash_restarts_ = 0;
+  std::int64_t incarnation_ = 0;
 
   [[nodiscard]] std::size_t checked(ObjectId o) const;
   [[nodiscard]] CacheEntry& sender_entry(const net::Message& m);

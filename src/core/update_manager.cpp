@@ -90,6 +90,24 @@ void UpdateManager::rekey_queries(std::vector<QueryNode>& affected) {
   }
 }
 
+void UpdateManager::clear() {
+  // Query vertices first, forced: shipped-query memory may still carry
+  // interaction edges, and remove_query_force cancels any flow through
+  // them. Then the update groups (their remaining edges vanish with them).
+  for (const auto& [sig, node] : sig_to_node_) {
+    solver_.remove_query_force(node);
+  }
+  sig_to_node_.clear();
+  node_to_sig_.clear();
+  groups_.for_each(
+      [this](const ObjectId& /*o*/, const std::unique_ptr<UpdateGroup>& g) {
+        solver_.remove_update(g->node);
+      });
+  groups_.clear();
+  node_to_group_.clear();
+  pending_.clear();
+}
+
 void UpdateManager::drop_object(ObjectId o) {
   pending_.erase(o);
   auto* group = groups_.find(o);

@@ -63,6 +63,15 @@ class UpdateManager {
   /// outstanding updates are folded into the load).
   void drop_object(ObjectId o);
 
+  /// Crash-stop wipe (ISSUE 10): drops the entire interaction graph —
+  /// pending updates, materialized groups, and the shipped-query memory.
+  /// Uses the solver's public removal API (it is deliberately neither
+  /// copyable nor movable — the incremental-flow engine points into its
+  /// owned network), so the solver stays internally consistent and
+  /// reusable. Run counters (peak nodes, covers computed) survive: they
+  /// instrument the experiment, not the process.
+  void clear();
+
   /// Pre-sizes the per-object maps for up to `n` stale objects (bounded by
   /// residency, not by trace length or total object count).
   void reserve(std::size_t n) {

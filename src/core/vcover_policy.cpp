@@ -53,6 +53,25 @@ VCoverPolicy::VCoverPolicy(CacheNode* system, const VCoverOptions& options)
       [this](const workload::Update& u) { on_update(u); });
 }
 
+void VCoverPolicy::on_crash_restart() {
+  store_.clear();
+  // The evictor's priority state (GDS inflation value L, LRU clocks) is
+  // in-memory; a restarted process starts from a fresh instance.
+  if (options_.use_lru) {
+    evictor_ = std::make_unique<cache::LruPolicy>(&store_);
+  } else {
+    evictor_ = std::make_unique<cache::GreedyDualSize>(&store_);
+  }
+  if (options_.expected_resident_objects > 0) {
+    evictor_->reserve(options_.expected_resident_objects);
+  }
+  update_manager_.clear();
+  load_manager_.clear();
+  heat_.clear();
+  missing_.clear();
+  eager_batch_.clear();
+}
+
 void VCoverPolicy::on_update(const workload::Update& u) {
   // Invalidations arrive only for registered (resident) objects — except
   // that over an event-driven transport our eviction notice may still be

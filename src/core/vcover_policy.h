@@ -52,6 +52,11 @@ class VCoverPolicy final : public CachePolicy {
   void on_update(const workload::Update& u) override;
   QueryOutcome on_query(const workload::Query& q) override;
   void on_query_async(const workload::Query& q, QueryDone done) override;
+  /// Crash-stop wipe (ISSUE 10): the resident store, the interaction graph,
+  /// the eviction metadata, the bypass-rule counters, and the preship heat
+  /// all die with the process. Instrument counters (loads, evictions, churn
+  /// log) survive — they measure the experiment, not the process.
+  void on_crash_restart() override;
   /// Overload degradation (ISSUE 8): under uplink pressure an all-cached
   /// query whose outstanding updates are ALL newer than its t(q) horizon
   /// is answered from the cache as-is — stale-but-within-tolerance — and

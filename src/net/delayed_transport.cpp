@@ -65,6 +65,9 @@ void DelayedTransport::set_fault_plan(FaultPlan plan) {
     for (const LinkPartition& partition : plan_.partitions) {
       faults_active_ = faults_active_ || !partition.windows.empty();
     }
+    for (const CrashSchedule& crash : plan_.crashes) {
+      faults_active_ = faults_active_ || !crash.windows.empty();
+    }
   }
   rebuild_fault_grid({}, 0);  // a new plan restarts every link's stream
 }
@@ -73,9 +76,21 @@ void DelayedTransport::rebuild_fault_grid(
     const std::vector<LinkFaultState>& old_grid, std::size_t old_cols) {
   if (!faults_active_) {
     fault_grid_.clear();
+    crash_windows_.clear();
     return;
   }
   fault_grid_.assign((grid_cols_ + 1) * grid_cols_, LinkFaultState{});
+  // Crash-stop schedules resolve by endpoint name, like everything else in
+  // the plan, so registration order cannot perturb fates.
+  crash_windows_.assign(grid_cols_, nullptr);
+  for (std::size_t slot = 0; slot < grid_cols_; ++slot) {
+    for (const CrashSchedule& crash : plan_.crashes) {
+      if (crash.name == endpoints_[slot].name && !crash.windows.empty()) {
+        crash_windows_[slot] = &crash.windows;
+        break;
+      }
+    }
+  }
   for (std::size_t row = 0; row < grid_cols_ + 1; ++row) {
     // Row 0 is the shared external-sender source; a plan addresses it with
     // an empty endpoint name.
@@ -119,6 +134,15 @@ DelayedTransport::FaultDecision DelayedTransport::apply_link_faults(
       fault_grid_[link_row(timing.sender_slot) * grid_cols_ +
                   destination_slot];
   const std::uint64_t seq = state.seq++;
+  // Crash-stop gating (ISSUE 10): a dead process can neither send nor
+  // receive. The sender check uses the send instant; the destination check
+  // runs at the *final* delivery instant, after any reorder delay, so a
+  // message in flight across a heal still lands (late replies are the
+  // restarted cache's problem, not the wire's).
+  if (endpoint_down(timing.sender_slot, timing.sent_at)) {
+    ++fault_stats_.crash_dropped;
+    return FaultDecision{false, false};
+  }
   if (state.windows != nullptr) {
     for (const FaultWindow& window : *state.windows) {
       if (window.covers(timing.sent_at)) {
@@ -127,7 +151,13 @@ DelayedTransport::FaultDecision DelayedTransport::apply_link_faults(
       }
     }
   }
-  if (!state.faults.any()) return FaultDecision{};
+  if (!state.faults.any()) {
+    if (endpoint_down(destination_slot, timing.deliver_at)) {
+      ++fault_stats_.crash_dropped;
+      return FaultDecision{false, false};
+    }
+    return FaultDecision{};
+  }
   // The message's private splitmix stream: its fate is a pure function of
   // (plan seed, link endpoint names, per-link sequence number) — no shared
   // RNG state, so shard interleaving and thread count cannot touch it.
@@ -148,6 +178,13 @@ DelayedTransport::FaultDecision DelayedTransport::apply_link_faults(
   if (draw() < state.faults.duplicate) {
     ++fault_stats_.duplicated;
     fate.duplicate = true;
+  }
+  // Post-reorder delivery instant: the destination must be alive when the
+  // message actually lands (the duplicate shares this timing, so one dead
+  // destination kills both copies).
+  if (endpoint_down(destination_slot, timing.deliver_at)) {
+    ++fault_stats_.crash_dropped;
+    return FaultDecision{false, false};
   }
   return fate;
 }

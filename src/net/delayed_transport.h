@@ -139,6 +139,18 @@ class DelayedTransport final : public Transport {
   void set_fault_plan(FaultPlan plan);
   [[nodiscard]] const FaultStats& fault_stats() const { return fault_stats_; }
   [[nodiscard]] bool faults_active() const { return faults_active_; }
+  /// True when `slot`'s process is crashed at simulated instant `t`
+  /// (some crash window of the installed plan covers t). False when no
+  /// plan is active or the endpoint has no crash schedule.
+  [[nodiscard]] bool endpoint_down(std::size_t slot, double t) const {
+    if (slot >= crash_windows_.size() || crash_windows_[slot] == nullptr) {
+      return false;
+    }
+    for (const FaultWindow& w : *crash_windows_[slot]) {
+      if (w.covers(t)) return true;
+    }
+    return false;
+  }
 
   // ---- simulation-side instrumentation ----
 
@@ -287,6 +299,11 @@ class DelayedTransport final : public Transport {
   FaultPlan plan_;
   /// Parallel to link_grid_; empty while no fault is active.
   std::vector<LinkFaultState> fault_grid_;
+  /// Per-endpoint crash windows (into plan_.crashes), indexed by endpoint
+  /// slot; nullptr = the endpoint never crashes. Empty while no fault is
+  /// active. Name-resolved alongside the fault grid so registration order
+  /// cannot matter.
+  std::vector<const std::vector<FaultWindow>*> crash_windows_;
   FaultStats fault_stats_;
   bool faults_active_ = false;
   std::vector<InFlight> flight_pool_;

@@ -74,6 +74,19 @@ struct LinkPartition {
   std::vector<FaultWindow> windows;
 };
 
+/// Crash-stop schedule for one endpoint *process* (ISSUE 10). Each window
+/// [down, heal) kills the named endpoint at `down_seconds` (its soft state
+/// is wiped by the engine's crash event) and restarts it — cold — at
+/// `heal_seconds`. While down, the transport drops every message the
+/// endpoint would send (its send instant falls in a window) or receive
+/// (its *final* delivery instant falls in a window). Heal instants must be
+/// finite: they bound the retry ladders of in-flight requests the same way
+/// partition heals do.
+struct CrashSchedule {
+  std::string name;
+  std::vector<FaultWindow> windows;
+};
+
 /// The full fault configuration handed to DelayedTransport::set_fault_plan.
 struct FaultPlan {
   bool enabled = false;
@@ -82,6 +95,9 @@ struct FaultPlan {
   LinkFaults default_faults;
   std::vector<LinkFaultRule> rules;
   std::vector<LinkPartition> partitions;
+  /// Crash-stop endpoint failures. A schedule with no windows is inert and
+  /// keeps the zero-fault byte-identity contract.
+  std::vector<CrashSchedule> crashes;
 };
 
 /// Counters the transport accumulates while a plan is active.
@@ -90,6 +106,9 @@ struct FaultStats {
   std::int64_t duplicated = 0;
   std::int64_t reordered = 0;
   std::int64_t partition_dropped = 0;
+  /// Messages dropped because an endpoint process was down at the send or
+  /// delivery instant (crash-stop semantics, not link loss).
+  std::int64_t crash_dropped = 0;
 };
 
 // ---- deterministic draw helpers ------------------------------------------

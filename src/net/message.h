@@ -38,6 +38,14 @@ enum class MessageKind : std::uint8_t {
   /// (with their ingest instants in batched_ingest_at), like a congestion
   /// batch — recovery data is metered as overhead, never figure traffic.
   kResyncData,
+  /// Crash-stop recovery (ISSUE 10): a restarted cache — or a cache that
+  /// detected a restarted server through its incarnation stamp — rebuilds
+  /// the server's registration row. batched_invalidations carries the
+  /// cache's resident object ids (its re-registration set), subject_id its
+  /// fresh registration epoch; the server resets the row to exactly that
+  /// set and answers with the same kResyncData ledger replay a partition
+  /// heal would get.
+  kRecoverRequest,
 };
 
 [[nodiscard]] constexpr const char* to_string(MessageKind kind) {
@@ -62,6 +70,8 @@ enum class MessageKind : std::uint8_t {
       return "resync_request";
     case MessageKind::kResyncData:
       return "resync_data";
+    case MessageKind::kRecoverRequest:
+      return "recover_request";
   }
   return "?";
 }

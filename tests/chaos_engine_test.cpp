@@ -100,6 +100,14 @@ void expect_chaos_identical(const ChaosYardsticks& a,
   EXPECT_EQ(a.faults_duplicated, b.faults_duplicated);
   EXPECT_EQ(a.faults_reordered, b.faults_reordered);
   EXPECT_EQ(a.partition_dropped, b.partition_dropped);
+  EXPECT_EQ(a.crash_restarts, b.crash_restarts);
+  EXPECT_EQ(a.crash_dropped, b.crash_dropped);
+  EXPECT_EQ(a.cold_misses, b.cold_misses);
+  EXPECT_EQ(a.budget_exceeded_retries, b.budget_exceeded_retries);
+  EXPECT_EQ(a.crash_downtime_seconds, b.crash_downtime_seconds);
+  EXPECT_EQ(a.max_reconvergence_seconds, b.max_reconvergence_seconds);
+  EXPECT_EQ(a.post_restart_staleness_seconds,
+            b.post_restart_staleness_seconds);
 }
 
 void expect_runs_identical(const EventRunResult& a, const EventRunResult& b) {
